@@ -1,0 +1,67 @@
+"""Figure 4 — elastic partitioner insert and reorganization durations.
+
+Paper shapes asserted:
+* insert time near-constant across partitioners, Append slightly higher
+  (it funnels every chunk over the coordinator's network link);
+* Append's reorganization is exactly zero;
+* the global schemes (Round Robin, Uniform Range) reorganize markedly
+  longer than the incremental ones (§6.2.1: ~2.5x);
+* the three fine-grained schemes (RR, Extendible, Consistent) balance
+  storage far better than the rest (paper: 13 % vs 44 % mean RSD).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import figure4_insert_reorg
+from repro.harness.experiments import FINE_GRAINED, GLOBAL_SCHEMES
+
+INCREMENTAL_MOVERS = (
+    "consistent_hash",
+    "extendible_hash",
+    "hilbert_curve",
+    "incremental_quadtree",
+    "kd_tree",
+)
+
+
+def test_figure4(benchmark, bench_modis, bench_ais):
+    result = run_once(
+        benchmark, figure4_insert_reorg, bench_modis, bench_ais
+    )
+    print()
+    print(result.render())
+
+    for workload in ("modis", "ais"):
+        data = result.data[workload]
+        inserts = [data[n][0] for n in data]
+
+        # insert time near constant: max within 40 % of min
+        assert max(inserts) < 1.4 * min(inserts)
+        # Append never moves data
+        assert data["append"][1] == 0.0
+
+    # global reorganization penalty (averaged over both workloads)
+    def mean_reorg(names):
+        return sum(
+            result.data[w][n][1]
+            for w in result.data for n in names
+        ) / (2 * len(names))
+
+    ratio = mean_reorg(GLOBAL_SCHEMES) / mean_reorg(INCREMENTAL_MOVERS)
+    print(f"global/incremental reorg ratio: {ratio:.2f}x (paper ~2.5x)")
+    assert ratio > 1.4
+
+    # fine-grained RSD advantage
+    def mean_rsd(names):
+        return sum(
+            result.data[w][n][2]
+            for w in result.data for n in names
+        ) / (2 * len(names))
+
+    fine = mean_rsd(FINE_GRAINED)
+    other = mean_rsd([n for n in result.data["modis"]
+                      if n not in FINE_GRAINED])
+    print(f"mean RSD fine-grained {fine:.0f}% vs others {other:.0f}% "
+          f"(paper: 13% vs 44%)")
+    assert fine * 2 < other

@@ -1,0 +1,52 @@
+"""Figure 8 — the MODIS leading staircase under p ∈ {1, 3, 6}.
+
+Paper shapes asserted:
+* every configuration's capacity tracks or leads the demand curve;
+* the lazy set point (p=1) follows demand closely with the most
+  reorganizations; the eager one (p=6) steps rarely but high;
+* provisioned capacity ordering follows the set points.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import figure8_staircase
+
+
+def test_figure8(benchmark, bench_modis_15):
+    result = run_once(
+        benchmark, figure8_staircase, bench_modis_15,
+        p_values=(1, 3, 6), samples=4,
+    )
+    print()
+    print(result.render())
+    print(f"reorganizations per set point: {result.reorganizations}")
+
+    for p, nodes in result.steps.items():
+        # capacity covers demand at every cycle
+        for n, d in zip(nodes, result.demand_nodes):
+            assert n >= d - 1e-9, f"p={p} under-provisioned"
+        # staircase is monotone (nodes are never coalesced, §5.1)
+        assert nodes == sorted(nodes)
+
+    # lazy steps most often, eager least (paper: 6 vs 3 vs 2-ish)
+    r = result.reorganizations
+    assert r[1] >= r[3] >= r[6]
+    assert r[1] > r[6]
+
+    # eager configurations hold at least as many nodes mid-run
+    mid = len(result.demand_nodes) // 2
+    assert result.steps[6][mid] >= result.steps[3][mid] >= (
+        result.steps[1][mid] - 1
+    )
+
+    # the lazy config hugs the demand curve: small average slack
+    lazy_slack = sum(
+        n - d for n, d in zip(result.steps[1], result.demand_nodes)
+    ) / len(result.demand_nodes)
+    eager_slack = sum(
+        n - d for n, d in zip(result.steps[6], result.demand_nodes)
+    ) / len(result.demand_nodes)
+    print(f"mean slack (nodes): lazy {lazy_slack:.2f} vs eager "
+          f"{eager_slack:.2f}")
+    assert lazy_slack < eager_slack

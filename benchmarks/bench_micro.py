@@ -1,0 +1,118 @@
+"""Micro-benchmarks of the hot code paths (true pytest-benchmark loops).
+
+These time the library primitives themselves — chunk placement, curve
+indexing, tree lookups, batch chunking — rather than simulated workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import Box, ChunkRef, hilbert_index, parse_schema
+from repro.arrays.array import chunk_cells
+from repro.arrays.sfc import RectangleHilbert
+from repro.core import make_partitioner
+
+GRID = Box((0, 0, 0), (40, 29, 23))
+
+
+def _refs(n=2000, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            ChunkRef(
+                "a",
+                (
+                    int(rng.integers(0, 40)),
+                    int(rng.integers(0, 29)),
+                    int(rng.integers(0, 23)),
+                ),
+            ),
+            float(rng.lognormal(2, 1)),
+        )
+        for _ in range(n)
+    ]
+
+
+@pytest.mark.parametrize(
+    "name", ["consistent_hash", "extendible_hash", "kd_tree",
+             "hilbert_curve", "round_robin"]
+)
+def test_placement_throughput(benchmark, name):
+    refs = _refs()
+
+    def place_all():
+        p = make_partitioner(
+            name, [0, 1, 2, 3], grid=GRID, node_capacity_bytes=1e12
+        )
+        for ref, size in refs:
+            p.place(ref, size)
+        return p
+
+    p = benchmark(place_all)
+    assert p.chunk_count <= len(refs)
+
+
+def test_scale_out_throughput(benchmark):
+    refs = _refs()
+
+    def grow():
+        p = make_partitioner(
+            "consistent_hash", [0, 1], grid=GRID,
+            node_capacity_bytes=1e12,
+        )
+        for ref, size in refs:
+            p.place(ref, size)
+        p.scale_out([2, 3])
+        p.scale_out([4, 5])
+        return p
+
+    p = benchmark(grow)
+    assert p.node_count == 6
+
+
+def test_hilbert_indexing(benchmark):
+    rect = RectangleHilbert((40, 29, 23))
+    points = [
+        (t % 40, (t * 7) % 29, (t * 13) % 23) for t in range(2000)
+    ]
+
+    def index_all():
+        return [rect.index(p) for p in points]
+
+    out = benchmark(index_all)
+    assert len(set(out)) == len(set(points))
+
+
+def test_chunk_cells_throughput(benchmark):
+    schema = parse_schema(
+        "B<v:double, w:int32>[t=0:*,100, x=0:999,50, y=0:999,50]"
+    )
+    rng = np.random.default_rng(3)
+    coords = np.stack(
+        [
+            rng.integers(0, 1000, 20000),
+            rng.integers(0, 1000, 20000),
+            rng.integers(0, 1000, 20000),
+        ],
+        axis=1,
+    )
+    attrs = {
+        "v": rng.random(20000),
+        "w": rng.integers(0, 100, 20000).astype(np.int32),
+    }
+
+    chunks = benchmark(chunk_cells, schema, coords, attrs)
+    assert sum(c.cell_count for c in chunks) == 20000
+
+
+def test_kd_lookup_latency(benchmark):
+    p = make_partitioner(
+        "kd_tree", list(range(16)), grid=GRID, node_capacity_bytes=1e12
+    )
+    keys = [(t % 40, (t * 3) % 29, (t * 5) % 23) for t in range(5000)]
+
+    def lookup_all():
+        return [p.locate_key(k) for k in keys]
+
+    out = benchmark(lookup_all)
+    assert all(n in p.nodes for n in out)

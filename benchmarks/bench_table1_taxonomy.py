@@ -1,0 +1,26 @@
+"""Table 1 — taxonomy of array partitioners.
+
+Regenerates the four-trait feature matrix from the implemented classes
+and cross-checks every row against the published table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import table1_taxonomy
+
+
+def test_table1_taxonomy(benchmark):
+    result = run_once(benchmark, table1_taxonomy)
+    print()
+    print(result.render())
+
+    by_name = {row[0]: row[1:] for row in result.rows}
+    # The published rows, verbatim (incremental, fine-grained,
+    # skew-aware, n-d clustering):
+    assert by_name["Append"] == (True, True, False, False)
+    assert by_name["Cons. Hash"] == (True, True, False, False)
+    assert by_name["Extend. Hash"] == (True, True, True, False)
+    assert by_name["Hilbert Curve"] == (True, False, True, True)
+    assert by_name["Incr. Quadtree"] == (True, False, True, True)
+    assert by_name["K-d Tree"] == (True, False, True, True)
+    assert by_name["Uniform Range"] == (False, False, False, True)
+    assert by_name["Round Robin"] == (False, True, False, False)

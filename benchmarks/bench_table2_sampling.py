@@ -1,0 +1,37 @@
+"""Table 2 — what-if tuning of the sample count s (Algorithm 1).
+
+Paper shapes asserted:
+* AIS, with its seasonal/momentum-laden quarterly volumes, is best
+  served by a one-sample derivative (s = 1);
+* MODIS, with steady growth plus daily jitter, prefers the largest
+  window (s = 4);
+* train and test errors correlate (the parameter is well-modeled).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import table2_sampling
+
+
+def test_table2(benchmark, bench_modis, bench_ais):
+    result = run_once(
+        benchmark, table2_sampling, bench_modis, bench_ais,
+        max_samples=4,
+    )
+    print()
+    print(result.render())
+
+    assert result.best["AIS"] == 1, "AIS should prefer s=1 (paper)"
+    assert result.best["MODIS"] == 4, "MODIS should prefer s=4 (paper)"
+
+    # train/test agreement: the s ranked best on the training window is
+    # within the top two on the test window.
+    for workload in ("AIS", "MODIS"):
+        train = result.errors[f"{workload} Train"]
+        test = result.errors[f"{workload} Test"]
+        best_train = min(train, key=train.get)
+        ranked_test = sorted(test, key=test.get)
+        assert best_train in ranked_test[:2], (
+            f"{workload}: train pick s={best_train} not confirmed by test"
+        )

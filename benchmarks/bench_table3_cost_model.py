@@ -1,0 +1,36 @@
+"""Table 3 — analytical cost model vs measured node-hours.
+
+Paper shapes asserted:
+* both the model and the measurement rank the moderate set point p=3
+  cheapest;
+* the eager p=6 over-provisions and costs the most in both columns;
+* the model's estimates rank-correlate with the measured costs even
+  though absolute magnitudes differ (they do in the paper too: 51-86
+  modeled vs 12-16 measured node-hours).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import table3_cost_model
+
+
+def test_table3(benchmark, bench_modis):
+    result = run_once(
+        benchmark, table3_cost_model, bench_modis,
+        p_values=(1, 3, 6), samples=4, window=(5, 8),
+    )
+    print()
+    print(result.render())
+
+    assert result.best_estimated == 3, "model should pick p=3 (paper)"
+    assert result.best_measured == 3, "measurement should pick p=3"
+
+    # eager expansion is the most expensive in both views
+    assert result.estimates[6] == max(result.estimates.values())
+    assert result.measured[6] == max(result.measured.values())
+
+    # rank correlation between the two columns
+    est_rank = sorted(result.estimates, key=result.estimates.get)
+    meas_rank = sorted(result.measured, key=result.measured.get)
+    assert est_rank == meas_rank

@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures: harness-scale workloads, run-once helper.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the same rows/series the paper reports (run with ``-s`` to see them), and
+asserts the paper's qualitative shape.  Modeled bytes sit at paper scale
+(630 GB MODIS / 400 GB AIS); cell counts are reduced for laptop runtimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import AisWorkload, ModisWorkload
+
+
+@pytest.fixture(scope="session")
+def bench_modis():
+    return ModisWorkload(n_cycles=14, cells_per_band_per_cycle=800)
+
+
+@pytest.fixture(scope="session")
+def bench_modis_15():
+    return ModisWorkload(n_cycles=15, cells_per_band_per_cycle=800)
+
+
+@pytest.fixture(scope="session")
+def bench_ais():
+    return AisWorkload(n_cycles=10, ships=300, broadcasts_per_ship=12)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

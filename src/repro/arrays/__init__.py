@@ -1,0 +1,54 @@
+"""Array data model substrate (SciDB-style, paper §2).
+
+Public surface:
+
+* :class:`~repro.arrays.schema.ArraySchema`,
+  :class:`~repro.arrays.schema.DimensionSpec`,
+  :class:`~repro.arrays.schema.AttributeSpec`,
+  :func:`~repro.arrays.schema.parse_schema` — array declarations.
+* :class:`~repro.arrays.chunk.ChunkData`,
+  :class:`~repro.arrays.chunk.ChunkRef` — chunk payloads and identities.
+* :class:`~repro.arrays.array.LocalArray`,
+  :func:`~repro.arrays.array.chunk_cells` — cell-level ingest and reads.
+* :class:`~repro.arrays.storage.ChunkStore` — node-local storage.
+* :class:`~repro.arrays.coords.Box` — n-d box algebra.
+* :func:`~repro.arrays.sfc.hilbert_index`,
+  :class:`~repro.arrays.sfc.RectangleHilbert` — space-filling curve.
+"""
+
+from repro.arrays.array import LocalArray, chunk_cells
+from repro.arrays.chunk import ChunkData, ChunkKey, ChunkRef, empty_chunk
+from repro.arrays.coords import Box, bounding_box
+from repro.arrays.schema import (
+    ArraySchema,
+    AttributeSpec,
+    DimensionSpec,
+    parse_schema,
+)
+from repro.arrays.sfc import (
+    RectangleHilbert,
+    bits_for_extent,
+    hilbert_index,
+    hilbert_point,
+)
+from repro.arrays.storage import ChunkStore
+
+__all__ = [
+    "ArraySchema",
+    "AttributeSpec",
+    "Box",
+    "ChunkData",
+    "ChunkKey",
+    "ChunkRef",
+    "ChunkStore",
+    "DimensionSpec",
+    "LocalArray",
+    "RectangleHilbert",
+    "bits_for_extent",
+    "bounding_box",
+    "chunk_cells",
+    "empty_chunk",
+    "hilbert_index",
+    "hilbert_point",
+    "parse_schema",
+]

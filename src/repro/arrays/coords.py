@@ -1,0 +1,220 @@
+"""n-dimensional coordinate and box algebra.
+
+The partitioners in :mod:`repro.core` reason about *chunk grid space*: the
+integer lattice obtained by dividing each array dimension by its chunk
+interval.  This module provides the half-open box abstraction they share.
+
+A :class:`Box` is the n-dimensional generalization of a half-open interval
+``[lo, hi)``.  Boxes are immutable; all operations return new boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import ChunkError
+
+Coordinate = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A half-open n-dimensional box ``[lo[d], hi[d])`` per dimension.
+
+    Boxes tile chunk-grid space in the range partitioners (K-d Tree,
+    Incremental Quadtree, Uniform Range) and describe query regions in the
+    benchmark suites.
+
+    Attributes:
+        lo: inclusive lower corner, one integer per dimension.
+        hi: exclusive upper corner, one integer per dimension.
+    """
+
+    lo: Coordinate
+    hi: Coordinate
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ChunkError(
+                f"box corners have mismatched arity: {self.lo} vs {self.hi}"
+            )
+        if not self.lo:
+            raise ChunkError("boxes must have at least one dimension")
+        for d, (lo_d, hi_d) in enumerate(zip(self.lo, self.hi)):
+            if lo_d > hi_d:
+                raise ChunkError(
+                    f"box is inverted in dimension {d}: [{lo_d}, {hi_d})"
+                )
+        # Normalize to tuples so hashing is reliable even when the caller
+        # passed lists.
+        object.__setattr__(self, "lo", tuple(int(v) for v in self.lo))
+        object.__setattr__(self, "hi", tuple(int(v) for v in self.hi))
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.lo)
+
+    @property
+    def shape(self) -> Coordinate:
+        """Per-dimension extent (``hi - lo``)."""
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        """Number of lattice points contained in the box."""
+        vol = 1
+        for extent in self.shape:
+            vol *= extent
+        return vol
+
+    def is_empty(self) -> bool:
+        """True when any dimension has zero extent."""
+        return any(h == l for l, h in zip(self.lo, self.hi))
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """True when ``point`` lies inside the half-open box."""
+        if len(point) != self.ndim:
+            raise ChunkError(
+                f"point arity {len(point)} != box arity {self.ndim}"
+            )
+        return all(
+            l <= p < h for p, l, h in zip(point, self.lo, self.hi)
+        )
+
+    def contains_box(self, other: "Box") -> bool:
+        """True when ``other`` is entirely inside this box."""
+        if other.ndim != self.ndim:
+            raise ChunkError("boxes have mismatched arity")
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersect(self, other: "Box") -> "Box":
+        """The (possibly empty) intersection of two boxes."""
+        if other.ndim != self.ndim:
+            raise ChunkError("boxes have mismatched arity")
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(max(l, min(a, b)) for l, a, b in zip(lo, self.hi, other.hi))
+        return Box(lo, hi)
+
+    def intersects(self, other: "Box") -> bool:
+        """True when the boxes share at least one lattice point."""
+        if other.ndim != self.ndim:
+            raise ChunkError("boxes have mismatched arity")
+        return all(
+            max(al, bl) < min(ah, bh)
+            for al, ah, bl, bh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def split(self, dim: int, at: int) -> Tuple["Box", "Box"]:
+        """Split along ``dim`` at coordinate ``at`` into (lower, upper).
+
+        ``at`` must satisfy ``lo[dim] < at < hi[dim]`` so both halves are
+        non-empty.
+        """
+        if not 0 <= dim < self.ndim:
+            raise ChunkError(f"split dimension {dim} out of range")
+        if not self.lo[dim] < at < self.hi[dim]:
+            raise ChunkError(
+                f"split point {at} outside open interval "
+                f"({self.lo[dim]}, {self.hi[dim]}) of dimension {dim}"
+            )
+        lower_hi = list(self.hi)
+        lower_hi[dim] = at
+        upper_lo = list(self.lo)
+        upper_lo[dim] = at
+        return Box(self.lo, tuple(lower_hi)), Box(tuple(upper_lo), self.hi)
+
+    def halve(self, dim: int) -> Tuple["Box", "Box"]:
+        """Split along ``dim`` at the midpoint (lower half rounds down)."""
+        mid = (self.lo[dim] + self.hi[dim]) // 2
+        if mid == self.lo[dim]:
+            mid += 1
+        return self.split(dim, mid)
+
+    def orthants(self) -> Tuple["Box", ...]:
+        """The ``2^k`` children obtained by halving every splittable dim.
+
+        Dimensions of extent 1 are left alone, so a 2-d box yields four
+        quarters (the classic quadtree step), a 3-d box yields octants, and
+        a box that is already a single lattice point yields itself.
+        """
+        children = [self]
+        for dim in range(self.ndim):
+            next_children = []
+            for box in children:
+                if box.hi[dim] - box.lo[dim] >= 2:
+                    next_children.extend(box.halve(dim))
+                else:
+                    next_children.append(box)
+            children = next_children
+        return tuple(children)
+
+    def face_adjacent(self, other: "Box") -> bool:
+        """True when the boxes share an (n-1)-dimensional face.
+
+        Used by the Incremental Quadtree when grouping quarters: a pair of
+        quarters may move together to a new host only when they are
+        face-adjacent, which keeps each host's partition spatially
+        contiguous.
+        """
+        if other.ndim != self.ndim:
+            raise ChunkError("boxes have mismatched arity")
+        touching_dim = None
+        for d in range(self.ndim):
+            overlap = min(self.hi[d], other.hi[d]) - max(self.lo[d], other.lo[d])
+            if overlap > 0:
+                continue
+            if overlap == 0 and (
+                self.hi[d] == other.lo[d] or other.hi[d] == self.lo[d]
+            ):
+                if touching_dim is not None:
+                    return False  # they only meet at an edge or corner
+                touching_dim = d
+            else:
+                return False  # separated by a gap in dimension d
+        return touching_dim is not None
+
+    def corners(self) -> Iterator[Coordinate]:
+        """Iterate the ``2^n`` corner lattice points (hi is exclusive)."""
+        ranges = [(l, h - 1) for l, h in zip(self.lo, self.hi)]
+        n = self.ndim
+        for mask in range(1 << n):
+            yield tuple(
+                ranges[d][1] if mask & (1 << d) else ranges[d][0]
+                for d in range(n)
+            )
+
+    def points(self) -> Iterator[Coordinate]:
+        """Iterate every lattice point in row-major order.
+
+        Only suitable for small boxes (tests and the Uniform Range leaf
+        enumeration); the volume is the product of the extents.
+        """
+        def walk(dim: int, prefix: Tuple[int, ...]) -> Iterator[Coordinate]:
+            if dim == self.ndim:
+                yield prefix
+                return
+            for v in range(self.lo[dim], self.hi[dim]):
+                yield from walk(dim + 1, prefix + (v,))
+
+        return walk(0, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        spans = ", ".join(
+            f"{l}:{h}" for l, h in zip(self.lo, self.hi)
+        )
+        return f"Box[{spans}]"
+
+
+def bounding_box(points: Sequence[Sequence[int]]) -> Box:
+    """Smallest half-open box containing every point in ``points``."""
+    if not points:
+        raise ChunkError("cannot bound an empty point set")
+    ndim = len(points[0])
+    lo = [min(p[d] for p in points) for d in range(ndim)]
+    hi = [max(p[d] for p in points) + 1 for d in range(ndim)]
+    return Box(tuple(lo), tuple(hi))

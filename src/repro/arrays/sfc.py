@@ -1,0 +1,218 @@
+"""d-dimensional Hilbert space-filling curve.
+
+The Hilbert Curve partitioner (paper §4.2) serializes an array's chunks so
+that chunks adjacent on the curve are close in Euclidean space, then assigns
+contiguous curve ranges to nodes.  The paper uses a generalized
+pseudo-Hilbert scan for rectangles [Zhang et al. 2006]; we reproduce that
+behaviour by embedding the rectangle in the smallest enclosing power-of-two
+hypercube, computing exact Hilbert indices there (Skilling's transpose
+algorithm [Skilling 2004]), and restricting the traversal to the rectangle.
+The restriction preserves the curve's ordering and therefore its locality,
+which is the property the partitioner relies on.
+
+All functions operate on non-negative integer coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ChunkError
+
+
+def _axes_to_transpose(x: List[int], bits: int) -> List[int]:
+    """Skilling's AxesToTranspose: in-place Gray-code transform."""
+    n = len(x)
+    m = 1 << (bits - 1)
+    # Inverse undo excess work.
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(n):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+    # Gray encode.
+    for i in range(1, n):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = m
+    while q > 1:
+        if x[n - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(n):
+        x[i] ^= t
+    return x
+
+
+def _transpose_to_axes(x: List[int], bits: int) -> List[int]:
+    """Skilling's TransposeToAxes: inverse of :func:`_axes_to_transpose`."""
+    n = len(x)
+    top = 2 << (bits - 1)
+    # Gray decode by H ^ (H/2).
+    t = x[n - 1] >> 1
+    for i in range(n - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+    # Undo excess work.
+    q = 2
+    while q != top:
+        p = q - 1
+        for i in range(n - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return x
+
+
+def _interleave(transposed: Sequence[int], bits: int) -> int:
+    """Pack a transposed Hilbert coordinate into a single integer index.
+
+    Bit ``bits-1`` of axis 0 is the most significant bit of the index,
+    followed by bit ``bits-1`` of axis 1, and so on down the bit planes.
+    """
+    index = 0
+    for b in range(bits - 1, -1, -1):
+        for axis_value in transposed:
+            index = (index << 1) | ((axis_value >> b) & 1)
+    return index
+
+
+def _deinterleave(index: int, bits: int, ndim: int) -> List[int]:
+    """Unpack a Hilbert index into its transposed coordinate."""
+    x = [0] * ndim
+    position = bits * ndim - 1
+    for b in range(bits - 1, -1, -1):
+        for d in range(ndim):
+            x[d] |= ((index >> position) & 1) << b
+            position -= 1
+    return x
+
+
+def hilbert_index(point: Sequence[int], bits: int) -> int:
+    """Hilbert index of ``point`` on the order-``bits`` curve.
+
+    Args:
+        point: non-negative coordinates, each ``< 2**bits``.
+        bits: curve order (bits per dimension).
+
+    Returns:
+        The position of ``point`` along the curve, in
+        ``[0, 2**(bits * ndim))``.
+    """
+    if bits < 1:
+        raise ChunkError(f"curve order must be >= 1, got {bits}")
+    x = []
+    limit = 1 << bits
+    for c in point:
+        c = int(c)
+        if not 0 <= c < limit:
+            raise ChunkError(
+                f"coordinate {c} outside [0, {limit}) for order-{bits} curve"
+            )
+        x.append(c)
+    if not x:
+        raise ChunkError("point must have at least one dimension")
+    if len(x) == 1:
+        return x[0]
+    transposed = _axes_to_transpose(list(x), bits)
+    return _interleave(transposed, bits)
+
+
+def hilbert_point(index: int, bits: int, ndim: int) -> Tuple[int, ...]:
+    """Inverse of :func:`hilbert_index`: the point at curve position."""
+    if bits < 1:
+        raise ChunkError(f"curve order must be >= 1, got {bits}")
+    if ndim < 1:
+        raise ChunkError("ndim must be >= 1")
+    total = 1 << (bits * ndim)
+    if not 0 <= index < total:
+        raise ChunkError(
+            f"index {index} outside [0, {total}) for order-{bits} "
+            f"{ndim}-d curve"
+        )
+    if ndim == 1:
+        return (index,)
+    transposed = _deinterleave(index, bits, ndim)
+    return tuple(_transpose_to_axes(transposed, bits))
+
+
+def bits_for_extent(extent: int) -> int:
+    """Curve order needed to cover coordinates ``0 .. extent-1``."""
+    if extent < 1:
+        raise ChunkError(f"extent must be >= 1, got {extent}")
+    bits = 1
+    while (1 << bits) < extent:
+        bits += 1
+    return bits
+
+
+class RectangleHilbert:
+    """Pseudo-Hilbert ordering for an arbitrary box of chunk-grid space.
+
+    The paper's Hilbert partitioner operates on rectangles (chunk grids are
+    rarely square).  We embed the rectangle in the smallest power-of-two
+    hypercube, index points on the exact cube curve, and use the cube index
+    directly as the sort key.  Points outside the rectangle simply never
+    occur, so the rectangle traversal is the cube traversal with gaps —
+    ordering and locality are preserved, which is all the range partitioner
+    needs.
+
+    Args:
+        extents: per-dimension chunk counts of the grid (all >= 1).
+    """
+
+    def __init__(self, extents: Sequence[int]) -> None:
+        extents = tuple(int(e) for e in extents)
+        if not extents:
+            raise ChunkError("rectangle needs at least one dimension")
+        for e in extents:
+            if e < 1:
+                raise ChunkError(f"invalid rectangle extent {e}")
+        self.extents = extents
+        self.ndim = len(extents)
+        self.bits = bits_for_extent(max(extents))
+
+    @property
+    def index_space(self) -> int:
+        """Size of the enclosing cube's index space, ``2**(bits*ndim)``."""
+        return 1 << (self.bits * self.ndim)
+
+    def index(self, point: Sequence[int]) -> int:
+        """Curve position of a grid point.
+
+        Points are allowed to exceed the declared extents (unbounded
+        dimensions grow over time); when they exceed the current curve
+        order, the curve is *not* re-fit — instead the overflow is folded
+        beyond the cube, keeping previously issued indices stable, which is
+        required for incremental scale-out (ranges already assigned to
+        nodes must not be reshuffled by later inserts).
+        """
+        if len(point) != self.ndim:
+            raise ChunkError(
+                f"point arity {len(point)} != rectangle arity {self.ndim}"
+            )
+        limit = 1 << self.bits
+        clipped = []
+        overflow = 0
+        for c in point:
+            c = int(c)
+            if c < 0:
+                raise ChunkError(f"negative grid coordinate {c}")
+            if c >= limit:
+                # Fold coordinates beyond the cube into an overflow epoch
+                # appended after the cube's index space.
+                overflow += (c // limit)
+                c = c % limit
+            clipped.append(c)
+        base = hilbert_index(clipped, self.bits)
+        return overflow * self.index_space + base

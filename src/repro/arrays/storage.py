@@ -1,0 +1,91 @@
+"""Node-local chunk storage with byte accounting.
+
+Each simulated node owns a :class:`ChunkStore` holding the chunks assigned
+to it.  The store tracks modeled bytes so the cluster can evaluate capacity,
+storage skew (RSD), and rebalance plans without touching cell payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.arrays.chunk import ChunkData, ChunkRef
+from repro.errors import StorageError
+
+
+class ChunkStore:
+    """Physical chunk storage for one node.
+
+    Chunks are keyed by :class:`ChunkRef` so one store can hold chunks from
+    several arrays (the two MODIS bands, the AIS broadcast array, ...).
+    """
+
+    def __init__(self) -> None:
+        self._chunks: Dict[ChunkRef, ChunkData] = {}
+        self._bytes: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> float:
+        """Total modeled bytes held by this store."""
+        return self._bytes
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def refs(self) -> List[ChunkRef]:
+        """All chunk refs (sorted for determinism)."""
+        return sorted(self._chunks, key=lambda r: (r.array, r.key))
+
+    def __contains__(self, ref: object) -> bool:
+        return isinstance(ref, ChunkRef) and ref in self._chunks
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def __iter__(self) -> Iterator[ChunkRef]:
+        return iter(self.refs())
+
+    # ------------------------------------------------------------------
+    def put(self, chunk: ChunkData) -> None:
+        """Store a chunk; merges payloads if the ref already exists."""
+        ref = chunk.ref()
+        existing = self._chunks.get(ref)
+        if existing is None:
+            self._chunks[ref] = chunk
+            self._bytes += chunk.size_bytes
+        else:
+            merged = existing.merged_with(chunk)
+            self._bytes += merged.size_bytes - existing.size_bytes
+            self._chunks[ref] = merged
+
+    def get(self, ref: ChunkRef) -> ChunkData:
+        """Fetch a chunk by ref; raises :class:`StorageError` when absent."""
+        try:
+            return self._chunks[ref]
+        except KeyError:
+            raise StorageError(f"store does not hold chunk {ref}") from None
+
+    def maybe_get(self, ref: ChunkRef) -> Optional[ChunkData]:
+        return self._chunks.get(ref)
+
+    def evict(self, ref: ChunkRef) -> ChunkData:
+        """Remove and return a chunk (the send side of a rebalance move)."""
+        chunk = self._chunks.pop(ref, None)
+        if chunk is None:
+            raise StorageError(f"cannot evict missing chunk {ref}")
+        self._bytes -= chunk.size_bytes
+        return chunk
+
+    def bytes_of(self, ref: ChunkRef) -> float:
+        """Modeled bytes of one stored chunk."""
+        return self.get(ref).size_bytes
+
+    def chunks(self) -> Iterator[ChunkData]:
+        for ref in self.refs():
+            yield self._chunks[ref]
+
+    def clear(self) -> None:
+        self._chunks.clear()
+        self._bytes = 0.0

@@ -1,0 +1,38 @@
+"""Shared-nothing cluster substrate: nodes, network model, coordinator.
+
+The cluster executes real chunk movement (stores hold actual payloads)
+while pricing every phase with the §5.2 cost structure — I/O at ``δ`` per
+GB, network at ``t`` per GB — so experiments report the quantities the
+paper reasons about.
+"""
+
+from repro.cluster.cluster import ElasticCluster, IngestReport
+from repro.cluster.coordinator import (
+    InsertReport,
+    RebalanceReport,
+    execute_insert,
+    execute_rebalance,
+)
+from repro.cluster.costs import DEFAULT_COSTS, GB, CostParameters
+from repro.cluster.metrics import CycleMetrics, RunMetrics, relative_std
+from repro.cluster.network import insert_time, nic_bytes, rebalance_time
+from repro.cluster.node import Node
+
+__all__ = [
+    "CostParameters",
+    "CycleMetrics",
+    "DEFAULT_COSTS",
+    "ElasticCluster",
+    "GB",
+    "IngestReport",
+    "InsertReport",
+    "Node",
+    "RebalanceReport",
+    "RunMetrics",
+    "execute_insert",
+    "execute_rebalance",
+    "insert_time",
+    "nic_bytes",
+    "rebalance_time",
+    "relative_std",
+]

@@ -1,0 +1,216 @@
+"""The elastic shared-nothing cluster.
+
+:class:`ElasticCluster` ties the substrates together: nodes with capacity,
+a partitioner owning the placement table, an optional leading-staircase
+provisioner deciding *when* to add nodes, and the coordinator executing
+inserts and rebalances.  One call — :meth:`ingest` — runs the full §3.4
+ingest phase: provision if needed, redistribute preexisting chunks, insert
+the new ones.
+
+The query engine reads the cluster through the :class:`ClusterView`
+protocol (per-node chunk access plus placement lookups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arrays.chunk import ChunkData, ChunkRef
+from repro.cluster.coordinator import (
+    InsertReport,
+    RebalanceReport,
+    execute_insert,
+    execute_rebalance,
+)
+from repro.cluster.costs import DEFAULT_COSTS, CostParameters
+from repro.cluster.metrics import relative_std
+from repro.cluster.node import Node
+from repro.core.base import ElasticPartitioner
+from repro.core.provisioner import LeadingStaircase
+from repro.errors import ClusterError
+
+
+@dataclass
+class IngestReport:
+    """Everything that happened during one ingest phase."""
+
+    insert: InsertReport
+    rebalance: Optional[RebalanceReport]
+    nodes_added: int
+    demand_bytes: float
+
+    @property
+    def insert_seconds(self) -> float:
+        return self.insert.elapsed_seconds
+
+    @property
+    def reorg_seconds(self) -> float:
+        return self.rebalance.elapsed_seconds if self.rebalance else 0.0
+
+
+class ElasticCluster:
+    """A growing shared-nothing array database.
+
+    Args:
+        partitioner: the placement algorithm; its node set must equal the
+            initial node ids.
+        node_capacity_bytes: capacity ``c`` of every (homogeneous) node.
+        costs: simulation cost constants.
+        provisioner: optional leading staircase.  When present,
+            :meth:`ingest` runs the control loop before inserting; when
+            absent, use :meth:`scale_out` to add nodes manually (the fixed
+            +2-node schedule of §6.2 does this).
+
+    The partitioner's initial nodes define the cluster's initial nodes.
+    """
+
+    def __init__(
+        self,
+        partitioner: ElasticPartitioner,
+        node_capacity_bytes: float,
+        costs: CostParameters = DEFAULT_COSTS,
+        provisioner: Optional[LeadingStaircase] = None,
+    ) -> None:
+        if node_capacity_bytes <= 0:
+            raise ClusterError("node capacity must be positive")
+        self.partitioner = partitioner
+        self.node_capacity_bytes = float(node_capacity_bytes)
+        self.costs = costs
+        self.provisioner = provisioner
+        self.nodes: Dict[int, Node] = {
+            node_id: Node(node_id, node_capacity_bytes)
+            for node_id in partitioner.nodes
+        }
+        self._next_node_id = max(self.nodes) + 1
+        self.coordinator_id = min(self.nodes)
+
+    # ------------------------------------------------------------------
+    # state inspection (the query engine's ClusterView)
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.nodes))
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(n.used_bytes for n in self.nodes.values()))
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.node_capacity_bytes * len(self.nodes)
+
+    def node_loads(self) -> Dict[int, float]:
+        return {nid: n.used_bytes for nid, n in sorted(self.nodes.items())}
+
+    def storage_rsd(self) -> float:
+        """Relative standard deviation of per-node bytes (Figure 4)."""
+        return relative_std(list(self.node_loads().values()))
+
+    def locate(self, ref: ChunkRef) -> int:
+        """Node currently holding a chunk."""
+        return self.partitioner.locate(ref)
+
+    def chunks_of_array(self, array: str) -> List[Tuple[ChunkData, int]]:
+        """All (chunk, node) pairs of one array, key-sorted."""
+        out: List[Tuple[ChunkData, int]] = []
+        for node_id in self.node_ids:
+            for chunk in self.nodes[node_id].store.chunks():
+                if chunk.schema.name == array:
+                    out.append((chunk, node_id))
+        out.sort(key=lambda pair: pair[0].key)
+        return out
+
+    def chunk_data(self, ref: ChunkRef) -> ChunkData:
+        """Fetch one chunk's payload from whichever node holds it."""
+        return self.nodes[self.locate(ref)].store.get(ref)
+
+    def placement_of_array(self, array: str) -> Dict[Tuple[int, ...], int]:
+        """Chunk key → node map for one array."""
+        return {
+            chunk.key: node
+            for chunk, node in self.chunks_of_array(array)
+        }
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def scale_out(self, count: int) -> RebalanceReport:
+        """Add ``count`` nodes and execute the partitioner's rebalance."""
+        if count < 1:
+            raise ClusterError(f"scale_out needs count >= 1, got {count}")
+        new_ids = []
+        for _ in range(count):
+            node_id = self._next_node_id
+            self._next_node_id += 1
+            self.nodes[node_id] = Node(node_id, self.node_capacity_bytes)
+            new_ids.append(node_id)
+        plan = self.partitioner.scale_out(new_ids)
+        return execute_rebalance(self.nodes, plan, self.costs)
+
+    def ingest(self, chunks: Sequence[ChunkData]) -> IngestReport:
+        """Run one §3.4 ingest phase.
+
+        1. Determine whether the cluster is under-provisioned for the
+           incoming insert (storage is the surrogate for load).
+        2. If so, ask the provisioner how many nodes to add, then
+           redistribute preexisting chunks (the partitioner's plan).
+        3. Finally insert the new chunks.
+        """
+        incoming = float(sum(c.size_bytes for c in chunks))
+        demand = self.total_bytes + incoming
+
+        rebalance_report: Optional[RebalanceReport] = None
+        nodes_added = 0
+        if self.provisioner is not None:
+            self.provisioner.observe(demand)
+            decision = self.provisioner.evaluate(
+                current_nodes=len(self.nodes), demand=demand
+            )
+            if decision.new_nodes > 0:
+                rebalance_report = self.scale_out(decision.new_nodes)
+                nodes_added = decision.new_nodes
+
+        insert_report = execute_insert(
+            self.nodes,
+            self.partitioner,
+            chunks,
+            self.costs,
+            self.coordinator_id,
+        )
+        return IngestReport(
+            insert=insert_report,
+            rebalance=rebalance_report,
+            nodes_added=nodes_added,
+            demand_bytes=demand,
+        )
+
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Verify stores and the partitioner ledger agree (tests, debug).
+
+        Raises:
+            ClusterError: on any disagreement between physical chunk
+                placement and the partitioning table.
+        """
+        for node_id, node in self.nodes.items():
+            for ref in node.store.refs():
+                table_node = self.partitioner.locate(ref)
+                if table_node != node_id:
+                    raise ClusterError(
+                        f"chunk {ref} stored on node {node_id} but table "
+                        f"says {table_node}"
+                    )
+        table_total = self.partitioner.total_bytes
+        stored_total = self.total_bytes
+        if abs(table_total - stored_total) > max(
+            1e-6, 1e-9 * max(table_total, stored_total)
+        ):
+            raise ClusterError(
+                f"byte ledgers disagree: table={table_total} "
+                f"stored={stored_total}"
+            )

@@ -1,0 +1,105 @@
+"""Coordinator-side execution of inserts and rebalances.
+
+The coordinator is the node that receives each insert batch (paper §3.4),
+asks the partitioner where every chunk belongs, and distributes the chunks
+over the cluster.  On scale-out it also executes the partitioner's
+rebalance plan by evicting chunks from donors and installing them on the
+new nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+from repro.arrays.chunk import ChunkData
+from repro.cluster.costs import CostParameters
+from repro.cluster.network import insert_time, rebalance_time
+from repro.cluster.node import Node
+from repro.core.base import ElasticPartitioner, RebalancePlan
+from repro.errors import ClusterError
+
+
+@dataclass
+class InsertReport:
+    """Outcome of distributing one batch of chunks."""
+
+    chunk_count: int
+    total_bytes: float
+    bytes_by_node: Dict[int, float]
+    elapsed_seconds: float
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of executing one rebalance plan."""
+
+    chunks_moved: int
+    bytes_moved: float
+    elapsed_seconds: float
+    touched_nodes: int
+
+
+def execute_insert(
+    nodes: Mapping[int, Node],
+    partitioner: ElasticPartitioner,
+    chunks: Iterable[ChunkData],
+    costs: CostParameters,
+    coordinator_id: int,
+) -> InsertReport:
+    """Place and store a batch of chunks; price it per Eq. 6 semantics.
+
+    Every chunk is routed through the partitioner (which also updates its
+    byte ledger) and physically stored on the chosen node.  The elapsed
+    time charges the coordinator's local I/O for its own share and its NIC
+    for everything shipped elsewhere.
+    """
+    if coordinator_id not in nodes:
+        raise ClusterError(f"unknown coordinator node {coordinator_id}")
+    chunks = list(chunks)
+    partitioner.prepare_batch(
+        [(c.ref(), c.size_bytes) for c in chunks]
+    )
+    bytes_by_node: Dict[int, float] = {}
+    count = 0
+    total = 0.0
+    for chunk in chunks:
+        target = partitioner.place(chunk.ref(), chunk.size_bytes)
+        if target not in nodes:
+            raise ClusterError(
+                f"partitioner placed {chunk.ref()} on unknown node {target}"
+            )
+        nodes[target].store.put(chunk)
+        bytes_by_node[target] = (
+            bytes_by_node.get(target, 0.0) + chunk.size_bytes
+        )
+        count += 1
+        total += chunk.size_bytes
+    elapsed = insert_time(bytes_by_node, coordinator_id, costs)
+    return InsertReport(
+        chunk_count=count,
+        total_bytes=total,
+        bytes_by_node=bytes_by_node,
+        elapsed_seconds=elapsed,
+    )
+
+
+def execute_rebalance(
+    nodes: Mapping[int, Node],
+    plan: RebalancePlan,
+    costs: CostParameters,
+) -> RebalanceReport:
+    """Physically move chunks between stores per a rebalance plan."""
+    for move in plan.moves:
+        if move.source not in nodes or move.dest not in nodes:
+            raise ClusterError(
+                f"rebalance references unknown node: {move}"
+            )
+        chunk = nodes[move.source].store.evict(move.ref)
+        nodes[move.dest].store.put(chunk)
+    return RebalanceReport(
+        chunks_moved=plan.chunk_count,
+        bytes_moved=plan.total_bytes,
+        elapsed_seconds=rebalance_time(plan, costs),
+        touched_nodes=len(plan.touched_nodes()),
+    )

@@ -1,0 +1,314 @@
+"""Elastic partitioner framework.
+
+A partitioner owns the *partitioning table* of a growing array database: it
+decides which node receives each newly inserted chunk (:meth:`place`) and,
+when the cluster scales out, which chunks move where
+(:meth:`scale_out` → :class:`RebalancePlan`).
+
+The base class keeps the authoritative bookkeeping — chunk→node assignment,
+chunk sizes, per-node byte loads — so that every concrete algorithm only
+implements two decisions:
+
+* ``_locate(ref)``: the node the current partitioning table maps a chunk to.
+* ``_extend(new_nodes)``: update the table for newly added nodes and return
+  the moves it implies.
+
+The base class *enforces* the incremental-scale-out contract: a partitioner
+whose traits claim incrementality may only produce moves whose destinations
+are newly added nodes (paper §4.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arrays.chunk import ChunkRef
+from repro.core.traits import PartitionerTraits
+from repro.errors import PartitioningError
+
+NodeId = int
+
+
+@dataclass(frozen=True)
+class Move:
+    """One chunk relocation in a rebalance plan."""
+
+    ref: ChunkRef
+    source: NodeId
+    dest: NodeId
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.source == self.dest:
+            raise PartitioningError(
+                f"degenerate move of {self.ref}: {self.source} -> {self.dest}"
+            )
+
+
+@dataclass
+class RebalancePlan:
+    """The set of chunk moves triggered by one scale-out operation."""
+
+    moves: List[Move]
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes shipped over the network by this plan."""
+        return float(sum(m.size_bytes for m in self.moves))
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.moves)
+
+    def bytes_by_source(self) -> Dict[NodeId, float]:
+        """Outbound bytes per source node."""
+        out: Dict[NodeId, float] = {}
+        for m in self.moves:
+            out[m.source] = out.get(m.source, 0.0) + m.size_bytes
+        return out
+
+    def bytes_by_dest(self) -> Dict[NodeId, float]:
+        """Inbound bytes per destination node."""
+        out: Dict[NodeId, float] = {}
+        for m in self.moves:
+            out[m.dest] = out.get(m.dest, 0.0) + m.size_bytes
+        return out
+
+    def touched_nodes(self) -> Tuple[NodeId, ...]:
+        """All nodes that send or receive data under this plan."""
+        nodes = set()
+        for m in self.moves:
+            nodes.add(m.source)
+            nodes.add(m.dest)
+        return tuple(sorted(nodes))
+
+    def is_empty(self) -> bool:
+        return not self.moves
+
+
+class ElasticPartitioner(ABC):
+    """Base class for all elastic array partitioners.
+
+    Args:
+        nodes: initial node ids (at least one).
+
+    Subclasses must set the class attributes :attr:`name` (registry key)
+    and :attr:`traits` (their Table-1 row).
+    """
+
+    #: Registry key, e.g. ``"kd_tree"``.
+    name: str = ""
+    #: The scheme's Table-1 feature row.
+    traits: PartitionerTraits
+
+    def __init__(self, nodes: Sequence[NodeId]) -> None:
+        if not nodes:
+            raise PartitioningError("partitioner needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise PartitioningError(f"duplicate node ids in {list(nodes)}")
+        self._nodes: List[NodeId] = [int(n) for n in nodes]
+        self._assignment: Dict[ChunkRef, NodeId] = {}
+        self._sizes: Dict[ChunkRef, float] = {}
+        self._loads: Dict[NodeId, float] = {n: 0.0 for n in self._nodes}
+
+    # ------------------------------------------------------------------
+    # read-only state
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """Current node ids, in addition order."""
+        return tuple(self._nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._assignment)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(self._sizes.values()))
+
+    def node_loads(self) -> Dict[NodeId, float]:
+        """Bytes currently assigned to each node."""
+        return dict(self._loads)
+
+    def load_of(self, node: NodeId) -> float:
+        try:
+            return self._loads[node]
+        except KeyError:
+            raise PartitioningError(f"unknown node {node}") from None
+
+    def assignment(self) -> Dict[ChunkRef, NodeId]:
+        """A copy of the full chunk→node map."""
+        return dict(self._assignment)
+
+    def chunks_on(self, node: NodeId) -> List[ChunkRef]:
+        """Chunk refs assigned to one node (sorted for determinism)."""
+        if node not in self._loads:
+            raise PartitioningError(f"unknown node {node}")
+        return sorted(
+            (r for r, n in self._assignment.items() if n == node),
+            key=lambda r: (r.array, r.key),
+        )
+
+    def size_of(self, ref: ChunkRef) -> float:
+        try:
+            return self._sizes[ref]
+        except KeyError:
+            raise PartitioningError(f"unknown chunk {ref}") from None
+
+    def locate(self, ref: ChunkRef) -> NodeId:
+        """Node currently holding ``ref`` (must have been placed)."""
+        try:
+            return self._assignment[ref]
+        except KeyError:
+            raise PartitioningError(f"chunk {ref} was never placed") from None
+
+    def heaviest_node(
+        self, among: Optional[Iterable[NodeId]] = None
+    ) -> NodeId:
+        """The node with the most bytes (ties broken by node id)."""
+        candidates = list(among) if among is not None else self._nodes
+        if not candidates:
+            raise PartitioningError("no candidate nodes")
+        return min(candidates, key=lambda n: (-self._loads.get(n, 0.0), n))
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def prepare_batch(
+        self, batch: Sequence[Tuple[ChunkRef, float]]
+    ) -> None:
+        """Observe a whole insert batch before its chunks are placed.
+
+        The coordinator receives inserts in bulk (paper §3.4), so a
+        partitioner may inspect the batch to refine its table *before*
+        any chunk lands — the Hilbert partitioner uses the first batch to
+        set data-aware initial ranges.  Must not move existing chunks.
+        The default is a no-op.
+        """
+
+    def place(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        """Assign a chunk to a node and record its bytes.
+
+        Placing an already-known chunk models a merge into an existing
+        physical chunk: the bytes are added on its current node and no
+        relocation happens (SciDB's no-overwrite store appends, it never
+        rewrites).
+
+        Returns:
+            The node id that received the chunk.
+        """
+        if size_bytes < 0:
+            raise PartitioningError(
+                f"negative chunk size {size_bytes} for {ref}"
+            )
+        existing = self._assignment.get(ref)
+        if existing is not None:
+            self._sizes[ref] += size_bytes
+            self._loads[existing] += size_bytes
+            return existing
+        node = self._place_new(ref, float(size_bytes))
+        if node not in self._loads:
+            raise PartitioningError(
+                f"{self.name} placed {ref} on unknown node {node}"
+            )
+        self._assignment[ref] = node
+        self._sizes[ref] = float(size_bytes)
+        self._loads[node] += float(size_bytes)
+        return node
+
+    def scale_out(self, new_nodes: Sequence[NodeId]) -> RebalancePlan:
+        """Add nodes and compute the rebalance the partitioning table needs.
+
+        The returned plan has already been applied to the partitioner's
+        bookkeeping; the cluster layer is responsible for executing the
+        physical transfers.
+
+        Raises:
+            PartitioningError: on duplicate node ids, or when an
+                incremental partitioner emits a move to a preexisting node
+                (contract violation — indicates an implementation bug).
+        """
+        new_nodes = [int(n) for n in new_nodes]
+        if not new_nodes:
+            return RebalancePlan(moves=[])
+        for n in new_nodes:
+            if n in self._loads:
+                raise PartitioningError(f"node {n} already in cluster")
+        if len(set(new_nodes)) != len(new_nodes):
+            raise PartitioningError(f"duplicate new node ids {new_nodes}")
+
+        for n in new_nodes:
+            self._nodes.append(n)
+            self._loads[n] = 0.0
+
+        moves = self._extend(new_nodes)
+
+        # Moves were applied by _relocate as they were emitted (sequential
+        # splits within one scale-out must see each other's effects); here
+        # we only verify the incremental contract.
+        new_set = set(new_nodes)
+        if self.traits.incremental_scale_out:
+            for move in moves:
+                if move.dest not in new_set:
+                    raise PartitioningError(
+                        f"{self.name} claims incremental scale-out but "
+                        f"moved {move.ref} to preexisting node {move.dest}"
+                    )
+
+        return RebalancePlan(moves=list(moves))
+
+    def update_size(self, ref: ChunkRef, delta_bytes: float) -> None:
+        """Grow (or shrink) the recorded bytes of an existing chunk."""
+        node = self.locate(ref)
+        new_size = self._sizes[ref] + delta_bytes
+        if new_size < 0:
+            raise PartitioningError(
+                f"chunk {ref} size would become negative"
+            )
+        self._sizes[ref] = new_size
+        self._loads[node] += delta_bytes
+
+    # ------------------------------------------------------------------
+    # subclass responsibilities
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _place_new(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        """Choose the node for a chunk seen for the first time."""
+
+    @abstractmethod
+    def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
+        """Update the partitioning table for ``new_nodes``; return moves.
+
+        Called after the base class has registered the new nodes (so
+        ``self._nodes``/``self._loads`` already include them).  Emit each
+        move through :meth:`_relocate` so the ledger stays current while
+        the extension runs — sequential splits within one scale-out must
+        observe the loads left by earlier splits.
+        """
+
+    # ------------------------------------------------------------------
+    def _relocate(self, ref: ChunkRef, dest: NodeId) -> Move:
+        """Move a chunk to ``dest`` in the ledger and return the move."""
+        if dest not in self._loads:
+            raise PartitioningError(f"relocation to unknown node {dest}")
+        source = self._assignment[ref]
+        size = self._sizes[ref]
+        move = Move(ref=ref, source=source, dest=dest, size_bytes=size)
+        self._assignment[ref] = dest
+        self._loads[source] -= size
+        self._loads[dest] += size
+        return move
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(nodes={len(self._nodes)}, "
+            f"chunks={len(self._assignment)}, "
+            f"bytes={self.total_bytes:.3g})"
+        )

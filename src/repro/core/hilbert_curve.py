@@ -1,0 +1,250 @@
+"""Hilbert Curve partitioner (paper §4.2).
+
+The chunk grid is serialized along a (pseudo-)Hilbert space-filling curve —
+neighbouring chunks on the curve are close in Euclidean space — and each
+node owns a contiguous *range* of curve positions.  This preserves spatial
+locality (n-dimensional clustering) while partitioning at the granularity
+of a single chunk, which is finer than slicing whole dimension ranges.
+
+Scale-out targets *point skew*: the most heavily burdened node's range is
+split at its **storage median** (the curve position that best halves its
+bytes), and the upper half moves to the new node.  Only the split node
+sends data, so the reorganization is incremental.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arrays.chunk import ChunkRef
+from repro.arrays.sfc import RectangleHilbert
+from repro.core.base import ElasticPartitioner, Move, NodeId
+from repro.core.traits import PAPER_TAXONOMY, PartitionerTraits
+from repro.errors import PartitioningError
+
+
+class HilbertCurvePartitioner(ElasticPartitioner):
+    """Contiguous curve ranges per node, median splits on scale-out.
+
+    Args:
+        nodes: initial node ids.  The curve's index space is divided into
+            equal initial ranges, one per node, in curve order.
+        grid_extents: per-dimension chunk counts of the grid the curve must
+            cover.  Unbounded dimensions should pass the expected horizon;
+            coordinates beyond it remain valid (they fold into overflow
+            epochs past the cube) so placement never fails, but balance is
+            best when the declared extent covers the experiment.
+    """
+
+    name = "hilbert_curve"
+    traits: PartitionerTraits = PAPER_TAXONOMY["hilbert_curve"]
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        grid_extents: Sequence[int],
+    ) -> None:
+        super().__init__(nodes)
+        self._curve = RectangleHilbert(grid_extents)
+        # Ranges are encoded as sorted boundary positions: node i owns
+        # [bounds[i], bounds[i+1]).  The last node's range is unbounded
+        # above so overflow epochs (growing time dimension) stay owned.
+        space = self._curve.index_space
+        n = len(self._nodes)
+        self._bounds: List[int] = [space * i // n for i in range(n)]
+        self._range_nodes: List[NodeId] = list(self._nodes)
+        self._index_cache: Dict[ChunkRef, int] = {}
+        self._bounds_fitted = n == 1  # single node never needs fitting
+
+    # ------------------------------------------------------------------
+    @property
+    def curve(self) -> RectangleHilbert:
+        return self._curve
+
+    def ranges(self) -> List[Tuple[int, Optional[int], NodeId]]:
+        """Current ``(start, end, node)`` curve ranges (end None = +inf)."""
+        out: List[Tuple[int, Optional[int], NodeId]] = []
+        for i, start in enumerate(self._bounds):
+            end = (
+                self._bounds[i + 1] if i + 1 < len(self._bounds) else None
+            )
+            out.append((start, end, self._range_nodes[i]))
+        return out
+
+    def curve_index(self, ref: ChunkRef) -> int:
+        """Curve position of a chunk (cached; key-only, so dimension-aligned
+        arrays co-locate)."""
+        cached = self._index_cache.get(ref)
+        if cached is None:
+            cached = self._curve.index(ref.key)
+            self._index_cache[ref] = cached
+        return cached
+
+    def _owner_of_index(self, index: int) -> NodeId:
+        slot = bisect.bisect_right(self._bounds, index) - 1
+        if slot < 0:
+            slot = 0
+        return self._range_nodes[slot]
+
+    # ------------------------------------------------------------------
+    def prepare_batch(self, batch) -> None:
+        """Fit the initial range bounds to the first observed batch.
+
+        An even division of the enclosing cube's index space can leave
+        initial nodes with empty ranges when the data occupies a corner
+        of the cube (the rectangle is a strict subset).  The coordinator
+        hands the whole first batch over before placement, so we set the
+        initial boundaries at the batch's byte medians along the curve —
+        no chunks exist yet, so no data moves.
+        """
+        if self._bounds_fitted or self._assignment:
+            self._bounds_fitted = True
+            return
+        self._bounds_fitted = True
+        indexed = sorted(
+            ((self._curve.index(ref.key), size) for ref, size in batch),
+            key=lambda pair: pair[0],
+        )
+        if len(indexed) < 2:
+            return
+        total = sum(size for _, size in indexed)
+        n = len(self._nodes)
+        bounds = [0]
+        running = 0.0
+        cut = 1
+        for i in range(len(indexed) - 1):
+            running += indexed[i][1]
+            if (
+                cut < n
+                and running >= total * cut / n
+                and indexed[i + 1][0] > indexed[i][0]
+            ):
+                bounds.append(indexed[i + 1][0])
+                cut += 1
+        while len(bounds) < n:
+            bounds.append(bounds[-1] + 1)
+        self._bounds = bounds
+        self._range_nodes = list(self._nodes)
+
+    def _place_new(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        return self._owner_of_index(self.curve_index(ref))
+
+    def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
+        moves: List[Move] = []
+        for new_node in new_nodes:
+            moves.extend(self._split_heaviest_onto(new_node))
+        return moves
+
+    def _split_heaviest_onto(self, new_node: NodeId) -> List[Move]:
+        """Split the most loaded node's range at its storage median."""
+        candidates = [n for n in self._nodes if n != new_node]
+        donor = self.heaviest_node(candidates)
+        donor_chunks = self.chunks_on(donor)
+        if len(donor_chunks) < 2:
+            # Nothing meaningful to split; give the new node an empty
+            # range at the tail of the donor's range so later inserts can
+            # land there.
+            self._insert_empty_tail_range(donor, new_node)
+            return []
+
+        ordered = sorted(
+            donor_chunks, key=lambda r: (self.curve_index(r), r.array)
+        )
+        total = sum(self._sizes[r] for r in ordered)
+
+        # Choose the prefix/suffix boundary whose byte split is closest to
+        # half, with both sides non-empty (storage median, §4.2).
+        best_cut = 1
+        best_err = None
+        running = 0.0
+        for i in range(len(ordered) - 1):
+            running += self._sizes[ordered[i]]
+            # A cut between i and i+1 is only valid when the curve indices
+            # differ, otherwise both chunks would land in the same range.
+            if self.curve_index(ordered[i]) == self.curve_index(
+                ordered[i + 1]
+            ):
+                continue
+            err = abs(running - (total - running))
+            if best_err is None or err < best_err:
+                best_err = err
+                best_cut = i + 1
+        if best_err is None:
+            # All donor chunks share one curve position: cannot split.
+            self._insert_empty_tail_range(donor, new_node)
+            return []
+
+        cut_index = self.curve_index(ordered[best_cut])
+        self._insert_boundary(donor, cut_index, new_node)
+        return [
+            self._relocate(ref, new_node)
+            for ref in ordered[best_cut:]
+        ]
+
+    # ------------------------------------------------------------------
+    def _donor_slots(self, donor: NodeId) -> List[int]:
+        return [
+            i for i, n in enumerate(self._range_nodes) if n == donor
+        ]
+
+    def _insert_boundary(
+        self, donor: NodeId, cut_index: int, new_node: NodeId
+    ) -> None:
+        """Give ``new_node`` the part of donor's range at/above ``cut_index``."""
+        slots = self._donor_slots(donor)
+        if not slots:
+            raise PartitioningError(f"node {donor} owns no curve range")
+        # Find the donor slot containing the cut.
+        slot = None
+        for s in slots:
+            start = self._bounds[s]
+            end = (
+                self._bounds[s + 1]
+                if s + 1 < len(self._bounds)
+                else None
+            )
+            if start <= cut_index and (end is None or cut_index < end):
+                slot = s
+                break
+        if slot is None:
+            raise PartitioningError(
+                f"cut {cut_index} outside every range of node {donor}"
+            )
+        if self._bounds[slot] == cut_index:
+            # The whole slot changes hands.
+            self._range_nodes[slot] = new_node
+        else:
+            self._bounds.insert(slot + 1, cut_index)
+            self._range_nodes.insert(slot + 1, new_node)
+
+    def _insert_empty_tail_range(
+        self, donor: NodeId, new_node: NodeId
+    ) -> None:
+        """Degenerate split: new node gets a zero-byte tail of donor's range.
+
+        The tail must start strictly above every donor chunk's curve
+        position — a range covering existing chunks would desynchronize
+        ownership from the recorded assignment.  When the donor's slot
+        has no free tail, the slot is handed over only if it is entirely
+        empty; otherwise the table is left unchanged (the newcomer stays
+        rangeless until a later, data-bearing split).
+        """
+        slots = self._donor_slots(donor)
+        slot = slots[-1]
+        end = (
+            self._bounds[slot + 1]
+            if slot + 1 < len(self._bounds)
+            else None
+        )
+        donor_chunks = self.chunks_on(donor)
+        if donor_chunks:
+            top = max(self.curve_index(r) for r in donor_chunks) + 1
+        else:
+            top = self._bounds[slot] + 1
+        if end is not None and top >= end:
+            if not donor_chunks:
+                self._range_nodes[slot] = new_node
+            return
+        self._bounds.insert(slot + 1, top)
+        self._range_nodes.insert(slot + 1, new_node)

@@ -1,0 +1,268 @@
+"""K-d Tree partitioner (paper §4.2, after Bentley [9]).
+
+The partitioning table is a binary tree over chunk-grid space: leaves are
+hosts, inner nodes are splitting planes.  When a machine joins, the most
+heavily burdened host finds the **storage median** of its region along the
+current splitting dimension — the plane with an (approximately) equal
+number of bytes on either side — keeps the lower half, and ships the upper
+half to the newcomer.  Splits cycle through the array's dimensions so each
+plane is cut an approximately equal number of times.
+
+Chunk lookups descend the tree in time logarithmic in the node count.  The
+scheme is skew-aware and n-dimensionally clustered but coarse-grained: it
+slices whole ranges of dimension space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.arrays.chunk import ChunkRef
+from repro.arrays.coords import Box
+from repro.core.base import ElasticPartitioner, Move, NodeId
+from repro.core.traits import PAPER_TAXONOMY, PartitionerTraits
+from repro.errors import PartitioningError
+
+
+@dataclass
+class KdLeaf:
+    """A leaf: one host and its box of chunk-grid space."""
+
+    node: NodeId
+    box: Box
+    depth: int
+
+
+@dataclass
+class KdInner:
+    """An inner node: a splitting plane ``dim < at`` (left) / ``>= at``."""
+
+    dim: int
+    at: int
+    left: "KdNode"
+    right: "KdNode"
+
+
+KdNode = Union[KdLeaf, KdInner]
+
+
+class KdTreePartitioner(ElasticPartitioner):
+    """Binary space partitioning with storage-median splits.
+
+    Args:
+        nodes: initial node ids.  The first owns the whole grid; each
+            additional initial node triggers a volume split (there is no
+            data yet to weigh).
+        grid: the chunk-grid box the tree subdivides.  Chunks whose keys
+            fall outside (unbounded dimensions growing past the declared
+            horizon) still locate correctly — tree descent only compares
+            coordinates against split planes.
+        split_order: the dimension indices the tree cycles through when
+            choosing split planes, in priority order.  Spatio-temporal
+            arrays should pass the bounded (spatial) dimensions only: the
+            unbounded time dimension then stays whole on every host, so
+            each node serves every epoch — the paper's §6.2.2 observation
+            that the skew-aware range partitioners "evenly distribute the
+            time dimension".  Dimensions left out are only cut as a last
+            resort when no listed dimension can be split.  Defaults to
+            all dimensions in schema order.
+    """
+
+    name = "kd_tree"
+    traits: PartitionerTraits = PAPER_TAXONOMY["kd_tree"]
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        grid: Box,
+        split_order: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(nodes)
+        self.grid = grid
+        if split_order is None:
+            split_order = tuple(range(grid.ndim))
+        order = [int(d) for d in split_order]
+        if len(set(order)) != len(order) or any(
+            not 0 <= d < grid.ndim for d in order
+        ):
+            raise PartitioningError(
+                f"split_order {split_order} must be distinct dimensions "
+                f"in 0..{grid.ndim - 1}"
+            )
+        self.split_order = tuple(order)
+        self._fallback_dims = tuple(
+            d for d in range(grid.ndim) if d not in self.split_order
+        )
+        self._root: KdNode = KdLeaf(
+            node=self._nodes[0], box=grid, depth=0
+        )
+        self._leaves: Dict[NodeId, KdLeaf] = {self._nodes[0]: self._root}
+        for node in self._nodes[1:]:
+            self._split_heaviest_onto(node)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def leaf_of(self, node: NodeId) -> KdLeaf:
+        """The tree leaf owned by one host."""
+        try:
+            return self._leaves[node]
+        except KeyError:
+            raise PartitioningError(
+                f"node {node} owns no K-d tree leaf"
+            ) from None
+
+    def locate_key(self, key: Sequence[int]) -> NodeId:
+        """Descend the tree: logarithmic-time chunk lookup (paper §4.2)."""
+        node = self._root
+        while isinstance(node, KdInner):
+            node = node.left if key[node.dim] < node.at else node.right
+        return node.node
+
+    def depth(self) -> int:
+        """Height of the partitioning tree."""
+        def rec(n: KdNode) -> int:
+            if isinstance(n, KdLeaf):
+                return 0
+            return 1 + max(rec(n.left), rec(n.right))
+
+        return rec(self._root)
+
+    # ------------------------------------------------------------------
+    def _place_new(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        return self.locate_key(ref.key)
+
+    def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
+        moves: List[Move] = []
+        for new_node in new_nodes:
+            moves.extend(self._split_heaviest_onto(new_node))
+        return moves
+
+    # ------------------------------------------------------------------
+    def _split_heaviest_onto(self, new_node: NodeId) -> List[Move]:
+        candidates = [n for n in self._leaves if n != new_node]
+        # Prefer the heaviest splittable host; fall back through the load
+        # ranking when a host's box is a single grid cell.
+        for donor in sorted(
+            candidates, key=lambda n: (-self._loads.get(n, 0.0), n)
+        ):
+            result = self._try_split(donor, new_node)
+            if result is not None:
+                return result
+        raise PartitioningError(
+            "no host's region can be split further; grid exhausted "
+            f"(grid={self.grid}, nodes={len(self._leaves) + 1})"
+        )
+
+    def _try_split(
+        self, donor: NodeId, new_node: NodeId
+    ) -> Optional[List[Move]]:
+        leaf = self._leaves[donor]
+        donor_chunks = self.chunks_on(donor)
+
+        # Cycle the prioritized dimensions by depth; if none can be split
+        # (extent 1 everywhere), fall back to the remaining dimensions
+        # (the unbounded ones left out of split_order).
+        k = len(self.split_order)
+        candidates = [
+            self.split_order[(leaf.depth + offset) % k]
+            for offset in range(k)
+        ]
+        candidates.extend(self._fallback_dims)
+        for dim in candidates:
+            lo, hi = leaf.box.lo[dim], leaf.box.hi[dim]
+            if hi - lo < 2:
+                continue
+            at = self._storage_median(donor_chunks, dim, lo, hi)
+            if at is None:
+                continue
+            return self._apply_split(leaf, dim, at, new_node, donor_chunks)
+        return None
+
+    def _storage_median(
+        self,
+        chunks: Sequence[ChunkRef],
+        dim: int,
+        lo: int,
+        hi: int,
+    ) -> Optional[int]:
+        """The split plane that best halves the donor's bytes along ``dim``.
+
+        Returns a coordinate strictly inside ``(lo, hi)``, or ``None`` when
+        the dimension cannot be split.  With no (or degenerate) data the
+        midpoint is used, mirroring the paper's Figure 2 where the first
+        cut lands at the dimension's midway point.
+        """
+        if hi - lo < 2:
+            return None
+        if not chunks:
+            return (lo + hi) // 2
+
+        by_coord: Dict[int, float] = {}
+        for ref in chunks:
+            c = min(max(ref.key[dim], lo), hi - 1)
+            by_coord[c] = by_coord.get(c, 0.0) + self._sizes[ref]
+        total = sum(by_coord.values())
+        if len(by_coord) < 2:
+            # All bytes at one coordinate: fall back to a volume split so
+            # the new node gets usable space for future inserts.
+            return (lo + hi) // 2
+
+        best_at = None
+        best_err = None
+        running = 0.0
+        for coord in sorted(by_coord)[:-1]:
+            running += by_coord[coord]
+            at = coord + 1  # plane between `coord` and the next coordinate
+            if not lo < at < hi:
+                continue
+            err = abs(running - (total - running))
+            if best_err is None or err < best_err:
+                best_err = err
+                best_at = at
+        return best_at if best_at is not None else (lo + hi) // 2
+
+    def _apply_split(
+        self,
+        leaf: KdLeaf,
+        dim: int,
+        at: int,
+        new_node: NodeId,
+        donor_chunks: Sequence[ChunkRef],
+    ) -> List[Move]:
+        lower, upper = leaf.box.split(dim, at)
+        donor = leaf.node
+        left = KdLeaf(node=donor, box=lower, depth=leaf.depth + 1)
+        right = KdLeaf(node=new_node, box=upper, depth=leaf.depth + 1)
+        inner = KdInner(dim=dim, at=at, left=left, right=right)
+        self._replace_leaf(leaf, inner)
+        self._leaves[donor] = left
+        self._leaves[new_node] = right
+        # The upper half's bytes move to the newcomer; out-of-box keys
+        # (unbounded growth) side with the plane comparison used by
+        # locate_key so the table and the data stay consistent.
+        return [
+            self._relocate(ref, new_node)
+            for ref in donor_chunks
+            if ref.key[dim] >= at
+        ]
+
+    def _replace_leaf(self, target: KdLeaf, replacement: KdNode) -> None:
+        if self._root is target:
+            self._root = replacement
+            return
+
+        def rec(node: KdNode) -> bool:
+            if isinstance(node, KdInner):
+                if node.left is target:
+                    node.left = replacement
+                    return True
+                if node.right is target:
+                    node.right = replacement
+                    return True
+                return rec(node.left) or rec(node.right)
+            return False
+
+        if not rec(self._root):
+            raise PartitioningError("leaf to replace not found in tree")

@@ -1,0 +1,161 @@
+"""The leading staircase provisioner (paper §5.1).
+
+An elastic array database expands in discrete steps, like a staircase
+climbing under the demand curve (Figure 3).  When an incoming insert would
+exceed capacity, a Proportional-Derivative (PD) control loop sizes the next
+step:
+
+* the **proportional** term ``p_i = l_i - N*c`` is the present provisioning
+  error — demand beyond capacity (Eq. 2);
+* the **derivative** term ``Δ = (l_i - l_{i-s}) / s`` is the demand growth
+  rate over the last ``s`` workload cycles (Eq. 3);
+* the step height is ``k = ceil((p_i + p*Δ) / c)`` — enough nodes to absorb
+  the overflow plus ``p`` future cycles of forecast growth (Eq. 4).
+
+The loop never removes nodes: scientific databases grow monotonically
+(no-overwrite storage), so demand never recedes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ProvisioningError
+
+
+@dataclass(frozen=True)
+class ProvisioningDecision:
+    """Outcome of one control-loop evaluation.
+
+    Attributes:
+        new_nodes: how many nodes to add (0 = no scale-out).
+        proportional: the ``p_i`` term in GB (demand beyond capacity).
+        derivative: the ``Δ`` term in GB per cycle.
+        projected_demand: demand the new capacity is sized for,
+            ``l_i + p * Δ``.
+    """
+
+    new_nodes: int
+    proportional: float
+    derivative: float
+    projected_demand: float
+
+
+class LeadingStaircase:
+    """PD control loop for scale-out decisions.
+
+    Args:
+        node_capacity: capacity ``c`` of one node (any byte unit, as long
+            as demands use the same unit).
+        samples: ``s``, cycles of history for the derivative term.
+        planning_cycles: ``p``, future cycles each step provisions for.
+
+    Use :meth:`observe` once per workload cycle with the post-insert
+    storage demand, then :meth:`evaluate` to get the scale-out decision.
+    """
+
+    def __init__(
+        self,
+        node_capacity: float,
+        samples: int = 1,
+        planning_cycles: int = 1,
+    ) -> None:
+        if node_capacity <= 0:
+            raise ProvisioningError(
+                f"node capacity must be positive, got {node_capacity}"
+            )
+        if samples < 1:
+            raise ProvisioningError(f"samples must be >= 1, got {samples}")
+        if planning_cycles < 0:
+            raise ProvisioningError(
+                f"planning_cycles must be >= 0, got {planning_cycles}"
+            )
+        self.node_capacity = float(node_capacity)
+        self.samples = int(samples)
+        self.planning_cycles = int(planning_cycles)
+        self._history: List[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def history(self) -> List[float]:
+        """Observed post-insert storage demands, one per workload cycle."""
+        return list(self._history)
+
+    def observe(self, demand: float) -> None:
+        """Record the storage demand after one cycle's insert."""
+        if demand < 0:
+            raise ProvisioningError(f"negative demand {demand}")
+        if self._history and demand < self._history[-1]:
+            # No-overwrite storage: demand is monotone.  Tolerate tiny
+            # numerical jitter but reject real regressions.
+            if demand < self._history[-1] * (1 - 1e-9):
+                raise ProvisioningError(
+                    "demand regressed from "
+                    f"{self._history[-1]} to {demand}; the workload model "
+                    "is monotonic (no-overwrite storage)"
+                )
+        self._history.append(float(demand))
+
+    def derivative(self) -> float:
+        """``Δ = (l_i - l_{i-s}) / s`` over the recorded history (Eq. 3).
+
+        With fewer than ``s + 1`` observations the window shrinks to the
+        available history; with a single observation the derivative is 0.
+        """
+        if len(self._history) < 2:
+            return 0.0
+        s = min(self.samples, len(self._history) - 1)
+        return (self._history[-1] - self._history[-1 - s]) / s
+
+    def evaluate(
+        self,
+        current_nodes: int,
+        demand: Optional[float] = None,
+    ) -> ProvisioningDecision:
+        """Run the control loop for the current cycle (Eqs. 2–4).
+
+        Args:
+            current_nodes: nodes presently provisioned, ``N``.
+            demand: present storage load ``l_i``; defaults to the last
+                observed demand.
+
+        Returns:
+            The scale-out decision.  ``new_nodes`` is 0 whenever the
+            proportional term is non-positive (the system is not over
+            capacity), per §5.1.
+        """
+        if current_nodes < 1:
+            raise ProvisioningError(
+                f"cluster must have >= 1 node, got {current_nodes}"
+            )
+        if demand is None:
+            if not self._history:
+                raise ProvisioningError(
+                    "no demand observed and none supplied"
+                )
+            demand = self._history[-1]
+
+        proportional = demand - current_nodes * self.node_capacity
+        delta = self.derivative()
+
+        if proportional <= 0:
+            return ProvisioningDecision(
+                new_nodes=0,
+                proportional=proportional,
+                derivative=delta,
+                projected_demand=demand + self.planning_cycles * delta,
+            )
+
+        k = math.ceil(
+            (proportional + self.planning_cycles * delta)
+            / self.node_capacity
+        )
+        k = max(k, 1)  # over capacity: at least one node must be added
+        return ProvisioningDecision(
+            new_nodes=k,
+            proportional=proportional,
+            derivative=delta,
+            projected_demand=demand + self.planning_cycles * delta,
+        )

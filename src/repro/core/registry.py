@@ -1,0 +1,117 @@
+"""Partitioner factory: build any scheme from its registry name.
+
+The harness, benchmarks, and examples construct partitioners through
+:func:`make_partitioner` so they can sweep the full Table-1 lineup without
+knowing each algorithm's constructor signature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+from repro.arrays.coords import Box
+from repro.core.append import AppendPartitioner
+from repro.core.base import ElasticPartitioner, NodeId
+from repro.core.consistent_hash import (
+    DEFAULT_VIRTUAL_NODES,
+    ConsistentHashPartitioner,
+)
+from repro.core.extendible_hash import ExtendibleHashPartitioner
+from repro.core.hilbert_curve import HilbertCurvePartitioner
+from repro.core.kd_tree import KdTreePartitioner
+from repro.core.quadtree import IncrementalQuadtreePartitioner
+from repro.core.round_robin import RoundRobinPartitioner
+from repro.core.uniform_range import (
+    DEFAULT_HEIGHT,
+    UniformRangePartitioner,
+)
+from repro.errors import PartitioningError
+
+#: All registered schemes, keyed by :attr:`ElasticPartitioner.name`.
+PARTITIONER_CLASSES: Dict[str, Type[ElasticPartitioner]] = {
+    cls.name: cls
+    for cls in (
+        AppendPartitioner,
+        ConsistentHashPartitioner,
+        ExtendibleHashPartitioner,
+        HilbertCurvePartitioner,
+        IncrementalQuadtreePartitioner,
+        KdTreePartitioner,
+        RoundRobinPartitioner,
+        UniformRangePartitioner,
+    )
+}
+
+ALL_PARTITIONERS = tuple(sorted(PARTITIONER_CLASSES))
+
+
+def make_partitioner(
+    name: str,
+    nodes: Sequence[NodeId],
+    *,
+    grid: Optional[Box] = None,
+    node_capacity_bytes: Optional[float] = None,
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    height: int = DEFAULT_HEIGHT,
+    spatial_dims: Optional[Sequence[int]] = None,
+) -> ElasticPartitioner:
+    """Construct a partitioner by registry name.
+
+    Args:
+        name: one of :data:`ALL_PARTITIONERS`.
+        nodes: initial node ids.
+        grid: chunk-grid box — required by the range schemes
+            (``hilbert_curve``, ``incremental_quadtree``, ``kd_tree``,
+            ``uniform_range``).
+        node_capacity_bytes: required by ``append``.
+        virtual_nodes: ring points per node for ``consistent_hash``.
+        height: tree height for ``uniform_range``.
+        spatial_dims: bounded (spatial) dimension indices of the grid.
+            The range schemes prioritize these: K-d Tree cycles them
+            before the unbounded time dimension, Quadtree and Uniform
+            Range subdivide only them.  ``None`` treats every dimension
+            equally.
+
+    Raises:
+        PartitioningError: unknown name or missing required argument.
+    """
+    if name not in PARTITIONER_CLASSES:
+        raise PartitioningError(
+            f"unknown partitioner {name!r}; choose from "
+            f"{', '.join(ALL_PARTITIONERS)}"
+        )
+
+    def need_grid() -> Box:
+        if grid is None:
+            raise PartitioningError(f"partitioner {name!r} requires grid=")
+        return grid
+
+    if name == "append":
+        if node_capacity_bytes is None:
+            raise PartitioningError(
+                "append requires node_capacity_bytes="
+            )
+        return AppendPartitioner(nodes, node_capacity_bytes)
+    if name == "round_robin":
+        return RoundRobinPartitioner(nodes)
+    if name == "consistent_hash":
+        return ConsistentHashPartitioner(nodes, virtual_nodes=virtual_nodes)
+    if name == "extendible_hash":
+        return ExtendibleHashPartitioner(nodes)
+    if name == "hilbert_curve":
+        return HilbertCurvePartitioner(nodes, need_grid().shape)
+    if name == "incremental_quadtree":
+        return IncrementalQuadtreePartitioner(
+            nodes, need_grid(), split_dims=spatial_dims
+        )
+    if name == "kd_tree":
+        # Restrict splits to the spatial dimensions (time only as a last
+        # resort), so every host keeps every epoch of its region.
+        return KdTreePartitioner(
+            nodes, need_grid(), split_order=spatial_dims
+        )
+    if name == "uniform_range":
+        return UniformRangePartitioner(
+            nodes, need_grid(), height=height, split_dims=spatial_dims
+        )
+    raise PartitioningError(f"unhandled partitioner {name!r}")  # pragma: no cover

@@ -1,0 +1,48 @@
+"""Round Robin baseline partitioner (paper §6.1).
+
+Chunks are assigned to nodes in circular order of arrival: chunk ``i`` of
+``k`` nodes lives on node ``i mod k``.  Every host serves an equal number of
+chunks, but the scheme is **not** designed for incremental elasticity: when
+the cluster scales out, ``k`` changes and most chunks shift location — a
+global reshuffle.  It is also not skew-aware (it reasons about chunk counts,
+never bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.arrays.chunk import ChunkRef
+from repro.core.base import ElasticPartitioner, Move, NodeId
+from repro.core.traits import PAPER_TAXONOMY, PartitionerTraits
+
+
+class RoundRobinPartitioner(ElasticPartitioner):
+    """The ``i mod k`` baseline with global reshuffles on scale-out."""
+
+    name = "round_robin"
+    traits: PartitionerTraits = PAPER_TAXONOMY["round_robin"]
+
+    def __init__(self, nodes: Sequence[NodeId]) -> None:
+        super().__init__(nodes)
+        self._counter = 0
+        self._ordinal: Dict[ChunkRef, int] = {}
+
+    def _place_new(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        ordinal = self._counter
+        self._counter += 1
+        self._ordinal[ref] = ordinal
+        return self._nodes[ordinal % len(self._nodes)]
+
+    def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
+        # Recompute i mod k for every chunk under the new node count; any
+        # chunk whose slot changes moves — typically (k-1)/k of the data.
+        k = len(self._nodes)
+        moves: List[Move] = []
+        for ref, ordinal in sorted(
+            self._ordinal.items(), key=lambda item: item[1]
+        ):
+            dest = self._nodes[ordinal % k]
+            if dest != self._assignment[ref]:
+                moves.append(self._relocate(ref, dest))
+        return moves

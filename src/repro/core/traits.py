@@ -1,0 +1,121 @@
+"""The four features of elastic array partitioners (paper Table 1).
+
+* **Incremental scale out** — when the cluster expands, data moves *only*
+  from preexisting nodes to new ones; no global rebalance.
+* **Fine-grained partitioning** — chunks are assigned one at a time rather
+  than by subdividing planes of array space; best load balancing.
+* **Skew-awareness** — the present physical data distribution (bytes, not
+  logical chunk counts) guides each repartitioning.
+* **n-dimensional clustering** — the scheme subdivides the array's logical
+  space, keeping contiguous chunks on the same host for spatial querying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class PartitionerTraits:
+    """Feature vector of one partitioning scheme (one row of Table 1)."""
+
+    incremental_scale_out: bool
+    fine_grained: bool
+    skew_aware: bool
+    nd_clustering: bool
+
+    def as_row(self) -> Tuple[bool, bool, bool, bool]:
+        return (
+            self.incremental_scale_out,
+            self.fine_grained,
+            self.skew_aware,
+            self.nd_clustering,
+        )
+
+
+#: Table 1 of the paper, exactly as published.  ``Round Robin`` is the §6.1
+#: baseline and does not appear in the paper's table; we pin its traits from
+#: the §6.1 prose ("not designed for incremental elasticity ... not
+#: skew-aware"; §6.2.1 counts it among the three fine-grained schemes).
+PAPER_TAXONOMY: Dict[str, PartitionerTraits] = {
+    "append": PartitionerTraits(
+        incremental_scale_out=True,
+        fine_grained=True,
+        skew_aware=False,
+        nd_clustering=False,
+    ),
+    "consistent_hash": PartitionerTraits(
+        incremental_scale_out=True,
+        fine_grained=True,
+        skew_aware=False,
+        nd_clustering=False,
+    ),
+    "extendible_hash": PartitionerTraits(
+        incremental_scale_out=True,
+        fine_grained=True,
+        skew_aware=True,
+        nd_clustering=False,
+    ),
+    "hilbert_curve": PartitionerTraits(
+        incremental_scale_out=True,
+        fine_grained=False,
+        skew_aware=True,
+        nd_clustering=True,
+    ),
+    "incremental_quadtree": PartitionerTraits(
+        incremental_scale_out=True,
+        fine_grained=False,
+        skew_aware=True,
+        nd_clustering=True,
+    ),
+    "kd_tree": PartitionerTraits(
+        incremental_scale_out=True,
+        fine_grained=False,
+        skew_aware=True,
+        nd_clustering=True,
+    ),
+    "uniform_range": PartitionerTraits(
+        incremental_scale_out=False,
+        fine_grained=False,
+        skew_aware=False,
+        nd_clustering=True,
+    ),
+    "round_robin": PartitionerTraits(
+        incremental_scale_out=False,
+        fine_grained=True,
+        skew_aware=False,
+        nd_clustering=False,
+    ),
+}
+
+#: Display names used in figures and tables, in the paper's ordering.
+DISPLAY_NAMES: Dict[str, str] = {
+    "append": "Append",
+    "consistent_hash": "Cons. Hash",
+    "extendible_hash": "Extend. Hash",
+    "hilbert_curve": "Hilbert Curve",
+    "incremental_quadtree": "Incr. Quadtree",
+    "kd_tree": "K-d Tree",
+    "round_robin": "Round Robin",
+    "uniform_range": "Uniform Range",
+}
+
+#: Paper ordering of the schemes across Figures 4 and 5.
+PAPER_ORDER: List[str] = [
+    "append",
+    "consistent_hash",
+    "extendible_hash",
+    "hilbert_curve",
+    "incremental_quadtree",
+    "kd_tree",
+    "round_robin",
+    "uniform_range",
+]
+
+TRAIT_COLUMNS: Tuple[str, ...] = (
+    "Incremental Scale Out",
+    "Fine-Grained Partitioning",
+    "Skew-Aware",
+    "n-Dimensional Clustering",
+)

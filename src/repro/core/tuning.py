@@ -1,0 +1,291 @@
+"""Tuning the leading staircase to a workload (paper §5.2).
+
+Two workload-specific parameters shape the staircase:
+
+* ``s`` — how many demand samples feed the derivative term.  Fitted by the
+  *what-if analysis* of Algorithm 1: replay the observed demand history,
+  predict each next-cycle demand change with an ``s``-sample derivative,
+  and pick the ``s`` with the lowest mean absolute error.
+* ``p`` — how many future cycles each scale-out provisions for.  Fitted by
+  an *analytical cost model* (Eqs. 5–9) that simulates ``m`` future cycles
+  for each candidate ``p`` and totals node-hours, the same unit as the
+  workload-cost metric of Eq. 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ProvisioningError
+
+
+def sampling_error(history: Sequence[float], s: int) -> float:
+    """Mean absolute error of an ``s``-sample derivative predictor.
+
+    Implements the inner loop of Algorithm 1: slide over the demand
+    history, estimate ``Δ_est = (l_i - l_{i-s}) / s``, compare with the
+    observed next-cycle change ``Δ_i = l_{i+1} - l_i``, and average the
+    absolute differences.
+
+    Args:
+        history: demand observations ``l_1 .. l_d`` (post-insert loads).
+        s: sample count to evaluate.
+
+    Raises:
+        ProvisioningError: when the history is too short to score ``s``
+            (needs at least ``s + 2`` points).
+    """
+    d = len(history)
+    if s < 1:
+        raise ProvisioningError(f"s must be >= 1, got {s}")
+    if d < s + 2:
+        raise ProvisioningError(
+            f"history of {d} cycles cannot score s={s} "
+            f"(needs >= {s + 2})"
+        )
+    total = 0.0
+    count = 0
+    # Paper indexing: for i in s+1 .. d-1 (1-based li exists and li+1 too).
+    for i in range(s, d - 1):
+        delta_est = (history[i] - history[i - s]) / s
+        delta_obs = history[i + 1] - history[i]
+        total += abs(delta_obs - delta_est)
+        count += 1
+    return total / count
+
+
+def sampling_error_window(
+    history: Sequence[float],
+    s: int,
+    start: int,
+    end: Optional[int] = None,
+) -> float:
+    """Mean absolute prediction error over predictions ``start .. end-1``.
+
+    Like :func:`sampling_error`, but scores only the predictions for
+    cycles in ``[start, end)`` (0-based indices into ``history``); the
+    derivative may still reach back before ``start``.  Used for the
+    train/test split of Table 2 — train on the first third, test on the
+    rest.
+    """
+    d = len(history)
+    if end is None:
+        end = d
+    if s < 1:
+        raise ProvisioningError(f"s must be >= 1, got {s}")
+    lo = max(s, start)
+    if lo >= end - 1 and lo >= d - 1:
+        raise ProvisioningError(
+            f"window [{start}, {end}) yields no scoreable predictions "
+            f"for s={s}"
+        )
+    total = 0.0
+    count = 0
+    for i in range(lo, min(end, d) - 1):
+        delta_est = (history[i] - history[i - s]) / s
+        delta_obs = history[i + 1] - history[i]
+        total += abs(delta_obs - delta_est)
+        count += 1
+    if count == 0:
+        raise ProvisioningError(
+            f"window [{start}, {end}) yields no scoreable predictions "
+            f"for s={s}"
+        )
+    return total / count
+
+
+def fit_sample_count(
+    history: Sequence[float],
+    max_samples: int,
+) -> Dict[int, float]:
+    """Algorithm 1: score ``s = 1 .. ψ`` against a demand history.
+
+    Returns:
+        Mapping from each feasible ``s`` to its mean prediction error.
+        Pick the minimum with :func:`best_sample_count`.
+    """
+    if max_samples < 1:
+        raise ProvisioningError(
+            f"max_samples must be >= 1, got {max_samples}"
+        )
+    errors: Dict[int, float] = {}
+    for s in range(1, max_samples + 1):
+        if len(history) < s + 2:
+            break
+        errors[s] = sampling_error(history, s)
+    if not errors:
+        raise ProvisioningError(
+            f"history of {len(history)} cycles is too short to fit s"
+        )
+    return errors
+
+
+def best_sample_count(errors: Dict[int, float]) -> int:
+    """The ``s`` with the minimum error (ties go to the smaller ``s``)."""
+    if not errors:
+        raise ProvisioningError("no errors to minimize")
+    return min(errors, key=lambda s: (errors[s], s))
+
+
+# ----------------------------------------------------------------------
+# analytical cost model for p (Eqs. 5-9)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CycleEstimate:
+    """Modeled phases of one future workload cycle."""
+
+    cycle: int
+    load: float
+    nodes: int
+    insert_time: float
+    reorg_time: float
+    query_time: float
+
+    @property
+    def node_hours(self) -> float:
+        """Cycle duration times node count (the Eq. 1 summand)."""
+        return self.nodes * (
+            self.insert_time + self.reorg_time + self.query_time
+        )
+
+
+@dataclass
+class ScaleOutCostModel:
+    """Analytical node-hour model for a candidate planning horizon ``p``.
+
+    Args:
+        node_capacity: node capacity ``c`` (GB).
+        io_cost: ``δ`` — seconds of I/O per GB written locally.
+        network_cost: ``t`` — seconds per GB shipped over the network.
+        insert_rate: ``μ`` — GB of new data per cycle (derived from the
+            increase in storage over the last ``s`` cycles).
+        initial_load: ``l_0`` — present storage load (GB).
+        initial_nodes: ``N_0`` — present cluster size.
+        base_query_time: ``w_0`` — last observed query-workload latency
+            (hours, or any time unit; node-hours inherit it).
+        base_query_load: the load at which ``w_0`` was measured (defaults
+            to ``initial_load``).
+        base_query_nodes: the node count at which ``w_0`` was measured
+            (defaults to ``initial_nodes``).
+
+    Times from ``δ``/``t`` are in whatever unit those constants use per GB;
+    the harness uses hours throughout so the total is node-hours (Eq. 9).
+    """
+
+    node_capacity: float
+    io_cost: float
+    network_cost: float
+    insert_rate: float
+    initial_load: float
+    initial_nodes: int
+    base_query_time: float
+    base_query_load: Optional[float] = None
+    base_query_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.node_capacity <= 0:
+            raise ProvisioningError("node_capacity must be positive")
+        if self.initial_nodes < 1:
+            raise ProvisioningError("initial_nodes must be >= 1")
+        if self.insert_rate < 0:
+            raise ProvisioningError("insert_rate must be >= 0")
+        if self.base_query_load is None:
+            self.base_query_load = self.initial_load
+        if self.base_query_nodes is None:
+            self.base_query_nodes = self.initial_nodes
+
+    # ------------------------------------------------------------------
+    def projected_load(self, cycle: int) -> float:
+        """Eq. 5: ``l_i = l_0 + μ * i``."""
+        return self.initial_load + self.insert_rate * cycle
+
+    def simulate(self, p: int, cycles: int) -> List[CycleEstimate]:
+        """Model ``cycles`` future iterations under planning horizon ``p``.
+
+        Implements Eqs. 5–8 per cycle:
+
+        * node count: keep ``N_{i-1}`` while ``l_i`` fits, else re-size to
+          ``ceil((l_0 + μ(i + p)) / c)``;
+        * insert time (Eq. 6): coordinator writes ``1/N`` locally at ``δ``
+          and ships ``(N-1)/N`` at ``t``;
+        * reorg time (Eq. 7): average post-expansion load per node times
+          the number of new nodes, at network rate plus the receiving
+          node's I/O (§5.2 prices both inserts *and* reorganizations with
+          I/O and network terms);
+        * query time (Eq. 8): the observed ``w_0`` scaled by load growth
+          and inversely by parallelism.
+        """
+        if p < 0:
+            raise ProvisioningError(f"p must be >= 0, got {p}")
+        if cycles < 1:
+            raise ProvisioningError(f"cycles must be >= 1, got {cycles}")
+
+        base_load = self.base_query_load or self.initial_load or 1.0
+        base_nodes = self.base_query_nodes or self.initial_nodes
+        estimates: List[CycleEstimate] = []
+        prev_nodes = self.initial_nodes
+        for i in range(1, cycles + 1):
+            load = self.projected_load(i)
+            if load <= prev_nodes * self.node_capacity:
+                nodes = prev_nodes
+            else:
+                nodes = max(
+                    prev_nodes,
+                    math.ceil(
+                        (self.initial_load + self.insert_rate * (i + p))
+                        / self.node_capacity
+                    ),
+                )
+            mu = self.insert_rate
+            insert_time = (
+                mu * (1.0 / nodes) * self.io_cost
+                + mu * ((nodes - 1) / nodes) * self.network_cost
+            )
+            if nodes > prev_nodes:
+                reorg_time = (
+                    (load / nodes)
+                    * (nodes - prev_nodes)
+                    * (self.network_cost + self.io_cost)
+                )
+            else:
+                reorg_time = 0.0
+            query_time = (
+                self.base_query_time
+                * (load / base_load if base_load else 1.0)
+                * (base_nodes / nodes)
+            )
+            estimates.append(
+                CycleEstimate(
+                    cycle=i,
+                    load=load,
+                    nodes=nodes,
+                    insert_time=insert_time,
+                    reorg_time=reorg_time,
+                    query_time=query_time,
+                )
+            )
+            prev_nodes = nodes
+        return estimates
+
+    def cost(self, p: int, cycles: int) -> float:
+        """Eq. 9: summed node-hours of ``cycles`` iterations under ``p``."""
+        return float(
+            sum(e.node_hours for e in self.simulate(p, cycles))
+        )
+
+    def fit_planning_cycles(
+        self, candidates: Sequence[int], cycles: int
+    ) -> Dict[int, float]:
+        """Cost every candidate ``p``; minimize with :func:`best_planning_cycles`."""
+        if not candidates:
+            raise ProvisioningError("no candidate planning horizons")
+        return {p: self.cost(p, cycles) for p in candidates}
+
+
+def best_planning_cycles(costs: Dict[int, float]) -> int:
+    """The ``p`` with minimum modeled cost (ties go to the smaller ``p``)."""
+    if not costs:
+        raise ProvisioningError("no costs to minimize")
+    return min(costs, key=lambda p: (costs[p], p))

@@ -1,0 +1,213 @@
+"""Uniform Range partitioner (paper §4.2).
+
+A tall, balanced binary tree subdivides the array's dimension space: with
+height ``h`` the tree has ``l = 2^h`` leaves (fewer when the grid runs out
+of splittable extent), each an equal-depth box of chunk-grid space, ordered
+by tree traversal so consecutive leaves are spatially adjacent.
+
+For ``n`` hosts the leaves are dealt out in **contiguous blocks of
+``l / n``** in traversal order, which preserves multidimensional clustered
+access without sacrificing (logical) load balance.  On scale-out the
+partitioner recomputes the ``l / n`` slices for the new node count and
+moves every leaf whose block owner changed — a **global** reorganization,
+linear in ``l``, that may shift data between preexisting nodes.  This is
+the one non-incremental scheme in the paper's lineup and the counterpoint
+that motivates incremental elasticity.  It is also not skew-aware: leaves
+are weighted by count, never bytes, so heavy point skew (AIS) lands many
+hot chunks in one leaf block (§6.2.2: "Uniform Range is brittle to skew").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arrays.chunk import ChunkRef
+from repro.arrays.coords import Box
+from repro.core.base import ElasticPartitioner, Move, NodeId
+from repro.core.traits import PAPER_TAXONOMY, PartitionerTraits
+from repro.errors import PartitioningError
+
+DEFAULT_HEIGHT = 8
+
+
+def build_leaves(
+    grid: Box,
+    height: int,
+    split_dims: Optional[Sequence[int]] = None,
+) -> List[Box]:
+    """Recursively halve ``grid`` (cycling dimensions) to depth ``height``.
+
+    Returns the leaves in traversal order — the order that keeps
+    consecutive leaves spatially adjacent.  Boxes that cannot be split in
+    any allowed dimension stop early, so grids smaller than ``2^h`` cells
+    yield fewer than ``2^h`` leaves.
+
+    Args:
+        split_dims: dimensions the tree may cut (default: all).  Leave
+            the unbounded time dimension out for spatio-temporal arrays
+            so monotone growth spreads over every leaf.
+    """
+    dims = (
+        tuple(range(grid.ndim)) if split_dims is None
+        else tuple(sorted(set(int(d) for d in split_dims)))
+    )
+    leaves: List[Box] = []
+
+    def rec(box: Box, depth: int) -> None:
+        if depth == height:
+            leaves.append(box)
+            return
+        for offset in range(len(dims)):
+            dim = dims[(depth + offset) % len(dims)]
+            if box.hi[dim] - box.lo[dim] >= 2:
+                lower, upper = box.halve(dim)
+                rec(lower, depth + 1)
+                rec(upper, depth + 1)
+                return
+        leaves.append(box)  # unsplittable: becomes a leaf above max depth
+
+    rec(grid, 0)
+    return leaves
+
+
+class UniformRangePartitioner(ElasticPartitioner):
+    """Balanced-tree leaves dealt to hosts in contiguous traversal blocks.
+
+    Args:
+        nodes: initial node ids.
+        grid: chunk-grid box to subdivide.
+        height: tree height ``h``; the leaf count ``l = 2^h`` should be
+            much greater than the anticipated cluster size (paper §4.2).
+            Higher ``h`` gives better balance at a linearly higher
+            reorganization cost (see ``bench_ablation_tree_height``).
+        split_dims: dimensions the tree may cut (default: all); pass the
+            spatial dimensions only for spatio-temporal arrays.
+    """
+
+    name = "uniform_range"
+    traits: PartitionerTraits = PAPER_TAXONOMY["uniform_range"]
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        grid: Box,
+        height: int = DEFAULT_HEIGHT,
+        split_dims: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(nodes)
+        if height < 1:
+            raise PartitioningError(f"height must be >= 1, got {height}")
+        self.grid = grid
+        self.height = int(height)
+        self.split_dims = (
+            tuple(range(grid.ndim)) if split_dims is None
+            else tuple(sorted(set(int(d) for d in split_dims)))
+        )
+        if any(not 0 <= d < grid.ndim for d in self.split_dims):
+            raise PartitioningError(
+                f"split_dims {split_dims} invalid for {grid.ndim}-d grid"
+            )
+        self._leaves = build_leaves(grid, self.height, self.split_dims)
+        if len(self._leaves) < len(nodes):
+            raise PartitioningError(
+                f"grid yields only {len(self._leaves)} leaves for "
+                f"{len(nodes)} nodes; increase height or grid size"
+            )
+        self._leaf_owner: List[NodeId] = self._deal(len(self._nodes))
+        self._count_cache: Dict[Tuple[Box, int], int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    def leaves(self) -> List[Box]:
+        return list(self._leaves)
+
+    def leaf_owners(self) -> List[NodeId]:
+        return list(self._leaf_owner)
+
+    def _deal(self, n: int) -> List[NodeId]:
+        """Assign leaf ``i`` to the host owning block ``i * n // l``."""
+        l = len(self._leaves)
+        return [self._nodes[min(i * n // l, n - 1)] for i in range(l)]
+
+    def _clamp(self, key: Sequence[int]) -> Tuple[int, ...]:
+        return tuple(
+            min(max(int(k), lo), hi - 1)
+            for k, lo, hi in zip(key, self.grid.lo, self.grid.hi)
+        )
+
+    def leaf_index_of(self, key: Sequence[int]) -> int:
+        """Index (in traversal order) of the leaf containing ``key``.
+
+        Descends the same recursive bisection used by :func:`build_leaves`,
+        so lookup is O(height), not O(l).
+        """
+        clamped = self._clamp(key)
+        box = self.grid
+        index_lo, index_hi = 0, len(self._leaves)
+        depth = 0
+        while index_hi - index_lo > 1:
+            split = self._split_of(box, depth)
+            if split is None:
+                break
+            dim, lower, upper = split
+            # Leaves under each half are contiguous in traversal order and
+            # proportional to each half's leaf population; recompute by
+            # descending with explicit counts.
+            lower_count = self._count_leaves(lower, depth + 1)
+            if clamped[dim] < lower.hi[dim]:
+                box = lower
+                index_hi = index_lo + lower_count
+            else:
+                box = upper
+                index_lo = index_lo + lower_count
+            depth += 1
+        return index_lo
+
+    def _split_of(
+        self, box: Box, depth: int
+    ) -> Optional[Tuple[int, Box, Box]]:
+        if depth == self.height:
+            return None
+        dims = self.split_dims
+        for offset in range(len(dims)):
+            dim = dims[(depth + offset) % len(dims)]
+            if box.hi[dim] - box.lo[dim] >= 2:
+                lower, upper = box.halve(dim)
+                return dim, lower, upper
+        return None
+
+    def _count_leaves(self, box: Box, depth: int) -> int:
+        cached = self._count_cache.get((box, depth))
+        if cached is not None:
+            return cached
+        split = self._split_of(box, depth)
+        if split is None:
+            count = 1
+        else:
+            _, lower, upper = split
+            count = (
+                self._count_leaves(lower, depth + 1)
+                + self._count_leaves(upper, depth + 1)
+            )
+        self._count_cache[(box, depth)] = count
+        return count
+
+    # ------------------------------------------------------------------
+    def _place_new(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        return self._leaf_owner[self.leaf_index_of(ref.key)]
+
+    def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
+        # Global re-slice: iterate over all tree leaves and update each
+        # leaf's destination under the new l/n blocks (linear in l).
+        self._leaf_owner = self._deal(len(self._nodes))
+        moves: List[Move] = []
+        for ref in sorted(
+            self._assignment, key=lambda r: (r.array, r.key)
+        ):
+            dest = self._leaf_owner[self.leaf_index_of(ref.key)]
+            if dest != self._assignment[ref]:
+                moves.append(self._relocate(ref, dest))
+        return moves

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (``TypeError``/``ValueError`` from
+misuse of numpy, for instance) from domain failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Raised for malformed array schemas or schema-text parse failures."""
+
+
+class ChunkError(ReproError):
+    """Raised when chunk construction or chunk coordinate math fails."""
+
+
+class StorageError(ReproError):
+    """Raised by node-local chunk stores (duplicate keys, capacity, ...)."""
+
+
+class PartitioningError(ReproError):
+    """Raised when a partitioner is misused or reaches an invalid state."""
+
+
+class ProvisioningError(ReproError):
+    """Raised by the leading-staircase provisioner and its tuners."""
+
+
+class ClusterError(ReproError):
+    """Raised by the shared-nothing cluster simulator."""
+
+
+class QueryError(ReproError):
+    """Raised by the query engine for unsatisfiable or invalid queries."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload generators for invalid configurations."""

@@ -1,0 +1,597 @@
+"""Experiment entry points: one function per paper table/figure.
+
+Every function returns a small result object carrying the raw data plus a
+``render()`` method that prints the same rows/series the paper reports.
+The benchmarks under ``benchmarks/`` call these functions; so can users
+(see ``examples/``).
+
+Scale note: the default workload scales (cell counts) are sized for
+laptop runs; modeled bytes always sit at paper scale (630 GB MODIS /
+400 GB AIS), so simulated minutes are paper-comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.costs import DEFAULT_COSTS, GB
+from repro.cluster.metrics import RunMetrics
+from repro.core.registry import PARTITIONER_CLASSES, make_partitioner
+from repro.core.traits import DISPLAY_NAMES, PAPER_ORDER, PAPER_TAXONOMY, TRAIT_COLUMNS
+from repro.core.tuning import (
+    ScaleOutCostModel,
+    best_planning_cycles,
+    best_sample_count,
+    fit_sample_count,
+    sampling_error_window,
+)
+from repro.harness.reporting import format_series_table, format_table
+from repro.harness.runner import ExperimentRunner, RunConfig
+from repro.workloads.ais import AisWorkload
+from repro.workloads.model import CyclicWorkload
+from repro.workloads.modis import ModisWorkload
+
+#: Experiment-scale knobs: small enough for tests, faithful in bytes.
+DEFAULT_MODIS_KWARGS = dict(n_cycles=14, cells_per_band_per_cycle=2000)
+DEFAULT_AIS_KWARGS = dict(n_cycles=10, ships=500, broadcasts_per_ship=20)
+
+
+def default_modis(**overrides) -> ModisWorkload:
+    """The Figure 4–6/8 MODIS workload at harness scale."""
+    kwargs = dict(DEFAULT_MODIS_KWARGS)
+    kwargs.update(overrides)
+    return ModisWorkload(**kwargs)
+
+
+def default_ais(**overrides) -> AisWorkload:
+    """The Figure 4/5/7 AIS workload at harness scale."""
+    kwargs = dict(DEFAULT_AIS_KWARGS)
+    kwargs.update(overrides)
+    return AisWorkload(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — taxonomy
+# ----------------------------------------------------------------------
+@dataclass
+class TaxonomyResult:
+    """Table 1: the four features of each partitioner."""
+
+    rows: List[Tuple[str, bool, bool, bool, bool]]
+
+    def render(self) -> str:
+        return format_table(
+            ["Partitioner", *TRAIT_COLUMNS],
+            self.rows,
+            title="Table 1: Taxonomy of array partitioners",
+        )
+
+
+def table1_taxonomy() -> TaxonomyResult:
+    """Regenerate Table 1 from the implemented classes' trait vectors.
+
+    Also cross-checks every class against the paper's published rows —
+    a mismatch is a bug, so it raises.
+    """
+    rows = []
+    for name in PAPER_ORDER:
+        traits = PARTITIONER_CLASSES[name].traits
+        expected = PAPER_TAXONOMY[name]
+        if traits != expected:
+            raise AssertionError(
+                f"{name} traits {traits} diverge from Table 1 {expected}"
+            )
+        rows.append((DISPLAY_NAMES[name], *traits.as_row()))
+    return TaxonomyResult(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — insert + reorganization durations, RSD labels
+# ----------------------------------------------------------------------
+@dataclass
+class InsertReorgResult:
+    """Figure 4: per-partitioner ingest costs for both workloads."""
+
+    #: workload -> partitioner -> (insert_minutes, reorg_minutes, rsd_pct)
+    data: Dict[str, Dict[str, Tuple[float, float, float]]]
+
+    def render(self) -> str:
+        present = [
+            name for name in PAPER_ORDER
+            if all(name in self.data[w] for w in self.data)
+        ]
+        rows = []
+        for name in present:
+            row: List[object] = [DISPLAY_NAMES[name]]
+            for workload in ("modis", "ais"):
+                ins, reorg, rsd = self.data[workload][name]
+                row.extend([ins, reorg, rsd])
+            rows.append(tuple(row))
+        return format_table(
+            [
+                "Partitioner",
+                "Insert MODIS (min)", "Reorg MODIS (min)", "RSD MODIS (%)",
+                "Insert AIS (min)", "Reorg AIS (min)", "RSD AIS (%)",
+            ],
+            rows,
+            title=(
+                "Figure 4: Elastic partitioner insert and reorganization "
+                "durations (labels = storage RSD)"
+            ),
+        )
+
+
+def figure4_insert_reorg(
+    modis: Optional[ModisWorkload] = None,
+    ais: Optional[AisWorkload] = None,
+    partitioners: Sequence[str] = tuple(PAPER_ORDER),
+) -> InsertReorgResult:
+    """Run the §6.2.1 ingest experiment: 2→8 nodes, +2 per breach."""
+    workloads: List[CyclicWorkload] = [
+        modis or default_modis(),
+        ais or default_ais(),
+    ]
+    data: Dict[str, Dict[str, Tuple[float, float, float]]] = {}
+    for workload in workloads:
+        per_scheme: Dict[str, Tuple[float, float, float]] = {}
+        for name in partitioners:
+            runner = ExperimentRunner(
+                workload,
+                RunConfig(partitioner=name, run_queries=False),
+            )
+            metrics = runner.run()
+            per_scheme[name] = (
+                metrics.total_insert_seconds / 60.0,
+                metrics.total_reorg_seconds / 60.0,
+                metrics.mean_storage_rsd * 100.0,
+            )
+        data[workload.name] = per_scheme
+    return InsertReorgResult(data=data)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — benchmark times per partitioner
+# ----------------------------------------------------------------------
+@dataclass
+class BenchmarkTimesResult:
+    """Figure 5: summed SPJ + science benchmark minutes per partitioner."""
+
+    #: workload -> partitioner -> {"spj": min, "science": min}
+    data: Dict[str, Dict[str, Dict[str, float]]]
+    #: workload -> partitioner -> Eq. 1 node-hours (for §6.2.3)
+    node_hours: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        rows = []
+        for name in PAPER_ORDER:
+            row: List[object] = [DISPLAY_NAMES[name]]
+            for workload in ("modis", "ais"):
+                cat = self.data[workload][name]
+                row.extend(
+                    [cat.get("science", 0.0), cat.get("spj", 0.0)]
+                )
+            row.append(
+                self.node_hours["modis"][name]
+                + self.node_hours["ais"][name]
+            )
+            rows.append(tuple(row))
+        return format_table(
+            [
+                "Partitioner",
+                "Science MODIS (min)", "SPJ MODIS (min)",
+                "Science AIS (min)", "SPJ AIS (min)",
+                "Total cost (node-hrs)",
+            ],
+            rows,
+            title="Figure 5: Benchmark times for elastic partitioners",
+        )
+
+
+def figure5_benchmarks(
+    modis: Optional[ModisWorkload] = None,
+    ais: Optional[AisWorkload] = None,
+    partitioners: Sequence[str] = tuple(PAPER_ORDER),
+) -> BenchmarkTimesResult:
+    """Run the full §6.2.2 benchmark sweep (queries every cycle)."""
+    workloads: List[CyclicWorkload] = [
+        modis or default_modis(),
+        ais or default_ais(),
+    ]
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    node_hours: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        data[workload.name] = {}
+        node_hours[workload.name] = {}
+        for name in partitioners:
+            runner = ExperimentRunner(
+                workload, RunConfig(partitioner=name)
+            )
+            metrics = runner.run()
+            minutes = {
+                category: seconds / 60.0
+                for category, seconds in
+                runner.query_category_seconds().items()
+            }
+            data[workload.name][name] = minutes
+            node_hours[workload.name][name] = (
+                metrics.workload_cost_node_hours
+            )
+    return BenchmarkTimesResult(data=data, node_hours=node_hours)
+
+
+# ----------------------------------------------------------------------
+# Figures 6 and 7 — per-cycle query series
+# ----------------------------------------------------------------------
+@dataclass
+class QuerySeriesResult:
+    """A per-cycle latency series per partitioner (Figures 6 and 7)."""
+
+    title: str
+    query_name: str
+    #: partitioner -> minutes per cycle
+    series: Dict[str, List[float]]
+
+    def render(self) -> str:
+        return format_series_table(
+            {
+                DISPLAY_NAMES[name]: values
+                for name, values in self.series.items()
+            },
+            title=self.title,
+        )
+
+
+def figure6_join_series(
+    modis: Optional[ModisWorkload] = None,
+    partitioners: Sequence[str] = tuple(PAPER_ORDER),
+) -> QuerySeriesResult:
+    """Figure 6: NDVI join duration per cycle on (unskewed) MODIS."""
+    workload = modis or default_modis()
+    series: Dict[str, List[float]] = {}
+    for name in partitioners:
+        runner = ExperimentRunner(workload, RunConfig(partitioner=name))
+        metrics = runner.run()
+        series[name] = [
+            v / 60.0 for v in metrics.query_series("join_ndvi")
+        ]
+    return QuerySeriesResult(
+        title="Figure 6: Join duration for unskewed data (minutes)",
+        query_name="join_ndvi",
+        series=series,
+    )
+
+
+def figure7_knn_series(
+    ais: Optional[AisWorkload] = None,
+    partitioners: Sequence[str] = tuple(PAPER_ORDER),
+) -> QuerySeriesResult:
+    """Figure 7: k-nearest-neighbours duration per cycle on skewed AIS."""
+    workload = ais or default_ais()
+    series: Dict[str, List[float]] = {}
+    for name in partitioners:
+        runner = ExperimentRunner(workload, RunConfig(partitioner=name))
+        metrics = runner.run()
+        series[name] = [v / 60.0 for v in metrics.query_series("knn")]
+    return QuerySeriesResult(
+        title="Figure 7: k-nearest neighbors on skewed data (minutes)",
+        query_name="knn",
+        series=series,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — the leading staircase
+# ----------------------------------------------------------------------
+@dataclass
+class StaircaseResult:
+    """Figure 8: node counts per cycle under different set points."""
+
+    demand_nodes: List[float]
+    #: p -> node count per cycle
+    steps: Dict[int, List[int]]
+    #: p -> total reorganizations (scale-out events)
+    reorganizations: Dict[int, int]
+
+    def render(self) -> str:
+        series: Dict[str, Sequence[float]] = {
+            "Demand": self.demand_nodes
+        }
+        for p, nodes in sorted(self.steps.items()):
+            series[f"p = {p}"] = nodes
+        return format_series_table(
+            series,
+            title=(
+                "Figure 8: MODIS staircase with varying provisioner "
+                "configurations (nodes)"
+            ),
+            fmt="{:.1f}",
+        )
+
+
+def figure8_staircase(
+    modis: Optional[ModisWorkload] = None,
+    p_values: Sequence[int] = (1, 3, 6),
+    samples: int = 4,
+    node_capacity_gb: float = 100.0,
+) -> StaircaseResult:
+    """Run the §6.3 staircase experiment (Consistent Hash placement)."""
+    workload = modis or default_modis(n_cycles=15)
+    demand = [
+        d / (node_capacity_gb * GB) for d in workload.demand_curve()
+    ]
+    steps: Dict[int, List[int]] = {}
+    reorgs: Dict[int, int] = {}
+    for p in p_values:
+        runner = ExperimentRunner(
+            workload,
+            RunConfig(
+                partitioner="consistent_hash",
+                initial_nodes=2,
+                node_capacity_gb=node_capacity_gb,
+                staircase={"s": samples, "p": p},
+                run_queries=False,
+            ),
+        )
+        metrics = runner.run()
+        steps[p] = metrics.nodes_series()
+        reorgs[p] = sum(1 for c in metrics.cycles if c.nodes_added > 0)
+    return StaircaseResult(
+        demand_nodes=demand, steps=steps, reorganizations=reorgs
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — what-if tuning of s
+# ----------------------------------------------------------------------
+@dataclass
+class SamplingTuningResult:
+    """Table 2: demand-prediction error per sample count, train vs test."""
+
+    #: row label -> {s: error_gb}
+    errors: Dict[str, Dict[int, float]]
+    best: Dict[str, int]
+
+    def render(self) -> str:
+        s_values = sorted(next(iter(self.errors.values())))
+        rows = []
+        for label, errs in self.errors.items():
+            rows.append(
+                (label, *[errs[s] for s in s_values])
+            )
+        table = format_table(
+            ["", *[f"s={s}" for s in s_values]],
+            rows,
+            title=(
+                "Table 2: Demand prediction error rates (GB) for various "
+                "sampling levels"
+            ),
+        )
+        best = ", ".join(
+            f"{k}: s={v}" for k, v in self.best.items()
+        )
+        return table + f"\nBest sample count per workload ({best})"
+
+
+def table2_sampling(
+    modis: Optional[ModisWorkload] = None,
+    ais: Optional[AisWorkload] = None,
+    max_samples: int = 4,
+) -> SamplingTuningResult:
+    """Run Algorithm 1 on both demand histories, train/test split."""
+    workloads: List[CyclicWorkload] = [
+        ais or default_ais(),
+        modis or default_modis(),
+    ]
+    errors: Dict[str, Dict[int, float]] = {}
+    best: Dict[str, int] = {}
+    for workload in workloads:
+        history = [d / GB for d in workload.demand_curve()]
+        # Train on the first third (but at least enough cycles to score
+        # the largest s: a window of s+2 points), test on the rest.
+        third = max(len(history) // 3, max_samples + 2)
+        train: Dict[int, float] = {}
+        test: Dict[int, float] = {}
+        for s in range(1, max_samples + 1):
+            train[s] = sampling_error_window(history, s, 0, third)
+            test[s] = sampling_error_window(history, s, third, None)
+        label = workload.name.upper()
+        errors[f"{label} Train"] = train
+        errors[f"{label} Test"] = test
+        best[label] = best_sample_count(train)
+    return SamplingTuningResult(errors=errors, best=best)
+
+
+# ----------------------------------------------------------------------
+# Table 3 — analytical cost model for p
+# ----------------------------------------------------------------------
+@dataclass
+class CostModelResult:
+    """Table 3: modeled vs measured node-hours per set point."""
+
+    estimates: Dict[int, float]
+    measured: Dict[int, float]
+    best_estimated: int
+    best_measured: int
+
+    def render(self) -> str:
+        rows = [
+            (f"p = {p}", self.estimates[p], self.measured[p])
+            for p in sorted(self.estimates)
+        ]
+        table = format_table(
+            ["", "Cost Estimate", "Measured Cost"],
+            rows,
+            title=(
+                "Table 3: Analytical cost modeling of MODIS controller "
+                "set points (node hours)"
+            ),
+        )
+        return table + (
+            f"\nModel picks p={self.best_estimated}; "
+            f"measurement picks p={self.best_measured}"
+        )
+
+
+def table3_cost_model(
+    modis: Optional[ModisWorkload] = None,
+    p_values: Sequence[int] = (1, 3, 6),
+    samples: int = 4,
+    window: Tuple[int, int] = (5, 8),
+    node_capacity_gb: float = 100.0,
+) -> CostModelResult:
+    """Model vs measure the cost of workload cycles 5–8 per set point.
+
+    The analytical side instantiates :class:`ScaleOutCostModel` from the
+    state at the end of cycle ``window[0] - 1`` (load, node count, last
+    query latency, insert rate over the last ``samples`` cycles).  The
+    measured side runs the staircase for each ``p`` and sums Eq. 1 over
+    the window.
+    """
+    workload = modis or default_modis(n_cycles=max(8, window[1]))
+    lo, hi = window
+    horizon = hi - lo + 1
+
+    # Reference state: the tuning runs when the cluster first reaches
+    # capacity, so all set points share the pre-breach history.  One
+    # reference run through cycle lo-1 supplies l_0, N_0, w_0 and the
+    # observed insert rate μ; p varies only inside the model (§5.2).
+    reference = ExperimentRunner(
+        workload,
+        RunConfig(
+            partitioner="consistent_hash",
+            initial_nodes=2,
+            node_capacity_gb=node_capacity_gb,
+            staircase={"s": samples, "p": min(p_values)},
+            run_queries=True,
+        ),
+    )
+    for cycle in range(1, lo):
+        reference.run_cycle(cycle)
+    ref_cycles = reference.metrics.cycles
+    base = ref_cycles[-1]
+    history = [c.demand_bytes / GB for c in ref_cycles]
+    s = min(samples, len(history) - 1)
+    mu = (history[-1] - history[-1 - s]) / s if s >= 1 else history[-1]
+    model = ScaleOutCostModel(
+        node_capacity=node_capacity_gb,
+        io_cost=DEFAULT_COSTS.io_seconds_per_gb / 3600.0,
+        network_cost=DEFAULT_COSTS.network_seconds_per_gb / 3600.0,
+        insert_rate=mu,
+        initial_load=history[-1],
+        initial_nodes=base.nodes,
+        base_query_time=base.query_seconds / 3600.0,
+    )
+
+    estimates: Dict[int, float] = {}
+    measured: Dict[int, float] = {}
+    for p in p_values:
+        estimates[p] = model.cost(p, horizon)
+        runner = ExperimentRunner(
+            workload,
+            RunConfig(
+                partitioner="consistent_hash",
+                initial_nodes=2,
+                node_capacity_gb=node_capacity_gb,
+                staircase={"s": samples, "p": p},
+                run_queries=True,
+            ),
+        )
+        metrics = runner.run()
+        measured[p] = float(
+            sum(c.node_hours for c in metrics.cycles[lo - 1:hi])
+        )
+    return CostModelResult(
+        estimates=estimates,
+        measured=measured,
+        best_estimated=best_planning_cycles(estimates),
+        best_measured=best_planning_cycles(measured),
+    )
+
+
+# ----------------------------------------------------------------------
+# §6.2 headline claims
+# ----------------------------------------------------------------------
+@dataclass
+class ClaimsResult:
+    """The §6.2 prose claims, recomputed from Figure 4/5 data."""
+
+    fine_grained_rsd_pct: float
+    other_rsd_pct: float
+    global_reorg_ratio: float
+    clustered_win_pct: float
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Paper claims (recomputed):",
+                f"  fine-grained partitioners mean RSD: "
+                f"{self.fine_grained_rsd_pct:.0f}% (paper: ~13%)",
+                f"  other partitioners mean RSD: "
+                f"{self.other_rsd_pct:.0f}% (paper: ~44%)",
+                f"  global/incremental reorg time ratio: "
+                f"{self.global_reorg_ratio:.1f}x (paper: ~2.5x)",
+                f"  clustered trio total-workload win vs baseline: "
+                f"{self.clustered_win_pct:.0f}% (paper: >20%)",
+            ]
+        )
+
+
+FINE_GRAINED = ("round_robin", "extendible_hash", "consistent_hash")
+CLUSTERED_TRIO = ("incremental_quadtree", "hilbert_curve", "kd_tree")
+GLOBAL_SCHEMES = ("round_robin", "uniform_range")
+
+
+def headline_claims(
+    fig4: InsertReorgResult,
+    fig5: BenchmarkTimesResult,
+) -> ClaimsResult:
+    """Recompute the §6.2.1/§6.2.3 headline numbers from run data."""
+    rsd_values: Dict[str, List[float]] = {"fine": [], "other": []}
+    for workload in fig4.data.values():
+        for name, (_, _, rsd) in workload.items():
+            bucket = "fine" if name in FINE_GRAINED else "other"
+            rsd_values[bucket].append(rsd)
+
+    incremental = [
+        n for n in PAPER_ORDER if n not in GLOBAL_SCHEMES
+    ]
+    def mean_reorg(names: Sequence[str]) -> float:
+        vals = [
+            fig4.data[w][n][1]
+            for w in fig4.data
+            for n in names
+        ]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    # Append moves nothing, so exclude it from the incremental mean the
+    # ratio uses (the paper's 2.5x compares schemes that actually move
+    # data).
+    moving_incremental = [n for n in incremental if n != "append"]
+    ratio = (
+        mean_reorg(GLOBAL_SCHEMES) / mean_reorg(moving_incremental)
+        if mean_reorg(moving_incremental) > 0 else float("inf")
+    )
+
+    baseline_hours = (
+        fig5.node_hours["modis"]["round_robin"]
+        + fig5.node_hours["ais"]["round_robin"]
+    )
+    trio_hours = [
+        fig5.node_hours["modis"][n] + fig5.node_hours["ais"][n]
+        for n in CLUSTERED_TRIO
+    ]
+    win = (
+        (baseline_hours - sum(trio_hours) / len(trio_hours))
+        / baseline_hours * 100.0
+    )
+    return ClaimsResult(
+        fine_grained_rsd_pct=(
+            sum(rsd_values["fine"]) / len(rsd_values["fine"])
+        ),
+        other_rsd_pct=(
+            sum(rsd_values["other"]) / len(rsd_values["other"])
+        ),
+        global_reorg_ratio=ratio,
+        clustered_win_pct=win,
+    )

@@ -1,0 +1,70 @@
+"""Query engine: real numpy operators + placement-sensitive cost model.
+
+Queries compute genuine answers over the cluster's chunks; their latency
+comes from the §5.2 cost structure applied to placement (per-node scan max,
+shuffle NIC time, halo exchanges for spatial operators).
+"""
+
+from repro.query.cost import (
+    add_network_work,
+    add_scan_work,
+    colocation_shuffle_bytes,
+    elapsed_time,
+    halo_shuffle_bytes,
+    spatial_neighbors,
+)
+from repro.query.executor import (
+    CATEGORY_SCIENCE,
+    CATEGORY_SPJ,
+    Query,
+    map_chunks,
+    run_suite,
+)
+from repro.query.result import QueryResult
+from repro.query.science import (
+    AisCollisionPrediction,
+    AisDensityMap,
+    AisKnn,
+    ModisKMeans,
+    ModisRollingAverage,
+    ModisWindowAggregate,
+)
+from repro.query.spj import (
+    AisDistinctShips,
+    AisSelectionHouston,
+    AisVesselJoin,
+    ModisJoinNdvi,
+    ModisQuantileSort,
+    ModisSelection,
+)
+from repro.query.suites import ais_suite, modis_suite, suite_for
+
+__all__ = [
+    "AisCollisionPrediction",
+    "AisDensityMap",
+    "AisDistinctShips",
+    "AisKnn",
+    "AisSelectionHouston",
+    "AisVesselJoin",
+    "CATEGORY_SCIENCE",
+    "CATEGORY_SPJ",
+    "ModisJoinNdvi",
+    "ModisKMeans",
+    "ModisQuantileSort",
+    "ModisRollingAverage",
+    "ModisSelection",
+    "ModisWindowAggregate",
+    "Query",
+    "QueryResult",
+    "add_network_work",
+    "add_scan_work",
+    "ais_suite",
+    "colocation_shuffle_bytes",
+    "elapsed_time",
+    "halo_shuffle_bytes",
+    "map_chunks",
+    "modis_suite",
+    "run_suite",
+    "spatial_neighbors",
+    "suite_for",
+]

@@ -1,0 +1,81 @@
+"""Query execution: the Query base class and a parallel chunk runner.
+
+Queries compute real answers over the cluster's chunk payloads and price
+themselves with the placement-sensitive cost model.  For CPU-bound local
+work, :func:`map_chunks` optionally fans the per-chunk computation across a
+``multiprocessing`` pool (the actual parallelism of the prototype; the
+*simulated* latency always comes from the cost model so results don't
+depend on the test machine).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.cluster.cluster import ElasticCluster
+from repro.errors import QueryError
+from repro.query.result import QueryResult
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Query categories used by Figure 5's grouping.
+CATEGORY_SPJ = "spj"
+CATEGORY_SCIENCE = "science"
+
+
+class Query(ABC):
+    """One benchmark query bound to its workload.
+
+    Subclasses implement :meth:`run`, returning a :class:`QueryResult`
+    whose ``value`` is the real computed answer and whose timing reflects
+    the current data placement.
+    """
+
+    #: stable identifier used in metrics and figures.
+    name: str = ""
+    #: CATEGORY_SPJ or CATEGORY_SCIENCE.
+    category: str = ""
+
+    @abstractmethod
+    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        """Execute against the cluster as of workload cycle ``cycle``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name})"
+
+
+def map_chunks(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    processes: Optional[int] = None,
+) -> List[R]:
+    """Apply ``fn`` to every item, optionally in a process pool.
+
+    Args:
+        fn: a picklable (module-level) function.
+        items: inputs.
+        processes: ``None``/``0``/``1`` = run inline; otherwise the pool
+            size.  Pools are only worth it for genuinely heavy per-chunk
+            math (see ``examples/parallel_scan.py``).
+    """
+    if processes and processes > 1:
+        if len(items) == 0:
+            return []
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(fn, items)
+    return [fn(item) for item in items]
+
+
+def run_suite(
+    queries: Iterable[Query],
+    cluster: ElasticCluster,
+    cycle: int,
+) -> List[QueryResult]:
+    """Run a list of queries back to back (one benchmark pass)."""
+    results = []
+    for query in queries:
+        results.append(query.run(cluster, cycle))
+    return results

@@ -1,0 +1,324 @@
+"""Chunk-level physical operators (pure numpy).
+
+These compute the *real answers* of the benchmark queries over the
+synthetic cells; the simulated timing lives in :mod:`repro.query.cost`.
+All operators take plain arrays or :class:`ChunkData` sequences and return
+numpy values, so they are trivially parallelizable by the executor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.chunk import ChunkData
+from repro.arrays.coords import Box
+from repro.errors import QueryError
+
+
+def region_mask(coords: np.ndarray, region: Box) -> np.ndarray:
+    """Boolean mask of rows inside a half-open cell-space box."""
+    if coords.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    mask = np.ones(coords.shape[0], dtype=bool)
+    for d in range(region.ndim):
+        mask &= coords[:, d] >= region.lo[d]
+        mask &= coords[:, d] < region.hi[d]
+    return mask
+
+
+def filter_region(
+    chunks: Iterable[ChunkData],
+    region: Box,
+    attrs: Sequence[str],
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Materialize the cells of ``chunks`` inside ``region``."""
+    coords_parts: List[np.ndarray] = []
+    value_parts: Dict[str, List[np.ndarray]] = {a: [] for a in attrs}
+    for chunk in chunks:
+        mask = region_mask(chunk.coords, region)
+        if not mask.any():
+            continue
+        coords_parts.append(chunk.coords[mask])
+        for a in attrs:
+            value_parts[a].append(chunk.values(a)[mask])
+    if not coords_parts:
+        ndim = region.ndim
+        return (
+            np.empty((0, ndim), dtype=np.int64),
+            {a: np.empty(0) for a in attrs},
+        )
+    return (
+        np.concatenate(coords_parts, axis=0),
+        {a: np.concatenate(value_parts[a]) for a in attrs},
+    )
+
+
+def quantiles(
+    values: np.ndarray, qs: Sequence[float]
+) -> np.ndarray:
+    """Quantiles of a value column (the paper's parallel-sort summary)."""
+    if values.size == 0:
+        return np.full(len(qs), np.nan)
+    return np.quantile(values.astype(np.float64), list(qs))
+
+
+def uniform_sample(
+    values: np.ndarray, fraction: float, seed: int
+) -> np.ndarray:
+    """Uniform random sample of a column (sort/quantile inputs)."""
+    if not 0 < fraction <= 1:
+        raise QueryError(f"sample fraction must be in (0, 1], got {fraction}")
+    if values.size == 0:
+        return values
+    rng = np.random.default_rng(seed)
+    n = max(1, int(round(values.size * fraction)))
+    idx = rng.choice(values.size, size=n, replace=False)
+    return values[idx]
+
+
+def sorted_distinct(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values (the AIS ship-log query)."""
+    return np.unique(values)
+
+
+def _pack_coords(coords: np.ndarray) -> np.ndarray:
+    """View an (n, d) int64 coordinate table as one void column."""
+    c = np.ascontiguousarray(coords, dtype=np.int64)
+    return c.view([("", np.int64)] * c.shape[1]).reshape(-1)
+
+
+def position_join(
+    coords_a: np.ndarray,
+    values_a: np.ndarray,
+    coords_b: np.ndarray,
+    values_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Join two cell sets on exact array position.
+
+    Returns ``(coords, a_values, b_values)`` for the matching positions —
+    the engine of the §3.3 vegetation-index query.
+    """
+    if coords_a.shape[0] == 0 or coords_b.shape[0] == 0:
+        ndim = coords_a.shape[1] if coords_a.size else coords_b.shape[1]
+        return (
+            np.empty((0, ndim), dtype=np.int64),
+            np.empty(0),
+            np.empty(0),
+        )
+    keys_a = _pack_coords(coords_a)
+    keys_b = _pack_coords(coords_b)
+    common, idx_a, idx_b = np.intersect1d(
+        keys_a, keys_b, return_indices=True
+    )
+    return coords_a[idx_a], values_a[idx_a], values_b[idx_b]
+
+
+def ndvi(band1: np.ndarray, band2: np.ndarray) -> np.ndarray:
+    """Normalized difference vegetation index ``(b2 - b1) / (b2 + b1)``."""
+    denom = band2.astype(np.float64) + band1.astype(np.float64)
+    denom[denom == 0] = np.nan
+    return (band2 - band1) / denom
+
+
+def equi_join_lookup(
+    keys: np.ndarray,
+    lookup_keys: np.ndarray,
+    lookup_values: np.ndarray,
+) -> np.ndarray:
+    """Map each key through a (small, replicated) lookup table.
+
+    Used for the AIS Broadcast ⋈ Vessel join: ``lookup_keys`` must be
+    sorted and unique (vessel ids are).  Keys absent from the table map to
+    -1 when values are numeric.
+    """
+    idx = np.searchsorted(lookup_keys, keys)
+    idx = np.clip(idx, 0, len(lookup_keys) - 1)
+    matched = lookup_keys[idx] == keys
+    out = np.where(matched, lookup_values[idx], -1)
+    return out
+
+
+def group_count_by_grid(
+    coords: np.ndarray,
+    dims: Sequence[int],
+    cell_sizes: Sequence[int],
+) -> Dict[Tuple[int, ...], int]:
+    """Count cells per coarse grid bucket over selected dimensions.
+
+    The AIS track-count map groups broadcasts into coarse (e.g. 8°) bins;
+    the MODIS statistics query groups by day.
+    """
+    if coords.shape[0] == 0:
+        return {}
+    buckets = np.stack(
+        [coords[:, d] // s for d, s in zip(dims, cell_sizes)], axis=1
+    )
+    uniq, counts = np.unique(buckets, axis=0, return_counts=True)
+    return {
+        tuple(int(v) for v in row): int(c)
+        for row, c in zip(uniq, counts)
+    }
+
+
+def group_mean_by_grid(
+    coords: np.ndarray,
+    values: np.ndarray,
+    dims: Sequence[int],
+    cell_sizes: Sequence[int],
+) -> Dict[Tuple[int, ...], float]:
+    """Mean of ``values`` per coarse grid bucket."""
+    if coords.shape[0] == 0:
+        return {}
+    buckets = np.stack(
+        [coords[:, d] // s for d, s in zip(dims, cell_sizes)], axis=1
+    )
+    uniq, inverse = np.unique(buckets, axis=0, return_inverse=True)
+    sums = np.bincount(inverse, weights=values.astype(np.float64))
+    counts = np.bincount(inverse)
+    means = sums / counts
+    return {
+        tuple(int(v) for v in row): float(m)
+        for row, m in zip(uniq, means)
+    }
+
+
+def window_average(
+    coords: np.ndarray,
+    values: np.ndarray,
+    spatial_dims: Sequence[int],
+    window: int,
+) -> Dict[Tuple[int, ...], float]:
+    """Overlapping-window smoothing over the spatial dimensions.
+
+    Each output pixel (coarse bucket) averages all cells whose positions
+    fall within ``window`` of the bucket center — buckets share samples
+    with their neighbours, producing the paper's "smooth picture".
+    """
+    if coords.shape[0] == 0:
+        return {}
+    spatial = coords[:, list(spatial_dims)].astype(np.int64)
+    buckets = spatial // window
+    out: Dict[Tuple[int, ...], float] = {}
+    uniq = np.unique(buckets, axis=0)
+    vals = values.astype(np.float64)
+    for row in uniq:
+        center = (row + 0.5) * window
+        dist = np.abs(spatial - center)
+        mask = np.all(dist <= window, axis=1)  # overlaps neighbours
+        if mask.any():
+            out[tuple(int(v) for v in row)] = float(vals[mask].mean())
+    return out
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    iterations: int = 10,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means over row-vector points.
+
+    Returns ``(centroids, labels)``.  Deterministic given the seed; used
+    by the MODIS deforestation-modeling query.
+    """
+    if points.shape[0] == 0:
+        raise QueryError("kmeans needs at least one point")
+    k = min(k, points.shape[0])
+    rng = np.random.default_rng(seed)
+    centroids = points[
+        rng.choice(points.shape[0], size=k, replace=False)
+    ].astype(np.float64)
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    for _ in range(iterations):
+        dists = np.linalg.norm(
+            points[:, None, :] - centroids[None, :, :], axis=2
+        )
+        labels = dists.argmin(axis=1)
+        for j in range(k):
+            member = points[labels == j]
+            if member.shape[0]:
+                centroids[j] = member.mean(axis=0)
+    return centroids, labels
+
+
+def knn_mean_distance(
+    points: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Mean distance to each query's k nearest neighbours.
+
+    Brute force (the data sets are chunk neighbourhoods); excludes
+    zero-distance self matches.
+    """
+    if queries.shape[0] == 0:
+        return np.empty(0)
+    if points.shape[0] == 0:
+        return np.full(queries.shape[0], np.nan)
+    out = np.empty(queries.shape[0])
+    pts = points.astype(np.float64)
+    for i, q in enumerate(queries.astype(np.float64)):
+        d = np.linalg.norm(pts - q, axis=1)
+        d = d[d > 0]
+        if d.size == 0:
+            out[i] = np.nan
+            continue
+        kk = min(k, d.size)
+        out[i] = float(np.sort(d)[:kk].mean())
+    return out
+
+
+def dead_reckon(
+    lon: np.ndarray,
+    lat: np.ndarray,
+    speed: np.ndarray,
+    course_deg: np.ndarray,
+    minutes: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Project positions ``minutes`` ahead from speed and course.
+
+    Degrees-as-planar approximation (fine for collision screening): one
+    knot ≈ 1/60 degree of arc per hour.
+    """
+    hours = minutes / 60.0
+    arc = speed.astype(np.float64) * hours / 60.0
+    theta = np.radians(course_deg.astype(np.float64))
+    return (
+        lon.astype(np.float64) + arc * np.sin(theta),
+        lat.astype(np.float64) + arc * np.cos(theta),
+    )
+
+
+def count_close_pairs(
+    lon: np.ndarray, lat: np.ndarray, radius: float
+) -> int:
+    """Number of point pairs within ``radius`` (collision candidates).
+
+    Grid-hashing keeps this near-linear: points are bucketed at the
+    radius scale and only neighbouring buckets are compared.
+    """
+    n = lon.shape[0]
+    if n < 2:
+        return 0
+    gx = np.floor(lon / radius).astype(np.int64)
+    gy = np.floor(lat / radius).astype(np.int64)
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for i in range(n):
+        buckets.setdefault((int(gx[i]), int(gy[i])), []).append(i)
+    count = 0
+    r2 = radius * radius
+    for (bx, by), members in buckets.items():
+        neighbors: List[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                neighbors.extend(buckets.get((bx + dx, by + dy), ()))
+        for i in members:
+            for j in neighbors:
+                if j <= i:
+                    continue
+                d2 = (lon[i] - lon[j]) ** 2 + (lat[i] - lat[j]) ** 2
+                if d2 <= r2:
+                    count += 1
+    return count

@@ -1,0 +1,352 @@
+"""Select-Project-Join benchmark (paper §3.3.1).
+
+Six queries, three per workload:
+
+* **Selection** — MODIS reads 1/16 of lat/long space at the lower-left
+  corner of Band 1 (highly parallelizable); AIS filters to the densely
+  trafficked Houston port area (stress-tests skew).
+* **Sort** — MODIS computes radiance quantiles from a uniform random
+  sample (parallel sort); AIS produces the sorted log of distinct ship
+  ids (non-trivial aggregation).
+* **Join** — MODIS joins its two bands where cells share a position and
+  derives the vegetation index over the most recent day; AIS joins
+  Broadcast with the replicated Vessel array on ``ship_id`` to map recent
+  ship types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.chunk import ChunkData
+from repro.arrays.coords import Box
+from repro.cluster.cluster import ElasticCluster
+from repro.query import operators as ops
+from repro.query.cost import (
+    add_network_work,
+    add_scan_work,
+    colocation_shuffle_bytes,
+    elapsed_time,
+)
+from repro.query.executor import CATEGORY_SPJ, Query
+from repro.query.result import QueryResult
+from repro.workloads.ais import AisWorkload
+from repro.workloads.modis import ModisWorkload
+
+
+def _chunks_in_region(
+    cluster: ElasticCluster, array: str, region: Box
+) -> List[Tuple[ChunkData, int]]:
+    """(chunk, node) pairs of one array whose boxes intersect a region."""
+    picked = []
+    for chunk, node in cluster.chunks_of_array(array):
+        if chunk.schema.chunk_box(chunk.key).intersects(region):
+            picked.append((chunk, node))
+    return picked
+
+
+class ModisSelection(Query):
+    """Subset Band 1 to the lower-left 1/16 of lat/long space."""
+
+    name = "modis_selection"
+    category = CATEGORY_SPJ
+
+    def __init__(self, workload: ModisWorkload) -> None:
+        self.workload = workload
+
+    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        region = self.workload.lower_left_sixteenth(cycle)
+        touched = _chunks_in_region(cluster, "band1", region)
+        per_node: Dict[int, float] = {}
+        scanned = add_scan_work(
+            per_node, touched, None, cluster.costs, cpu_intensity=0.2
+        )
+        coords, values = ops.filter_region(
+            (c for c, _ in touched), region, ["radiance"]
+        )
+        return QueryResult(
+            name=self.name,
+            category=self.category,
+            value={
+                "cells": int(coords.shape[0]),
+                "mean_radiance": (
+                    float(values["radiance"].mean())
+                    if coords.shape[0] else float("nan")
+                ),
+            },
+            elapsed_seconds=elapsed_time(per_node, cluster.costs),
+            per_node_seconds=per_node,
+            scanned_bytes=scanned,
+        )
+
+
+class ModisQuantileSort(Query):
+    """Radiance quantiles from a uniform random sample (parallel sort)."""
+
+    name = "modis_sort"
+    category = CATEGORY_SPJ
+
+    def __init__(
+        self,
+        workload: ModisWorkload,
+        sample_fraction: float = 0.1,
+        qs: Sequence[float] = (0.25, 0.5, 0.75, 0.95),
+    ) -> None:
+        self.workload = workload
+        self.sample_fraction = sample_fraction
+        self.qs = tuple(qs)
+
+    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        touched = cluster.chunks_of_array("band1")
+        per_node: Dict[int, float] = {}
+        # Vertical partitioning: the sort only reads the radiance column.
+        scanned = add_scan_work(
+            per_node, touched, ["radiance"], cluster.costs,
+            cpu_intensity=1.0,
+        )
+        # Merge phase: every node ships its sample to the coordinator.
+        sample_bytes = {
+            node: size * self.sample_fraction
+            for node, size in (
+                (n, sum(
+                    c.bytes_for(["radiance"])
+                    for c, nn in touched if nn == n
+                ))
+                for n in cluster.node_ids
+            )
+            if size > 0
+        }
+        add_network_work(per_node, sample_bytes, cluster.costs)
+
+        values = np.concatenate(
+            [c.values("radiance") for c, _ in touched]
+        ) if touched else np.empty(0)
+        sample = ops.uniform_sample(
+            values, self.sample_fraction, seed=cycle
+        )
+        quants = ops.quantiles(sample, self.qs)
+        return QueryResult(
+            name=self.name,
+            category=self.category,
+            value={
+                "quantiles": {
+                    q: float(v) for q, v in zip(self.qs, quants)
+                }
+            },
+            elapsed_seconds=elapsed_time(per_node, cluster.costs),
+            per_node_seconds=per_node,
+            network_bytes=sum(sample_bytes.values()),
+            scanned_bytes=scanned,
+        )
+
+
+class ModisJoinNdvi(Query):
+    """Band1 ⋈ Band2 on position over the most recent day → NDVI.
+
+    This is Figure 6's query: performance tracks how evenly the latest
+    day's chunks spread (Append keeps them on one or two hosts) and
+    whether the two bands' chunks are co-located (range schemes place by
+    key alone; hash schemes pay a shuffle).
+    """
+
+    name = "join_ndvi"
+    category = CATEGORY_SPJ
+
+    def __init__(self, workload: ModisWorkload) -> None:
+        self.workload = workload
+
+    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        day = cycle - 1  # latest day's time-chunk coordinate
+        band1 = {
+            c.key: (c, n)
+            for c, n in cluster.chunks_of_array("band1")
+            if c.key[0] == day
+        }
+        band2 = {
+            c.key: (c, n)
+            for c, n in cluster.chunks_of_array("band2")
+            if c.key[0] == day
+        }
+        common = sorted(set(band1) & set(band2))
+        per_node: Dict[int, float] = {}
+        attrs = ["radiance"]
+        scanned = 0.0
+        pairs = []
+        for key in common:
+            c1, n1 = band1[key]
+            c2, n2 = band2[key]
+            pairs.append((c1, n1, c2, n2))
+        scanned += add_scan_work(
+            per_node, [(c, n) for c, n, _, _ in pairs], attrs,
+            cluster.costs, cpu_intensity=0.8,
+        )
+        scanned += add_scan_work(
+            per_node, [(c2, n2) for _, _, c2, n2 in pairs], attrs,
+            cluster.costs, cpu_intensity=0.8,
+        )
+        shuffle = colocation_shuffle_bytes(pairs, attrs_small=attrs)
+        network = add_network_work(per_node, shuffle, cluster.costs)
+        wire = network / 2.0  # endpoint sums count each transfer twice
+
+        ndvi_values = []
+        for key in common:
+            c1, _ = band1[key]
+            c2, _ = band2[key]
+            coords, v1, v2 = ops.position_join(
+                c1.coords, c1.values("radiance"),
+                c2.coords, c2.values("radiance"),
+            )
+            if coords.shape[0]:
+                ndvi_values.append(ops.ndvi(v1, v2))
+        ndvi_all = (
+            np.concatenate(ndvi_values) if ndvi_values else np.empty(0)
+        )
+        return QueryResult(
+            name=self.name,
+            category=self.category,
+            value={
+                "cells": int(ndvi_all.shape[0]),
+                "mean_ndvi": (
+                    float(np.nanmean(ndvi_all))
+                    if ndvi_all.size else float("nan")
+                ),
+            },
+            elapsed_seconds=elapsed_time(
+                per_node, cluster.costs, wire_bytes=wire
+            ),
+            per_node_seconds=per_node,
+            network_bytes=network,
+            scanned_bytes=scanned,
+        )
+
+
+class AisSelectionHouston(Query):
+    """Filter broadcasts to the Houston port area (skew stress test)."""
+
+    name = "ais_selection"
+    category = CATEGORY_SPJ
+
+    def __init__(self, workload: AisWorkload) -> None:
+        self.workload = workload
+
+    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        region = self.workload.houston_box(cycle)
+        touched = _chunks_in_region(cluster, "broadcast", region)
+        per_node: Dict[int, float] = {}
+        scanned = add_scan_work(
+            per_node, touched, None, cluster.costs, cpu_intensity=0.2
+        )
+        coords, values = ops.filter_region(
+            (c for c, _ in touched), region, ["ship_id"]
+        )
+        distinct = int(np.unique(values["ship_id"]).size) if coords.shape[0] else 0
+        return QueryResult(
+            name=self.name,
+            category=self.category,
+            value={"cells": int(coords.shape[0]), "ships": distinct},
+            elapsed_seconds=elapsed_time(per_node, cluster.costs),
+            per_node_seconds=per_node,
+            scanned_bytes=scanned,
+        )
+
+
+class AisDistinctShips(Query):
+    """Sorted log of distinct ship ids over the whole broadcast array."""
+
+    name = "ais_sort"
+    category = CATEGORY_SPJ
+
+    def __init__(self, workload: AisWorkload) -> None:
+        self.workload = workload
+
+    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        touched = cluster.chunks_of_array("broadcast")
+        per_node: Dict[int, float] = {}
+        scanned = add_scan_work(
+            per_node, touched, ["ship_id"], cluster.costs,
+            cpu_intensity=1.0,
+        )
+        # Each node ships its local distinct set (tiny) — model as 1 % of
+        # the scanned column per node.
+        merge_bytes = {}
+        for chunk, node in touched:
+            merge_bytes[node] = (
+                merge_bytes.get(node, 0.0)
+                + chunk.bytes_for(["ship_id"]) * 0.01
+            )
+        network = add_network_work(per_node, merge_bytes, cluster.costs)
+
+        ids = [c.values("ship_id") for c, _ in touched]
+        distinct = ops.sorted_distinct(
+            np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+        )
+        return QueryResult(
+            name=self.name,
+            category=self.category,
+            value={"distinct_ships": int(distinct.size)},
+            elapsed_seconds=elapsed_time(per_node, cluster.costs),
+            per_node_seconds=per_node,
+            network_bytes=network,
+            scanned_bytes=scanned,
+        )
+
+
+class AisVesselJoin(Query):
+    """Broadcast ⋈ Vessel on ship_id over the latest cycle's data.
+
+    The vessel array is replicated on every node (paper §3.2), so the join
+    is local everywhere — an equi-join that hash placement serves well.
+    """
+
+    name = "ais_join"
+    category = CATEGORY_SPJ
+
+    def __init__(self, workload: AisWorkload) -> None:
+        self.workload = workload
+
+    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        t_chunks = self._latest_time_chunks(cycle)
+        touched = [
+            (c, n) for c, n in cluster.chunks_of_array("broadcast")
+            if c.key[0] in t_chunks
+        ]
+        per_node: Dict[int, float] = {}
+        scanned = add_scan_work(
+            per_node, touched, ["ship_id", "speed"], cluster.costs,
+            cpu_intensity=0.8,
+        )
+
+        vessel_coords, vessel_vals = self.workload.vessel_array.scan(
+            ["ship_type"]
+        )
+        vessel_ids = vessel_coords[:, 0]
+        order = np.argsort(vessel_ids)
+        vessel_ids = vessel_ids[order]
+        vessel_types = vessel_vals["ship_type"][order]
+
+        type_counts: Dict[int, int] = {}
+        for chunk, _ in touched:
+            types = ops.equi_join_lookup(
+                chunk.values("ship_id"), vessel_ids, vessel_types
+            )
+            for t in np.unique(types):
+                type_counts[int(t)] = (
+                    type_counts.get(int(t), 0)
+                    + int((types == t).sum())
+                )
+        return QueryResult(
+            name=self.name,
+            category=self.category,
+            value={"broadcasts_by_type": type_counts},
+            elapsed_seconds=elapsed_time(per_node, cluster.costs),
+            per_node_seconds=per_node,
+            scanned_bytes=scanned,
+        )
+
+    def _latest_time_chunks(self, cycle: int) -> set:
+        from repro.workloads.ais import TIME_CHUNKS_PER_CYCLE
+
+        hi = cycle * TIME_CHUNKS_PER_CYCLE
+        return set(range(hi - TIME_CHUNKS_PER_CYCLE, hi))

@@ -1,0 +1,65 @@
+"""Per-workload benchmark suites (paper §3.3).
+
+Each workload runs six queries per cycle — three conventional (SPJ) and
+three science analytics — mirroring the paper's two benchmarks.  Figure 5
+sums each category over all cycles; Figures 6 and 7 track the join and kNN
+queries individually.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.query.executor import Query
+from repro.query.science import (
+    AisCollisionPrediction,
+    AisDensityMap,
+    AisKnn,
+    ModisKMeans,
+    ModisRollingAverage,
+    ModisWindowAggregate,
+)
+from repro.query.spj import (
+    AisDistinctShips,
+    AisSelectionHouston,
+    AisVesselJoin,
+    ModisJoinNdvi,
+    ModisQuantileSort,
+    ModisSelection,
+)
+from repro.workloads.ais import AisWorkload
+from repro.workloads.model import CyclicWorkload
+from repro.workloads.modis import ModisWorkload
+
+
+def modis_suite(workload: ModisWorkload) -> List[Query]:
+    """The six MODIS benchmark queries (§3.3)."""
+    return [
+        ModisSelection(workload),
+        ModisQuantileSort(workload),
+        ModisJoinNdvi(workload),
+        ModisRollingAverage(workload),
+        ModisKMeans(workload),
+        ModisWindowAggregate(workload),
+    ]
+
+
+def ais_suite(workload: AisWorkload) -> List[Query]:
+    """The six AIS benchmark queries (§3.3)."""
+    return [
+        AisSelectionHouston(workload),
+        AisDistinctShips(workload),
+        AisVesselJoin(workload),
+        AisDensityMap(workload),
+        AisKnn(workload),
+        AisCollisionPrediction(workload),
+    ]
+
+
+def suite_for(workload: CyclicWorkload) -> List[Query]:
+    """The benchmark suite matching a workload instance."""
+    if isinstance(workload, ModisWorkload):
+        return modis_suite(workload)
+    if isinstance(workload, AisWorkload):
+        return ais_suite(workload)
+    return []

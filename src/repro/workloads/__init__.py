@@ -1,0 +1,31 @@
+"""Workload substrate: synthetic MODIS and AIS generators + cycle model.
+
+Both workloads reproduce the paper's published distribution statistics
+(§3.1–§3.2) with synthetic cells; see DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from repro.workloads.ais import AisWorkload, DEFAULT_PORTS
+from repro.workloads.batch import InsertBatch
+from repro.workloads.distributions import (
+    Port,
+    SpatialModel,
+    port_hotspots,
+    uniform_with_mild_skew,
+    zipf_weights,
+)
+from repro.workloads.model import CyclicWorkload
+from repro.workloads.modis import ModisWorkload
+
+__all__ = [
+    "AisWorkload",
+    "CyclicWorkload",
+    "DEFAULT_PORTS",
+    "InsertBatch",
+    "ModisWorkload",
+    "Port",
+    "SpatialModel",
+    "port_hotspots",
+    "uniform_with_mild_skew",
+    "zipf_weights",
+]

@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic workloads and clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import Box, ChunkRef, parse_schema
+from repro.cluster import CostParameters, ElasticCluster, GB
+from repro.core import make_partitioner
+from repro.workloads import AisWorkload, ModisWorkload
+
+
+@pytest.fixture(scope="session")
+def tiny_schema():
+    """The paper's running example: A<i:int32,j:float>[x=1:4,2, y=1:4,2]."""
+    return parse_schema("A<i:int32, j:float>[x=1:4,2, y=1:4,2]")
+
+
+@pytest.fixture(scope="session")
+def small_modis():
+    """A 6-cycle MODIS workload small enough for per-test runs."""
+    return ModisWorkload(
+        n_cycles=6, cells_per_band_per_cycle=400, target_total_gb=270.0
+    )
+
+
+@pytest.fixture(scope="session")
+def small_ais():
+    """A 6-cycle AIS workload small enough for per-test runs."""
+    return AisWorkload(
+        n_cycles=6, ships=120, broadcasts_per_ship=8, target_total_gb=240.0
+    )
+
+
+@pytest.fixture(scope="session")
+def grid3d():
+    """A 3-d chunk grid in the spatio-temporal shape both workloads use."""
+    return Box((0, 0, 0), (8, 16, 12))
+
+
+def make_cluster(partitioner_name, grid, nodes=2, capacity_gb=100.0,
+                 **kwargs):
+    """Build a small ElasticCluster for one partitioner."""
+    partitioner = make_partitioner(
+        partitioner_name,
+        nodes=list(range(nodes)),
+        grid=grid,
+        node_capacity_bytes=capacity_gb * GB,
+        **kwargs,
+    )
+    return ElasticCluster(
+        partitioner,
+        node_capacity_bytes=capacity_gb * GB,
+        costs=CostParameters(),
+    )
+
+
+def synthetic_refs(n, grid, rng=None, skew=False, array="arr"):
+    """Deterministic (ref, size) pairs inside a grid box, optionally skewed."""
+    rng = rng or np.random.default_rng(12345)
+    out = []
+    for _ in range(n):
+        key = tuple(
+            int(rng.integers(lo, hi))
+            for lo, hi in zip(grid.lo, grid.hi)
+        )
+        if skew and rng.random() < 0.8:
+            # concentrate in a corner hotspot
+            key = tuple(
+                min(hi - 1, lo + int(abs(rng.normal(0, 1))))
+                for lo, hi in zip(grid.lo, grid.hi)
+            )
+        size = (
+            float(rng.lognormal(3.0, 1.5)) if skew
+            else float(abs(rng.normal(100.0, 10.0)) + 1.0)
+        )
+        out.append((ChunkRef(array, key), size))
+    return out

@@ -1,0 +1,97 @@
+"""Public API surface and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ChunkError,
+    ClusterError,
+    PartitioningError,
+    ProvisioningError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchemaError,
+            ChunkError,
+            StorageError,
+            PartitioningError,
+            ProvisioningError,
+            ClusterError,
+            QueryError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_one_except_clause_catches_library_failures(self):
+        from repro.arrays import parse_schema
+
+        try:
+            parse_schema("not a schema")
+        except ReproError as e:
+            assert isinstance(e, SchemaError)
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_partitioner_registry_complete(self):
+        # every Table-1 scheme plus the baseline is constructible
+        assert set(repro.ALL_PARTITIONERS) == {
+            "append",
+            "consistent_hash",
+            "extendible_hash",
+            "hilbert_curve",
+            "incremental_quadtree",
+            "kd_tree",
+            "round_robin",
+            "uniform_range",
+        }
+
+    def test_make_partitioner_error_paths(self):
+        from repro.errors import PartitioningError
+
+        with pytest.raises(PartitioningError):
+            repro.make_partitioner("nope", [0])
+        with pytest.raises(PartitioningError):
+            repro.make_partitioner("kd_tree", [0])  # missing grid
+        with pytest.raises(PartitioningError):
+            repro.make_partitioner("append", [0])  # missing capacity
+
+    def test_subpackage_docstrings_exist(self):
+        import repro.arrays
+        import repro.cluster
+        import repro.core
+        import repro.harness
+        import repro.query
+        import repro.workloads
+
+        for module in (
+            repro,
+            repro.arrays,
+            repro.cluster,
+            repro.core,
+            repro.harness,
+            repro.query,
+            repro.workloads,
+        ):
+            assert module.__doc__ and len(module.__doc__) > 40

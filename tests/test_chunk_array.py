@@ -1,0 +1,250 @@
+"""Chunk payloads, chunk refs, LocalArray ingest and reads."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import Box, ChunkData, ChunkRef, LocalArray, empty_chunk
+from repro.arrays.array import chunk_cells
+from repro.errors import ChunkError
+
+
+def make_chunk(schema, key=(0, 0), coords=None, size_bytes=None):
+    if coords is None:
+        coords = np.array([[1, 1], [2, 2]])
+    n = coords.shape[0]
+    attrs = {
+        "i": np.arange(n, dtype=np.int32),
+        "j": np.linspace(0.0, 1.0, n),
+    }
+    return ChunkData(schema, key, coords, attrs, size_bytes=size_bytes)
+
+
+class TestChunkRef:
+    def test_identity_and_ordering(self):
+        a = ChunkRef("band1", (0, 1, 2))
+        b = ChunkRef("band1", (0, 1, 2))
+        c = ChunkRef("band2", (0, 1, 2))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_key_normalized_to_ints(self):
+        ref = ChunkRef("a", (np.int64(3), np.int64(4)))
+        assert ref.key == (3, 4)
+        assert type(ref.key[0]) is int
+
+
+class TestChunkData:
+    def test_cell_count_and_size(self, tiny_schema):
+        chunk = make_chunk(tiny_schema)
+        assert chunk.cell_count == 2
+        assert chunk.size_bytes > 0
+
+    def test_modeled_size_override(self, tiny_schema):
+        chunk = make_chunk(tiny_schema, size_bytes=1e6)
+        assert chunk.size_bytes == 1e6
+
+    def test_vertical_shares_sum_to_total(self, tiny_schema):
+        chunk = make_chunk(tiny_schema, size_bytes=1200.0)
+        assert sum(chunk.attr_bytes.values()) == pytest.approx(1200.0)
+        # int32 (4B) vs float64 (8B): shares proportional to width
+        assert chunk.attr_bytes["j"] == pytest.approx(
+            2 * chunk.attr_bytes["i"]
+        )
+
+    def test_bytes_for_subset(self, tiny_schema):
+        chunk = make_chunk(tiny_schema, size_bytes=1200.0)
+        assert chunk.bytes_for(["i"]) == pytest.approx(400.0)
+        assert chunk.bytes_for(["i", "j"]) == pytest.approx(1200.0)
+        with pytest.raises(ChunkError):
+            chunk.bytes_for(["nope"])
+
+    def test_cells_must_stay_in_chunk_box(self, tiny_schema):
+        with pytest.raises(ChunkError):
+            make_chunk(tiny_schema, key=(0, 0), coords=np.array([[3, 3]]))
+
+    def test_missing_attribute_rejected(self, tiny_schema):
+        with pytest.raises(ChunkError):
+            ChunkData(
+                tiny_schema, (0, 0), np.array([[1, 1]]),
+                {"i": np.array([1], dtype=np.int32)},
+            )
+
+    def test_unknown_attribute_rejected(self, tiny_schema):
+        with pytest.raises(ChunkError):
+            ChunkData(
+                tiny_schema, (0, 0), np.array([[1, 1]]),
+                {
+                    "i": np.array([1], dtype=np.int32),
+                    "j": np.array([1.0]),
+                    "k": np.array([2.0]),
+                },
+            )
+
+    def test_length_mismatch_rejected(self, tiny_schema):
+        with pytest.raises(ChunkError):
+            ChunkData(
+                tiny_schema, (0, 0), np.array([[1, 1], [2, 2]]),
+                {
+                    "i": np.array([1], dtype=np.int32),
+                    "j": np.array([1.0, 2.0]),
+                },
+            )
+
+    def test_merge(self, tiny_schema):
+        a = make_chunk(tiny_schema, coords=np.array([[1, 1]]),
+                       size_bytes=100.0)
+        b = make_chunk(tiny_schema, coords=np.array([[2, 2]]),
+                       size_bytes=50.0)
+        merged = a.merged_with(b)
+        assert merged.cell_count == 2
+        assert merged.size_bytes == pytest.approx(150.0)
+
+    def test_merge_wrong_key_rejected(self, tiny_schema):
+        a = make_chunk(tiny_schema, key=(0, 0),
+                       coords=np.array([[1, 1]]))
+        b = make_chunk(tiny_schema, key=(1, 1),
+                       coords=np.array([[3, 3]]))
+        with pytest.raises(ChunkError):
+            a.merged_with(b)
+
+    def test_dim_values(self, tiny_schema):
+        chunk = make_chunk(tiny_schema)
+        assert list(chunk.dim_values("x")) == [1, 2]
+        assert list(chunk.dim_values("y")) == [1, 2]
+
+    def test_empty_chunk(self, tiny_schema):
+        chunk = empty_chunk(tiny_schema, (0, 0))
+        assert chunk.cell_count == 0
+        assert chunk.size_bytes == 0
+
+
+class TestChunkCells:
+    def test_groups_by_chunk_key(self, tiny_schema):
+        coords = np.array([[1, 1], [4, 4], [2, 2], [3, 3]])
+        attrs = {
+            "i": np.arange(4, dtype=np.int32),
+            "j": np.arange(4, dtype=np.float64),
+        }
+        chunks = chunk_cells(tiny_schema, coords, attrs)
+        keys = [c.key for c in chunks]
+        assert keys == [(0, 0), (1, 1)]
+        assert sum(c.cell_count for c in chunks) == 4
+
+    def test_values_follow_their_cells(self, tiny_schema):
+        coords = np.array([[4, 4], [1, 1]])
+        attrs = {
+            "i": np.array([40, 10], dtype=np.int32),
+            "j": np.array([4.0, 1.0]),
+        }
+        chunks = chunk_cells(tiny_schema, coords, attrs)
+        by_key = {c.key: c for c in chunks}
+        assert by_key[(0, 0)].values("i")[0] == 10
+        assert by_key[(1, 1)].values("i")[0] == 40
+
+    def test_inflate_scales_modeled_bytes(self, tiny_schema):
+        coords = np.array([[1, 1]])
+        attrs = {
+            "i": np.array([1], dtype=np.int32),
+            "j": np.array([1.0]),
+        }
+        plain = chunk_cells(tiny_schema, coords, attrs)[0]
+        inflated = chunk_cells(tiny_schema, coords, attrs, inflate=10.0)[0]
+        assert inflated.size_bytes == pytest.approx(plain.size_bytes * 10)
+        assert inflated.cell_count == plain.cell_count
+
+    def test_out_of_bounds_cells_rejected(self, tiny_schema):
+        with pytest.raises(ChunkError):
+            chunk_cells(
+                tiny_schema,
+                np.array([[0, 1]]),  # x starts at 1
+                {"i": np.array([1], dtype=np.int32),
+                 "j": np.array([1.0])},
+            )
+
+    def test_empty_batch(self, tiny_schema):
+        out = chunk_cells(
+            tiny_schema,
+            np.empty((0, 2), dtype=np.int64),
+            {"i": np.empty(0, dtype=np.int32), "j": np.empty(0)},
+        )
+        assert out == []
+
+
+class TestLocalArray:
+    def test_insert_and_scan(self, tiny_schema):
+        arr = LocalArray(tiny_schema)
+        coords = np.array([[1, 1], [2, 3], [3, 3], [4, 4], [2, 2], [3, 2]])
+        arr.insert_cells(
+            coords,
+            {"i": np.arange(6, dtype=np.int32),
+             "j": np.linspace(0, 1, 6)},
+        )
+        assert arr.cell_count == 6
+        assert len(arr) == 4
+        scanned_coords, scanned = arr.scan()
+        assert scanned_coords.shape == (6, 2)
+        assert set(scanned) == {"i", "j"}
+
+    def test_merge_on_same_key(self, tiny_schema):
+        arr = LocalArray(tiny_schema)
+        for _ in range(2):
+            arr.insert_cells(
+                np.array([[1, 1]]),
+                {"i": np.array([1], dtype=np.int32),
+                 "j": np.array([0.5])},
+            )
+        assert len(arr) == 1
+        assert arr.chunk((0, 0)).cell_count == 2
+
+    def test_subarray(self, tiny_schema):
+        arr = LocalArray(tiny_schema)
+        arr.insert_cells(
+            np.array([[1, 1], [2, 2], [4, 4]]),
+            {"i": np.array([1, 2, 3], dtype=np.int32),
+             "j": np.array([1.0, 2.0, 3.0])},
+        )
+        coords, values = arr.subarray(Box((1, 1), (3, 3)), ["i"])
+        assert coords.shape[0] == 2
+        assert sorted(values["i"].tolist()) == [1, 2]
+
+    def test_subarray_empty_region(self, tiny_schema):
+        arr = LocalArray(tiny_schema)
+        coords, values = arr.subarray(Box((1, 1), (2, 2)))
+        assert coords.shape[0] == 0
+        assert values["i"].shape[0] == 0
+
+    def test_chunks_in_region(self, tiny_schema):
+        arr = LocalArray(tiny_schema)
+        arr.insert_cells(
+            np.array([[1, 1], [4, 4]]),
+            {"i": np.array([1, 2], dtype=np.int32),
+             "j": np.array([1.0, 2.0])},
+        )
+        hits = arr.chunks_in_region(Box((1, 1), (2, 2)))
+        assert [c.key for c in hits] == [(0, 0)]
+
+    def test_missing_chunk_raises(self, tiny_schema):
+        arr = LocalArray(tiny_schema)
+        with pytest.raises(ChunkError):
+            arr.chunk((0, 0))
+
+    def test_wrong_schema_chunk_rejected(self, tiny_schema):
+        from repro.arrays import parse_schema
+
+        other = parse_schema("B<i:int32, j:float>[x=1:4,2, y=1:4,2]")
+        arr = LocalArray(tiny_schema)
+        chunk = make_chunk(other)
+        with pytest.raises(ChunkError):
+            arr.add_chunk(chunk)
+
+    def test_size_accumulates(self, tiny_schema):
+        arr = LocalArray(tiny_schema)
+        arr.insert_cells(
+            np.array([[1, 1], [4, 4]]),
+            {"i": np.array([1, 2], dtype=np.int32),
+             "j": np.array([1.0, 2.0])},
+        )
+        assert arr.size_bytes == pytest.approx(
+            sum(c.size_bytes for c in arr.chunks())
+        )

@@ -1,0 +1,165 @@
+"""The leading staircase PD control loop (paper §5.1, Eqs. 2-4)."""
+
+import math
+
+import pytest
+
+from repro.core.provisioner import LeadingStaircase, ProvisioningDecision
+from repro.errors import ProvisioningError
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ProvisioningError):
+            LeadingStaircase(node_capacity=0)
+        with pytest.raises(ProvisioningError):
+            LeadingStaircase(node_capacity=100, samples=0)
+        with pytest.raises(ProvisioningError):
+            LeadingStaircase(node_capacity=100, planning_cycles=-1)
+
+
+class TestObserve:
+    def test_monotone_demand_enforced(self):
+        p = LeadingStaircase(node_capacity=100)
+        p.observe(50.0)
+        p.observe(80.0)
+        with pytest.raises(ProvisioningError):
+            p.observe(40.0)
+
+    def test_negative_demand_rejected(self):
+        p = LeadingStaircase(node_capacity=100)
+        with pytest.raises(ProvisioningError):
+            p.observe(-1.0)
+
+    def test_history_recorded(self):
+        p = LeadingStaircase(node_capacity=100)
+        for d in (10.0, 20.0, 35.0):
+            p.observe(d)
+        assert p.history == [10.0, 20.0, 35.0]
+
+
+class TestDerivative:
+    def test_eq3_with_full_window(self):
+        p = LeadingStaircase(node_capacity=100, samples=2)
+        for d in (10.0, 30.0, 60.0):
+            p.observe(d)
+        # (60 - 10) / 2
+        assert p.derivative() == pytest.approx(25.0)
+
+    def test_window_shrinks_with_short_history(self):
+        p = LeadingStaircase(node_capacity=100, samples=5)
+        p.observe(10.0)
+        p.observe(30.0)
+        assert p.derivative() == pytest.approx(20.0)
+
+    def test_single_observation_zero(self):
+        p = LeadingStaircase(node_capacity=100)
+        p.observe(10.0)
+        assert p.derivative() == 0.0
+
+
+class TestEvaluate:
+    def test_under_capacity_no_scale_out(self):
+        p = LeadingStaircase(node_capacity=100, samples=1,
+                             planning_cycles=3)
+        p.observe(150.0)
+        decision = p.evaluate(current_nodes=2)
+        assert decision.new_nodes == 0
+        assert decision.proportional == pytest.approx(-50.0)
+
+    def test_eq4_proportional_plus_derivative(self):
+        # l = 230, N = 2, c = 100 -> p_i = 30; Δ = 40; p = 2
+        # k = ceil((30 + 2*40) / 100) = ceil(1.1) = 2
+        p = LeadingStaircase(node_capacity=100, samples=1,
+                             planning_cycles=2)
+        p.observe(190.0)
+        p.observe(230.0)
+        decision = p.evaluate(current_nodes=2)
+        assert decision.proportional == pytest.approx(30.0)
+        assert decision.derivative == pytest.approx(40.0)
+        assert decision.new_nodes == 2
+
+    def test_lazy_planner_adds_minimum(self):
+        p = LeadingStaircase(node_capacity=100, samples=1,
+                             planning_cycles=0)
+        p.observe(150.0)
+        p.observe(201.0)
+        decision = p.evaluate(current_nodes=2)
+        assert decision.new_nodes == 1
+
+    def test_at_least_one_node_when_over_capacity(self):
+        # tiny overflow with zero derivative still adds a node
+        p = LeadingStaircase(node_capacity=100, samples=1,
+                             planning_cycles=0)
+        p.observe(100.5)
+        assert p.evaluate(current_nodes=1).new_nodes == 1
+
+    def test_explicit_demand_overrides_history(self):
+        p = LeadingStaircase(node_capacity=100)
+        p.observe(50.0)
+        decision = p.evaluate(current_nodes=1, demand=500.0)
+        assert decision.new_nodes >= 4
+
+    def test_no_history_no_demand_rejected(self):
+        p = LeadingStaircase(node_capacity=100)
+        with pytest.raises(ProvisioningError):
+            p.evaluate(current_nodes=1)
+
+    def test_bad_node_count(self):
+        p = LeadingStaircase(node_capacity=100)
+        p.observe(10.0)
+        with pytest.raises(ProvisioningError):
+            p.evaluate(current_nodes=0)
+
+    def test_projected_demand(self):
+        p = LeadingStaircase(node_capacity=100, samples=1,
+                             planning_cycles=3)
+        p.observe(100.0)
+        p.observe(150.0)
+        decision = p.evaluate(current_nodes=1)
+        assert decision.projected_demand == pytest.approx(
+            150.0 + 3 * 50.0
+        )
+
+
+class TestStaircaseShape:
+    def test_eager_configs_step_less_often_but_higher(self):
+        """The Figure 8 shape: higher p means fewer, taller steps."""
+        def run(planning):
+            stair = LeadingStaircase(
+                node_capacity=100, samples=4, planning_cycles=planning
+            )
+            nodes = 2
+            events = 0
+            series = []
+            for cycle in range(1, 16):
+                demand = 45.0 * cycle
+                stair.observe(demand)
+                d = stair.evaluate(current_nodes=nodes)
+                if d.new_nodes:
+                    nodes += d.new_nodes
+                    events += 1
+                series.append(nodes)
+            return events, series
+
+        lazy_events, lazy_series = run(1)
+        eager_events, eager_series = run(6)
+        assert lazy_events > eager_events
+        # eager capacity always at least lazy capacity mid-run
+        assert all(e >= l for e, l in zip(eager_series, lazy_series))
+        # both end with enough capacity for final demand
+        assert lazy_series[-1] * 100 >= 45.0 * 15
+        assert eager_series[-1] * 100 >= 45.0 * 15
+
+    def test_never_removes_nodes(self):
+        stair = LeadingStaircase(node_capacity=100, samples=2,
+                                 planning_cycles=1)
+        nodes = 2
+        prev = nodes
+        for cycle in range(1, 20):
+            stair.observe(30.0 * cycle)
+            d = stair.evaluate(current_nodes=nodes)
+            assert d.new_nodes >= 0
+            nodes += d.new_nodes
+            assert nodes >= prev
+            prev = nodes

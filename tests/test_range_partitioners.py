@@ -1,0 +1,274 @@
+"""Hilbert Curve, K-d Tree, Incremental Quadtree, Uniform Range."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import Box, ChunkRef
+from repro.core.hilbert_curve import HilbertCurvePartitioner
+from repro.core.kd_tree import KdInner, KdLeaf, KdTreePartitioner
+from repro.core.quadtree import IncrementalQuadtreePartitioner
+from repro.core.uniform_range import UniformRangePartitioner, build_leaves
+from repro.errors import PartitioningError
+
+GRID = Box((0, 0), (16, 16))
+GRID3 = Box((0, 0, 0), (8, 16, 12))
+
+
+def fill(p, n=120, grid=GRID, seed=3, skew=False):
+    rng = np.random.default_rng(seed)
+    placed = []
+    for i in range(n):
+        key = tuple(
+            int(rng.integers(lo, hi)) for lo, hi in zip(grid.lo, grid.hi)
+        )
+        if skew and rng.random() < 0.8:
+            key = tuple(min(hi - 1, lo + int(abs(rng.normal(0, 1.2))))
+                        for lo, hi in zip(grid.lo, grid.hi))
+        size = float(rng.lognormal(2, 1)) if skew else 10.0
+        ref = ChunkRef("a", key)
+        p.place(ref, size)
+        placed.append(ref)
+    return placed
+
+
+class TestHilbertPartitioner:
+    def test_contiguous_ranges_cover_space(self):
+        p = HilbertCurvePartitioner([0, 1, 2], (16, 16))
+        ranges = p.ranges()
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] is None
+        for (s0, e0, _), (s1, _, _) in zip(ranges, ranges[1:]):
+            assert e0 == s1
+
+    def test_prepare_batch_fits_initial_bounds(self):
+        p = HilbertCurvePartitioner([0, 1], (16, 16))
+        batch = [
+            (ChunkRef("a", (x, y)), 10.0)
+            for x in range(4) for y in range(4)
+        ]
+        p.prepare_batch(batch)
+        # Both nodes now own curve positions that occur in the batch.
+        owners = {p.place(ref, size) for ref, size in batch}
+        assert owners == {0, 1}
+
+    def test_prepare_batch_noop_after_data_placed(self):
+        p = HilbertCurvePartitioner([0, 1], (16, 16))
+        p.place(ChunkRef("a", (0, 0)), 10.0)
+        before = p.ranges()
+        p.prepare_batch([(ChunkRef("a", (5, 5)), 10.0)])
+        assert p.ranges() == before
+
+    def test_scale_out_splits_heaviest_at_median(self):
+        p = HilbertCurvePartitioner([0, 1], (16, 16))
+        fill(p, 200)
+        loads = p.node_loads()
+        heaviest = max(loads, key=loads.get)
+        before = loads[heaviest]
+        plan = p.scale_out([2])
+        assert all(m.source == heaviest for m in plan.moves)
+        assert all(m.dest == 2 for m in plan.moves)
+        # roughly half the bytes moved
+        moved = plan.total_bytes
+        assert 0.2 * before < moved < 0.8 * before
+
+    def test_co_located_arrays_never_split(self):
+        # band1/band2 at the same key share a curve position; a split
+        # must never separate them (the join-locality guarantee).
+        p = HilbertCurvePartitioner([0, 1], (16, 16))
+        for x in range(8):
+            for y in range(4):
+                p.place(ChunkRef("band1", (x, y)), 10.0)
+                p.place(ChunkRef("band2", (x, y)), 10.0)
+        p.scale_out([2, 3])
+        for x in range(8):
+            for y in range(4):
+                assert p.locate(ChunkRef("band1", (x, y))) == p.locate(
+                    ChunkRef("band2", (x, y))
+                )
+
+    def test_unbounded_growth_keeps_working(self):
+        p = HilbertCurvePartitioner([0, 1], (4, 4))
+        p.place(ChunkRef("a", (3, 3)), 10.0)
+        node = p.place(ChunkRef("a", (40, 3)), 10.0)  # deep overflow
+        assert node in p.nodes
+
+
+class TestKdTree:
+    def test_initial_volume_split(self):
+        p = KdTreePartitioner([0, 1], GRID)
+        leaf0, leaf1 = p.leaf_of(0), p.leaf_of(1)
+        assert leaf0.box.volume + leaf1.box.volume == GRID.volume
+        assert not leaf0.box.intersects(leaf1.box)
+
+    def test_locate_descends_tree(self):
+        p = KdTreePartitioner([0, 1], GRID)
+        for key in [(0, 0), (15, 15), (8, 3)]:
+            node = p.locate_key(key)
+            assert p.leaf_of(node).box.contains(key)
+
+    def test_storage_median_split(self):
+        p = KdTreePartitioner([0], Box((0,), (10,)))
+        # 90 bytes at coordinate 1, 10 bytes spread above
+        p.place(ChunkRef("a", (1,)), 90.0)
+        for x in range(2, 10):
+            p.place(ChunkRef("a", (x,)), 10.0 / 8)
+        p.scale_out([1])
+        # split point should isolate the heavy coordinate
+        loads = p.node_loads()
+        assert abs(loads[0] - loads[1]) < 90.0
+
+    def test_split_order_prioritizes_listed_dims(self):
+        p = KdTreePartitioner([0, 1, 2, 3], GRID3, split_order=(1, 2))
+        # No split plane on dimension 0 (time) while space is splittable.
+        def planes(node):
+            if isinstance(node, KdInner):
+                yield node.dim
+                yield from planes(node.left)
+                yield from planes(node.right)
+        assert 0 not in set(planes(p._root))
+
+    def test_fallback_to_unlisted_dim_when_exhausted(self):
+        thin = Box((0, 0), (8, 1))  # dim 1 unsplittable
+        p = KdTreePartitioner([0, 1], thin, split_order=(1,))
+        # initial split had to fall back to dim 0
+        assert isinstance(p._root, KdInner)
+        assert p._root.dim == 0
+
+    def test_grid_exhaustion_raises(self):
+        tiny = Box((0,), (2,))
+        p = KdTreePartitioner([0, 1], tiny)
+        with pytest.raises(PartitioningError):
+            p.scale_out([2])
+
+    def test_invalid_split_order(self):
+        with pytest.raises(PartitioningError):
+            KdTreePartitioner([0], GRID, split_order=(0, 0))
+        with pytest.raises(PartitioningError):
+            KdTreePartitioner([0], GRID, split_order=(5,))
+
+    def test_moves_follow_plane(self):
+        p = KdTreePartitioner([0], GRID)
+        placed = fill(p, 100)
+        plan = p.scale_out([1])
+        for m in plan.moves:
+            assert p.locate(m.ref) == 1
+        # every chunk is located where the tree says
+        for ref in placed:
+            assert p.locate(ref) == p.locate_key(ref.key)
+
+
+class TestQuadtree:
+    def test_cells_tile_grid(self):
+        p = IncrementalQuadtreePartitioner([0, 1, 2, 3], GRID)
+        cells = [box for box, _ in p.all_cells()]
+        assert sum(c.volume for c in cells) == GRID.volume
+        for i in range(len(cells)):
+            for j in range(i + 1, len(cells)):
+                assert not cells[i].intersects(cells[j])
+
+    def test_first_split_quarters(self):
+        p = IncrementalQuadtreePartitioner([0], GRID)
+        fill(p, 60)
+        p.scale_out([1])
+        # after the first split, cells are quarters of the grid
+        cells0 = p.cells_of(0)
+        cells1 = p.cells_of(1)
+        assert len(cells0) + len(cells1) == 4
+        assert all(c.volume == GRID.volume // 4 for c in cells0 + cells1)
+
+    def test_transferred_cells_are_contiguous(self):
+        p = IncrementalQuadtreePartitioner([0], GRID)
+        fill(p, 80, skew=True)
+        p.scale_out([1])
+        given = p.cells_of(1)
+        if len(given) == 2:
+            assert given[0].face_adjacent(given[1])
+        else:
+            assert len(given) == 1
+
+    def test_split_dims_restriction(self):
+        p = IncrementalQuadtreePartitioner(
+            [0], GRID3, split_dims=(1, 2)
+        )
+        fill(p, 60, grid=GRID3)
+        p.scale_out([1, 2])
+        for node in p.nodes:
+            for cell in p.cells_of(node):
+                # time dimension never subdivided
+                assert cell.lo[0] == 0 and cell.hi[0] == GRID3.hi[0]
+
+    def test_locate_clamps_out_of_grid_keys(self):
+        p = IncrementalQuadtreePartitioner([0, 1], GRID3, split_dims=(1, 2))
+        node = p.locate_key((999, 3, 3))
+        assert node in p.nodes
+
+    def test_moves_land_in_new_cells(self):
+        p = IncrementalQuadtreePartitioner([0], GRID)
+        fill(p, 100, skew=True)
+        plan = p.scale_out([1])
+        assert plan.chunk_count > 0
+        for m in plan.moves:
+            clamped = p._clamp(m.ref.key)
+            assert any(
+                box.contains(clamped) for box in p.cells_of(1)
+            )
+
+
+class TestUniformRange:
+    def test_leaf_count(self):
+        leaves = build_leaves(GRID, height=4)
+        assert len(leaves) == 16
+        assert sum(l.volume for l in leaves) == GRID.volume
+
+    def test_leaves_exhaust_early_on_small_grids(self):
+        leaves = build_leaves(Box((0, 0), (2, 2)), height=6)
+        assert len(leaves) == 4  # can't go deeper than 2x2
+
+    def test_split_dims_restriction(self):
+        leaves = build_leaves(GRID3, height=4, split_dims=(1, 2))
+        for leaf in leaves:
+            assert leaf.lo[0] == 0 and leaf.hi[0] == GRID3.hi[0]
+
+    def test_contiguous_blocks_per_node(self):
+        p = UniformRangePartitioner([0, 1, 2], GRID, height=4)
+        owners = p.leaf_owners()
+        # owners must be non-decreasing in traversal order (blocks)
+        order = [p.nodes.index(o) for o in owners]
+        assert order == sorted(order)
+
+    def test_leaf_lookup_matches_linear_scan(self):
+        p = UniformRangePartitioner([0, 1, 2], GRID, height=4)
+        leaves = p.leaves()
+        for key in [(0, 0), (15, 15), (7, 9), (3, 12)]:
+            idx = p.leaf_index_of(key)
+            assert leaves[idx].contains(key)
+
+    def test_scale_out_re_slices_globally(self):
+        p = UniformRangePartitioner([0, 1], GRID, height=4)
+        fill(p, 150)
+        plan = p.scale_out([2])
+        assert plan.chunk_count > 0
+        # every chunk is now where the new slicing says
+        for ref in p.assignment():
+            assert p.locate(ref) == p.leaf_owners()[
+                p.leaf_index_of(ref.key)
+            ]
+
+    def test_balanced_chunk_counts_on_uniform_data(self):
+        p = UniformRangePartitioner([0, 1, 2, 3], GRID, height=6)
+        rng = np.random.default_rng(0)
+        for x in range(16):
+            for y in range(16):
+                p.place(ChunkRef("a", (x, y)), 10.0)
+        loads = list(p.node_loads().values())
+        assert max(loads) / min(loads) < 1.5
+
+    def test_too_few_leaves_rejected(self):
+        with pytest.raises(PartitioningError):
+            UniformRangePartitioner(
+                list(range(10)), Box((0, 0), (2, 2)), height=2
+            )
+
+    def test_invalid_height(self):
+        with pytest.raises(PartitioningError):
+            UniformRangePartitioner([0], GRID, height=0)

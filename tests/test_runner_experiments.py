@@ -1,0 +1,177 @@
+"""ExperimentRunner cycle loop and the table/figure entry points."""
+
+import pytest
+
+from repro.cluster import GB
+from repro.core.traits import PAPER_ORDER
+from repro.harness import (
+    ExperimentRunner,
+    RunConfig,
+    default_ais,
+    default_modis,
+    figure4_insert_reorg,
+    figure8_staircase,
+    headline_claims,
+    table1_taxonomy,
+    table2_sampling,
+    table3_cost_model,
+)
+from repro.harness.reporting import (
+    format_series,
+    format_series_table,
+    format_table,
+)
+from repro.workloads import AisWorkload, ModisWorkload
+
+TINY_MODIS = dict(n_cycles=5, cells_per_band_per_cycle=300,
+                  target_total_gb=225.0)
+TINY_AIS = dict(n_cycles=5, ships=100, broadcasts_per_ship=6,
+                target_total_gb=280.0)
+
+
+class TestRunnerFixedSchedule:
+    def test_fixed_schedule_scales_by_step(self):
+        runner = ExperimentRunner(
+            ModisWorkload(**TINY_MODIS),
+            RunConfig(partitioner="consistent_hash", run_queries=False,
+                      fixed_step=2),
+        )
+        metrics = runner.run()
+        assert metrics.cycles[0].nodes == 2
+        # 225 GB over 5 cycles with 100 GB nodes forces scale-outs
+        assert metrics.cycles[-1].nodes >= 4
+        for c in metrics.cycles:
+            assert c.nodes % 2 == 0  # grows in steps of 2
+        runner.cluster.check_consistency()
+
+    def test_capacity_always_covers_demand(self):
+        runner = ExperimentRunner(
+            ModisWorkload(**TINY_MODIS),
+            RunConfig(partitioner="kd_tree", run_queries=False),
+        )
+        metrics = runner.run()
+        for c in metrics.cycles:
+            assert c.nodes * 100 * GB >= c.demand_bytes
+
+    def test_queries_recorded_per_cycle(self):
+        runner = ExperimentRunner(
+            ModisWorkload(**TINY_MODIS),
+            RunConfig(partitioner="round_robin"),
+        )
+        metrics = runner.run()
+        for c in metrics.cycles:
+            assert c.query_seconds > 0
+            assert len(c.query_seconds_by_name) == 6
+        categories = runner.query_category_seconds()
+        assert set(categories) == {"spj", "science"}
+
+    def test_staircase_mode(self):
+        runner = ExperimentRunner(
+            ModisWorkload(**TINY_MODIS),
+            RunConfig(
+                partitioner="consistent_hash",
+                staircase={"s": 2, "p": 1},
+                run_queries=False,
+            ),
+        )
+        metrics = runner.run()
+        assert metrics.cycles[-1].nodes >= 3
+        runner.cluster.check_consistency()
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_every_partitioner_survives_a_full_run(self, name):
+        runner = ExperimentRunner(
+            AisWorkload(**TINY_AIS),
+            RunConfig(partitioner=name, run_queries=False),
+        )
+        metrics = runner.run()
+        assert len(metrics.cycles) == 5
+        runner.cluster.check_consistency()
+
+
+class TestExperimentEntryPoints:
+    def test_table1_matches_paper(self):
+        result = table1_taxonomy()
+        rendered = result.render()
+        assert "Append" in rendered
+        assert len(result.rows) == 8
+        # spot-check the published rows
+        by_name = {row[0]: row[1:] for row in result.rows}
+        assert by_name["Append"] == (True, True, False, False)
+        assert by_name["K-d Tree"] == (True, False, True, True)
+        assert by_name["Uniform Range"] == (False, False, False, True)
+
+    def test_figure4_shapes(self):
+        result = figure4_insert_reorg(
+            ModisWorkload(**TINY_MODIS),
+            AisWorkload(**TINY_AIS),
+            partitioners=("append", "round_robin", "kd_tree"),
+        )
+        for workload in ("modis", "ais"):
+            data = result.data[workload]
+            # Append never moves data
+            assert data["append"][1] == 0.0
+            # the global baseline reorganizes more than the k-d tree
+            assert data["round_robin"][1] > 0.0
+        assert "Figure 4" in result.render()
+
+    def test_figure8_staircase_covers_demand(self):
+        result = figure8_staircase(
+            ModisWorkload(**TINY_MODIS), p_values=(1, 3), samples=2
+        )
+        for p, nodes in result.steps.items():
+            for n, demand in zip(nodes, result.demand_nodes):
+                assert n >= demand - 1e-9
+        # lazier configs reorganize at least as often
+        assert result.reorganizations[1] >= result.reorganizations[3]
+        assert "Figure 8" in result.render()
+
+    def test_table2_structure(self):
+        result = table2_sampling(
+            ModisWorkload(n_cycles=12, cells_per_band_per_cycle=300),
+            AisWorkload(n_cycles=10, ships=100, broadcasts_per_ship=6),
+            max_samples=3,
+        )
+        assert set(result.errors) == {
+            "AIS Train", "AIS Test", "MODIS Train", "MODIS Test"
+        }
+        for errs in result.errors.values():
+            assert set(errs) == {1, 2, 3}
+            assert all(v >= 0 for v in errs.values())
+        assert "Table 2" in result.render()
+
+    def test_table3_model_vs_measured(self):
+        result = table3_cost_model(
+            ModisWorkload(n_cycles=8, cells_per_band_per_cycle=300,
+                          target_total_gb=360.0),
+            p_values=(1, 3),
+            samples=2,
+            window=(5, 8),
+        )
+        assert set(result.estimates) == {1, 3}
+        assert all(v > 0 for v in result.estimates.values())
+        assert all(v > 0 for v in result.measured.values())
+        assert "Table 3" in result.render()
+
+    def test_default_workload_factories(self):
+        m = default_modis(n_cycles=3)
+        a = default_ais(n_cycles=3)
+        assert m.n_cycles == 3
+        assert a.n_cycles == 3
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (True, False)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+        assert "X" in text  # booleans render as Table-1 marks
+
+    def test_format_series(self):
+        assert "lbl" in format_series("lbl", [1.0, 2.0])
+
+    def test_format_series_table(self):
+        text = format_series_table({"a": [1.0, 2.0]}, title="T")
+        assert text.startswith("T")
+        assert "cycle" in text

@@ -1,0 +1,192 @@
+"""Algorithm 1 (what-if s tuning) and the Eqs. 5-9 cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuning import (
+    ScaleOutCostModel,
+    best_planning_cycles,
+    best_sample_count,
+    fit_sample_count,
+    sampling_error,
+    sampling_error_window,
+)
+from repro.errors import ProvisioningError
+
+
+class TestSamplingError:
+    def test_linear_history_zero_error(self):
+        history = [10.0 * i for i in range(1, 10)]
+        for s in (1, 2, 3):
+            assert sampling_error(history, s) == pytest.approx(0.0)
+
+    def test_known_hand_computed_case(self):
+        history = [0.0, 10.0, 30.0, 40.0]
+        # s=1: predictions for i=1 (Δest=10 vs Δobs=20 -> 10) and
+        # i=2 (Δest=20 vs Δobs=10 -> 10): mean 10
+        assert sampling_error(history, 1) == pytest.approx(10.0)
+
+    def test_short_history_rejected(self):
+        with pytest.raises(ProvisioningError):
+            sampling_error([1.0, 2.0], 1)
+        with pytest.raises(ProvisioningError):
+            sampling_error([1.0, 2.0, 3.0], 2)
+
+    def test_bad_s(self):
+        with pytest.raises(ProvisioningError):
+            sampling_error([1.0, 2.0, 3.0], 0)
+
+    def test_noisy_history_prefers_larger_s(self):
+        # steady growth + alternating noise: averaging wins
+        history = [
+            10.0 * i + (3.0 if i % 2 else -3.0) for i in range(1, 15)
+        ]
+        errors = fit_sample_count(history, 4)
+        assert errors[4] < errors[1]
+
+    def test_momentum_history_prefers_small_s(self):
+        # smoothly accelerating growth: recent samples track best
+        history = [float(i ** 2) for i in range(1, 15)]
+        errors = fit_sample_count(history, 4)
+        assert errors[1] < errors[4]
+
+
+class TestSamplingWindow:
+    def test_window_restricts_scored_predictions(self):
+        history = [0.0, 10.0, 30.0, 40.0, 80.0, 85.0]
+        full = sampling_error(history, 1)
+        head = sampling_error_window(history, 1, 0, 3)
+        tail = sampling_error_window(history, 1, 3, None)
+        assert head != tail
+        # full error is a length-weighted mix of the two windows
+        assert min(head, tail) <= full <= max(head, tail)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ProvisioningError):
+            sampling_error_window([1.0, 2.0, 3.0], 2, 0, 2)
+
+
+class TestFitHelpers:
+    def test_fit_sample_count_range(self):
+        history = [float(i * 10) for i in range(1, 12)]
+        errors = fit_sample_count(history, 4)
+        assert set(errors) == {1, 2, 3, 4}
+
+    def test_best_sample_count_tie_goes_small(self):
+        assert best_sample_count({1: 0.5, 2: 0.5, 3: 1.0}) == 1
+
+    def test_too_short_history(self):
+        with pytest.raises(ProvisioningError):
+            fit_sample_count([1.0, 2.0], 4)
+
+    def test_empty_minimize(self):
+        with pytest.raises(ProvisioningError):
+            best_sample_count({})
+        with pytest.raises(ProvisioningError):
+            best_planning_cycles({})
+
+
+def make_model(**overrides):
+    kwargs = dict(
+        node_capacity=100.0,
+        io_cost=10.0 / 3600.0,
+        network_cost=25.0 / 3600.0,
+        insert_rate=45.0,
+        initial_load=180.0,
+        initial_nodes=2,
+        base_query_time=0.2,
+    )
+    kwargs.update(overrides)
+    return ScaleOutCostModel(**kwargs)
+
+
+class TestCostModel:
+    def test_eq5_projected_load(self):
+        model = make_model()
+        assert model.projected_load(0) == pytest.approx(180.0)
+        assert model.projected_load(4) == pytest.approx(360.0)
+
+    def test_nodes_grow_only_on_breach(self):
+        model = make_model()
+        estimates = model.simulate(p=1, cycles=6)
+        nodes = [e.nodes for e in estimates]
+        assert nodes == sorted(nodes)
+        for e in estimates:
+            assert e.load <= e.nodes * model.node_capacity + 1e-9 or (
+                e.nodes == estimates[0].nodes
+            )
+
+    def test_eager_p_provisions_more(self):
+        lazy = make_model().simulate(p=1, cycles=6)
+        eager = make_model().simulate(p=6, cycles=6)
+        assert eager[-1].nodes >= lazy[-1].nodes
+        assert sum(e.nodes for e in eager) > sum(e.nodes for e in lazy)
+
+    def test_eq6_insert_time_shape(self):
+        model = make_model()
+        est = model.simulate(p=1, cycles=1)[0]
+        n = est.nodes
+        expected = (
+            45.0 / n * model.io_cost
+            + 45.0 * (n - 1) / n * model.network_cost
+        )
+        assert est.insert_time == pytest.approx(expected)
+
+    def test_reorg_only_on_expansion(self):
+        model = make_model(insert_rate=5.0, initial_load=50.0)
+        estimates = model.simulate(p=1, cycles=5)
+        assert all(e.reorg_time == 0.0 for e in estimates)
+
+    def test_eq8_query_scaling(self):
+        model = make_model()
+        estimates = model.simulate(p=1, cycles=4)
+        for e in estimates:
+            expected = (
+                model.base_query_time
+                * (e.load / model.initial_load)
+                * (model.initial_nodes / e.nodes)
+            )
+            assert e.query_time == pytest.approx(expected)
+
+    def test_cost_is_node_hours_sum(self):
+        model = make_model()
+        estimates = model.simulate(p=2, cycles=5)
+        assert model.cost(2, 5) == pytest.approx(
+            sum(e.node_hours for e in estimates)
+        )
+
+    def test_fit_planning_cycles(self):
+        model = make_model()
+        costs = model.fit_planning_cycles([1, 3, 6], cycles=8)
+        assert set(costs) == {1, 3, 6}
+        best = best_planning_cycles(costs)
+        assert best in (1, 3, 6)
+
+    def test_validation(self):
+        with pytest.raises(ProvisioningError):
+            make_model(node_capacity=0)
+        with pytest.raises(ProvisioningError):
+            make_model(initial_nodes=0)
+        with pytest.raises(ProvisioningError):
+            make_model(insert_rate=-1)
+        model = make_model()
+        with pytest.raises(ProvisioningError):
+            model.simulate(p=-1, cycles=3)
+        with pytest.raises(ProvisioningError):
+            model.simulate(p=1, cycles=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mu=st.floats(1.0, 100.0),
+    l0=st.floats(10.0, 500.0),
+    p=st.integers(0, 8),
+    cycles=st.integers(1, 12),
+)
+def test_property_capacity_always_covers_load(mu, l0, p, cycles):
+    """After any modeled expansion, capacity covers the cycle's load."""
+    model = make_model(insert_rate=mu, initial_load=l0)
+    for est in model.simulate(p=p, cycles=cycles):
+        if est.nodes > model.initial_nodes:
+            assert est.nodes * model.node_capacity >= est.load - 1e-6

@@ -1,0 +1,213 @@
+"""Workload generators: distributions, MODIS, AIS, cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GB
+from repro.errors import WorkloadError
+from repro.workloads import (
+    AisWorkload,
+    ModisWorkload,
+    Port,
+    SpatialModel,
+    port_hotspots,
+    uniform_with_mild_skew,
+    zipf_weights,
+)
+
+
+class TestSpatialModel:
+    def test_weights_must_normalize(self):
+        with pytest.raises(WorkloadError):
+            SpatialModel(2, 2, (0.5, 0.5, 0.5, 0.5))
+
+    def test_weight_count_must_match_grid(self):
+        with pytest.raises(WorkloadError):
+            SpatialModel(2, 2, (1.0,))
+
+    def test_sampling_follows_weights(self):
+        model = SpatialModel(2, 1, (0.9, 0.1))
+        rng = np.random.default_rng(0)
+        draws = model.sample_chunks(2000, rng)
+        assert (draws == 0).mean() > 0.8
+
+    def test_chunk_lon_lat_unflatten(self):
+        model = SpatialModel(3, 2, tuple([1 / 6] * 6))
+        lon, lat = model.chunk_lon_lat(np.array([0, 1, 2, 5]))
+        assert lon.tolist() == [0, 0, 1, 2]
+        assert lat.tolist() == [0, 1, 0, 1]
+
+    def test_top_share(self):
+        model = SpatialModel(10, 1, tuple([0.91] + [0.01] * 9))
+        assert model.top_share(0.1) == pytest.approx(0.91)
+        with pytest.raises(WorkloadError):
+            model.top_share(0.0)
+
+
+class TestDistributionShapes:
+    def test_uniform_mild_skew_targets(self):
+        model = uniform_with_mild_skew(30, 15)
+        assert 0.05 < model.top_share(0.05) < 0.20  # paper: ~10 %
+
+    def test_port_hotspots_heavy_skew(self):
+        ports = [Port("p", 5, 5, 1.0), Port("q", 20, 10, 0.5)]
+        model = port_hotspots(29, 23, ports, hot_mass=0.9, spread=0.4)
+        assert model.top_share(0.05) > 0.7
+
+    def test_port_outside_grid_rejected(self):
+        with pytest.raises(WorkloadError):
+            port_hotspots(10, 10, [Port("x", 50, 5, 1.0)])
+
+    def test_no_ports_rejected(self):
+        with pytest.raises(WorkloadError):
+            port_hotspots(10, 10, [])
+
+    def test_zipf_weights(self):
+        w = zipf_weights(4)
+        assert w[0] > w[1] > w[2] > w[3]
+        assert sum(w) == pytest.approx(1.0)
+        with pytest.raises(WorkloadError):
+            zipf_weights(0)
+
+
+class TestModisWorkload:
+    def test_batches_deterministic_and_cached(self, small_modis):
+        a = small_modis.batch(1)
+        b = small_modis.batch(1)
+        assert a is b  # cached
+        fresh = ModisWorkload(
+            n_cycles=6, cells_per_band_per_cycle=400,
+            target_total_gb=270.0,
+        )
+        c = fresh.batch(1)
+        assert a.total_bytes == pytest.approx(c.total_bytes)
+        assert a.chunk_count == c.chunk_count
+
+    def test_two_bands_same_positions(self, small_modis):
+        batch = small_modis.batch(2)
+        band1 = {c.key: c for c in batch.chunks
+                 if c.schema.name == "band1"}
+        band2 = {c.key: c for c in batch.chunks
+                 if c.schema.name == "band2"}
+        assert set(band1) == set(band2)
+        for key in band1:
+            assert np.array_equal(band1[key].coords, band2[key].coords)
+
+    def test_total_bytes_near_target(self, small_modis):
+        total = sum(b.total_bytes for b in small_modis.batches())
+        assert total == pytest.approx(270.0 * GB, rel=0.15)
+
+    def test_cells_only_in_declared_day(self, small_modis):
+        batch = small_modis.batch(3)
+        t0, t1 = small_modis.day_time_range(3)
+        for chunk in batch.chunks:
+            times = chunk.dim_values("time")
+            assert times.min() >= t0
+            assert times.max() < t1
+
+    def test_demand_curve_monotone(self, small_modis):
+        curve = small_modis.demand_curve()
+        assert all(b > a for a, b in zip(curve, curve[1:]))
+
+    def test_grid_box_covers_batches(self, small_modis):
+        grid = small_modis.grid_box()
+        for batch in small_modis.batches():
+            for chunk in batch.chunks:
+                assert grid.contains(chunk.key)
+
+    def test_spatial_dims(self, small_modis):
+        assert small_modis.spatial_dims() == (1, 2)
+
+    def test_query_regions_well_formed(self, small_modis):
+        sel = small_modis.lower_left_sixteenth(3)
+        assert sel.lo == (0, -180, -90)
+        north, south = small_modis.polar_caps(1, 3)
+        assert north.lo[2] == 66
+        assert south.hi[2] == -66
+        amazon = small_modis.amazon_box(3)
+        assert amazon.lo[1] < amazon.hi[1]
+
+    def test_bad_cycle_rejected(self, small_modis):
+        with pytest.raises(WorkloadError):
+            small_modis.batch(0)
+        with pytest.raises(WorkloadError):
+            small_modis.batch(99)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ModisWorkload(n_cycles=0)
+        with pytest.raises(WorkloadError):
+            ModisWorkload(cells_per_band_per_cycle=1)
+        with pytest.raises(WorkloadError):
+            ModisWorkload(target_total_gb=-5)
+
+
+class TestAisWorkload:
+    def test_heavy_chunk_skew(self):
+        wl = AisWorkload(n_cycles=8, ships=400, broadcasts_per_ship=15)
+        sizes = []
+        for batch in wl.batches():
+            sizes.extend(c.size_bytes for c in batch.chunks)
+        sizes.sort(reverse=True)
+        top5 = sum(sizes[: max(1, len(sizes) // 20)]) / sum(sizes)
+        assert top5 > 0.6  # paper: ~85 %
+
+    def test_seasonal_volumes_vary(self, small_ais):
+        volumes = [b.total_bytes for b in small_ais.batches()]
+        assert max(volumes) / min(volumes) > 1.2
+
+    def test_vessel_array_replicated_metadata(self, small_ais):
+        vessels = small_ais.vessel_array
+        assert vessels.cell_count == small_ais.ships
+        assert small_ais.vessel_bytes == pytest.approx(25e6)
+        # vessel ids cover the fleet
+        coords, _ = vessels.scan()
+        assert set(coords[:, 0].tolist()) == set(range(small_ais.ships))
+
+    def test_broadcast_attrs_consistent(self, small_ais):
+        batch = small_ais.batch(1)
+        for chunk in batch.chunks:
+            speed = chunk.values("speed")
+            status = chunk.values("status")
+            # in-port ships (status 1) are stationary
+            assert (speed[status == 1] == 0).all()
+            assert (speed[status == 0] > 0).all()
+            ships = chunk.values("ship_id")
+            assert ships.min() >= 0
+            assert ships.max() < small_ais.ships
+
+    def test_houston_box_contains_top_port(self, small_ais):
+        box = small_ais.houston_box(2)
+        port = small_ais.ports[0]
+        lon = -180 + port.lon_chunk * 4 + 1
+        lat = 0 + port.lat_chunk * 4 + 1
+        t0, _ = small_ais.cycle_time_range(2)
+        assert box.contains((t0, lon, lat))
+
+    def test_houston_box_full_history_variant(self, small_ais):
+        recent = small_ais.houston_box(3)
+        full = small_ais.houston_box(3, recent_only=False)
+        assert full.lo[0] == 0
+        assert recent.lo[0] > 0
+        assert full.hi == recent.hi
+
+    def test_cells_within_cycle_time_range(self, small_ais):
+        batch = small_ais.batch(2)
+        t0, t1 = small_ais.cycle_time_range(2)
+        for chunk in batch.chunks:
+            times = chunk.dim_values("time")
+            assert times.min() >= t0
+            assert times.max() < t1
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AisWorkload(ships=1)
+        with pytest.raises(WorkloadError):
+            AisWorkload(broadcasts_per_ship=1)
+        with pytest.raises(WorkloadError):
+            AisWorkload(seasonal_amplitude=1.5)
+
+    def test_schema_lookup(self, small_ais):
+        assert small_ais.schema("broadcast").name == "broadcast"
+        with pytest.raises(WorkloadError):
+            small_ais.schema("unknown")

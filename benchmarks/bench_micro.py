@@ -2,6 +2,12 @@
 
 These time the library primitives themselves — chunk placement, curve
 indexing, tree lookups, batch chunking — rather than simulated workloads.
+
+Scalar and batch variants of each hot path run side by side on identical
+inputs; ``benchmark.extra_info["items"]`` records the per-round item
+count so ``bench_report.py`` can normalize every result to items/second
+and derive batch-vs-scalar speedups from one run (the BENCH trajectory
+tracked in ``BENCH_micro.json`` at the repo root).
 """
 
 import numpy as np
@@ -9,13 +15,22 @@ import pytest
 
 from repro.arrays import Box, ChunkRef, hilbert_index, parse_schema
 from repro.arrays.array import chunk_cells
-from repro.arrays.sfc import RectangleHilbert
+from repro.arrays.sfc import RectangleHilbert, hilbert_index_batch
 from repro.core import make_partitioner
 
 GRID = Box((0, 0, 0), (40, 29, 23))
 
+PARTITIONERS = [
+    "consistent_hash", "extendible_hash", "kd_tree",
+    "hilbert_curve", "round_robin",
+]
 
-def _refs(n=2000, seed=1):
+#: Hot-path batch size: 10x the original micro-benchmark scale, the
+#: regime where vectorization matters (ISSUE 1 acceptance criteria).
+N_REFS = 20_000
+
+
+def _refs(n=N_REFS, seed=1):
     rng = np.random.default_rng(seed)
     return [
         (
@@ -33,12 +48,10 @@ def _refs(n=2000, seed=1):
     ]
 
 
-@pytest.mark.parametrize(
-    "name", ["consistent_hash", "extendible_hash", "kd_tree",
-             "hilbert_curve", "round_robin"]
-)
+@pytest.mark.parametrize("name", PARTITIONERS)
 def test_placement_throughput(benchmark, name):
     refs = _refs()
+    benchmark.extra_info["items"] = len(refs)
 
     def place_all():
         p = make_partitioner(
@@ -52,16 +65,33 @@ def test_placement_throughput(benchmark, name):
     assert p.chunk_count <= len(refs)
 
 
+@pytest.mark.parametrize("name", PARTITIONERS)
+def test_place_batch_throughput(benchmark, name):
+    """The batch placement API on the same refs as the scalar loop."""
+    refs = _refs()
+    benchmark.extra_info["items"] = len(refs)
+
+    def place_batch_all():
+        p = make_partitioner(
+            name, [0, 1, 2, 3], grid=GRID, node_capacity_bytes=1e12
+        )
+        p.place_batch(refs)
+        return p
+
+    p = benchmark(place_batch_all)
+    assert p.chunk_count <= len(refs)
+
+
 def test_scale_out_throughput(benchmark):
     refs = _refs()
+    benchmark.extra_info["items"] = len(refs)
 
     def grow():
         p = make_partitioner(
             "consistent_hash", [0, 1], grid=GRID,
             node_capacity_bytes=1e12,
         )
-        for ref, size in refs:
-            p.place(ref, size)
+        p.place_batch(refs)
         p.scale_out([2, 3])
         p.scale_out([4, 5])
         return p
@@ -70,17 +100,44 @@ def test_scale_out_throughput(benchmark):
     assert p.node_count == 6
 
 
+def _hilbert_points(n=N_REFS):
+    return [(t % 40, (t * 7) % 29, (t * 13) % 23) for t in range(n)]
+
+
 def test_hilbert_indexing(benchmark):
     rect = RectangleHilbert((40, 29, 23))
-    points = [
-        (t % 40, (t * 7) % 29, (t * 13) % 23) for t in range(2000)
-    ]
+    points = _hilbert_points()
+    benchmark.extra_info["items"] = len(points)
 
     def index_all():
         return [rect.index(p) for p in points]
 
     out = benchmark(index_all)
     assert len(set(out)) == len(set(points))
+
+
+def test_hilbert_indexing_batch(benchmark):
+    """Vectorized Skilling transform on the same points, in one call."""
+    rect = RectangleHilbert((40, 29, 23))
+    points = _hilbert_points()
+    arr = np.array(points, dtype=np.int64)
+    benchmark.extra_info["items"] = len(points)
+
+    out = benchmark(rect.index_batch, arr)
+    assert out.tolist() == [rect.index(p) for p in points]
+
+
+def test_hilbert_index_batch_raw(benchmark):
+    """The bare cube-curve transform (no rectangle/overflow folding)."""
+    rng = np.random.default_rng(2)
+    pts = rng.integers(0, 64, size=(N_REFS, 3))
+    benchmark.extra_info["items"] = N_REFS
+
+    out = benchmark(hilbert_index_batch, pts, 6)
+    assert out.shape == (N_REFS,)
+    assert out.tolist() == [
+        hilbert_index(tuple(p), 6) for p in pts.tolist()
+    ]
 
 
 def test_chunk_cells_throughput(benchmark):
@@ -100,6 +157,7 @@ def test_chunk_cells_throughput(benchmark):
         "v": rng.random(20000),
         "w": rng.integers(0, 100, 20000).astype(np.int32),
     }
+    benchmark.extra_info["items"] = 20000
 
     chunks = benchmark(chunk_cells, schema, coords, attrs)
     assert sum(c.cell_count for c in chunks) == 20000
@@ -110,9 +168,23 @@ def test_kd_lookup_latency(benchmark):
         "kd_tree", list(range(16)), grid=GRID, node_capacity_bytes=1e12
     )
     keys = [(t % 40, (t * 3) % 29, (t * 5) % 23) for t in range(5000)]
+    benchmark.extra_info["items"] = len(keys)
 
     def lookup_all():
         return [p.locate_key(k) for k in keys]
 
     out = benchmark(lookup_all)
     assert all(n in p.nodes for n in out)
+
+
+def test_kd_lookup_batch_latency(benchmark):
+    """Batch tree descent over the same keys as the scalar lookups."""
+    p = make_partitioner(
+        "kd_tree", list(range(16)), grid=GRID, node_capacity_bytes=1e12
+    )
+    keys = [(t % 40, (t * 3) % 29, (t * 5) % 23) for t in range(5000)]
+    arr = np.array(keys, dtype=np.int64)
+    benchmark.extra_info["items"] = len(keys)
+
+    out = benchmark(p.locate_keys, arr)
+    assert out.tolist() == [p.locate_key(k) for k in keys]

@@ -1,0 +1,146 @@
+"""Run the micro-benchmarks and emit a normalized ``BENCH_micro.json``.
+
+This is the repo's perf-regression harness: it executes
+``bench_micro.py`` under ``pytest-benchmark --benchmark-json``, converts
+every result to items/second (using the per-benchmark ``extra_info``
+item counts), derives batch-vs-scalar speedups for the hot paths that
+have both variants, and writes ``BENCH_micro.json`` at the repo root so
+the performance trajectory is tracked PR over PR.
+
+Usage::
+
+    python benchmarks/bench_report.py [--output BENCH_micro.json]
+                                      [--input existing-benchmark.json]
+
+With ``--input`` an existing pytest-benchmark JSON is normalized without
+re-running the suite (useful on CI where the run and the report are
+separate steps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks", "bench_micro.py")
+
+#: (report key, scalar benchmark, batch benchmark) hot-path pairs.
+SPEEDUP_PAIRS = [
+    ("hilbert_indexing", "test_hilbert_indexing",
+     "test_hilbert_indexing_batch"),
+    ("kd_lookup", "test_kd_lookup_latency",
+     "test_kd_lookup_batch_latency"),
+] + [
+    (f"placement:{name}", f"test_placement_throughput[{name}]",
+     f"test_place_batch_throughput[{name}]")
+    for name in ("consistent_hash", "extendible_hash", "kd_tree",
+                 "hilbert_curve", "round_robin")
+]
+
+
+def run_benchmarks(json_path: str) -> None:
+    """Execute bench_micro.py, writing raw pytest-benchmark JSON."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    cmd = [
+        sys.executable, "-m", "pytest", BENCH_FILE, "-q",
+        "--benchmark-json", json_path,
+    ]
+    result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        raise SystemExit(
+            f"benchmark run failed (exit {result.returncode})"
+        )
+
+
+def normalize(raw: dict) -> dict:
+    """Raw pytest-benchmark JSON -> ops/sec per hot path + speedups."""
+    hot_paths = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        items = int(bench.get("extra_info", {}).get("items", 1))
+        mean = float(stats["mean"])
+        entry = {
+            "items": items,
+            "mean_seconds": mean,
+            "min_seconds": float(stats["min"]),
+            "stddev_seconds": float(stats["stddev"]),
+            "rounds": int(stats["rounds"]),
+            "items_per_second": items / mean if mean > 0 else None,
+        }
+        hot_paths[bench["name"]] = entry
+
+    speedups = {}
+    for key, scalar_name, batch_name in SPEEDUP_PAIRS:
+        scalar = hot_paths.get(scalar_name)
+        batch = hot_paths.get(batch_name)
+        if not scalar or not batch:
+            continue
+        if scalar["mean_seconds"] and batch["mean_seconds"]:
+            speedups[key] = round(
+                scalar["mean_seconds"] / batch["mean_seconds"], 2
+            )
+
+    return {
+        "schema_version": 1,
+        "generated_by": "benchmarks/bench_report.py",
+        "suite": "bench_micro",
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get(
+            "brand_raw",
+            raw.get("machine_info", {}).get("machine", "unknown"),
+        ),
+        "hot_paths": dict(sorted(hot_paths.items())),
+        "batch_vs_scalar_speedup": dict(sorted(speedups.items())),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_micro.json"),
+        help="normalized report destination (default: repo root)",
+    )
+    parser.add_argument(
+        "--input",
+        default=None,
+        help="existing pytest-benchmark JSON to normalize "
+             "(skips running the suite)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.input:
+        try:
+            with open(args.input) as fh:
+                raw = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read {args.input}: {exc}")
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            raw_path = os.path.join(tmp, "benchmark_raw.json")
+            run_benchmarks(raw_path)
+            with open(raw_path) as fh:
+                raw = json.load(fh)
+
+    report = normalize(raw)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+    print(f"wrote {args.output}")
+    for key, ratio in report["batch_vs_scalar_speedup"].items():
+        print(f"  {key:28s} batch is {ratio:6.2f}x scalar")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

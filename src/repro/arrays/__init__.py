@@ -13,6 +13,7 @@ Public surface:
 * :class:`~repro.arrays.storage.ChunkStore` — node-local storage.
 * :class:`~repro.arrays.coords.Box` — n-d box algebra.
 * :func:`~repro.arrays.sfc.hilbert_index`,
+  :func:`~repro.arrays.sfc.hilbert_index_batch`,
   :class:`~repro.arrays.sfc.RectangleHilbert` — space-filling curve.
 """
 
@@ -29,6 +30,7 @@ from repro.arrays.sfc import (
     RectangleHilbert,
     bits_for_extent,
     hilbert_index,
+    hilbert_index_batch,
     hilbert_point,
 )
 from repro.arrays.storage import ChunkStore
@@ -49,6 +51,7 @@ __all__ = [
     "chunk_cells",
     "empty_chunk",
     "hilbert_index",
+    "hilbert_index_batch",
     "hilbert_point",
     "parse_schema",
 ]

@@ -43,6 +43,25 @@ class ChunkRef:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "key", tuple(int(c) for c in self.key))
+        # Refs key every ledger dict in the placement hot path; caching
+        # the hash makes each dict operation a C-level lookup instead of
+        # re-hashing (array, key) through a generated Python method.
+        object.__setattr__(self, "_hash", hash((self.array, self.key)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __getstate__(self):
+        # Exclude the cached hash: str hashing is salted per process
+        # (PYTHONHASHSEED), so a pickled hash from another interpreter
+        # would break dict lookups against locally built refs.
+        return (self.array, self.key)
+
+    def __setstate__(self, state) -> None:
+        array, key = state
+        object.__setattr__(self, "array", array)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "_hash", hash((array, key)))
 
     @property
     def ndim(self) -> int:

@@ -57,17 +57,19 @@ def execute_insert(
     if coordinator_id not in nodes:
         raise ClusterError(f"unknown coordinator node {coordinator_id}")
     chunks = list(chunks)
-    partitioner.prepare_batch(
-        [(c.ref(), c.size_bytes) for c in chunks]
-    )
+    refs_and_sizes = [(c.ref(), c.size_bytes) for c in chunks]
+    partitioner.prepare_batch(refs_and_sizes)
+    # Route the whole batch through the partitioner's batch API (one
+    # vectorized placement pass instead of a place() call per chunk).
+    placements = partitioner.place_batch(refs_and_sizes)
     bytes_by_node: Dict[int, float] = {}
     count = 0
     total = 0.0
-    for chunk in chunks:
-        target = partitioner.place(chunk.ref(), chunk.size_bytes)
+    for chunk, (ref, _) in zip(chunks, refs_and_sizes):
+        target = placements[ref]
         if target not in nodes:
             raise ClusterError(
-                f"partitioner placed {chunk.ref()} on unknown node {target}"
+                f"partitioner placed {ref} on unknown node {target}"
             )
         nodes[target].store.put(chunk)
         bytes_by_node[target] = (

@@ -16,6 +16,39 @@ implements two decisions:
 The base class *enforces* the incremental-scale-out contract: a partitioner
 whose traits claim incrementality may only produce moves whose destinations
 are newly added nodes (paper §4.1).
+
+Batch placement contract
+------------------------
+:meth:`ElasticPartitioner.place_batch` routes a whole insert batch through
+the partitioner in one call.  Its semantics are defined by equivalence to
+calling :meth:`place` sequentially in batch order — including duplicate
+refs within one batch, which merge into their first placement:
+
+* the chunk→node assignment, the returned per-ref nodes, and every
+  per-chunk size are **bit-identical** to the sequential outcome;
+* per-node loads and the running byte total contain the same bytes but
+  may differ in the last float ulps, because the batch path is free to
+  accumulate them in a different order (vectorized reductions);
+* when a batch fails validation mid-way, an override may have applied a
+  different prefix than the scalar loop — the ledger stays internally
+  consistent, but the exact partial state is unspecified.
+
+The base implementation *is* the sequential loop (and therefore exactly
+identical); subclasses override it with vectorized or amortized
+equivalents (``tests/test_batch_parity.py`` checks the equivalence for
+every registered scheme).
+
+Ledger invariants
+-----------------
+The bookkeeping maintained here is redundant by design and must stay
+consistent at every public-method boundary:
+
+* ``sum(sizes) == total_bytes`` — the running counter updated by
+  :meth:`place` / :meth:`update_size` / :meth:`remove` (relocations move
+  bytes between nodes but never change the total).
+* ``sum(loads) == total_bytes`` and ``loads[n] == sum of sizes of chunks
+  assigned to n``.
+* every assigned chunk's node is in ``nodes``.
 """
 
 from __future__ import annotations
@@ -112,6 +145,10 @@ class ElasticPartitioner(ABC):
         self._assignment: Dict[ChunkRef, NodeId] = {}
         self._sizes: Dict[ChunkRef, float] = {}
         self._loads: Dict[NodeId, float] = {n: 0.0 for n in self._nodes}
+        # Running total of all chunk bytes.  ``total_bytes`` is read on
+        # every ingest cycle and consistency check, so it is maintained
+        # incrementally instead of summing the size ledger per call.
+        self._total_bytes: float = 0.0
 
     # ------------------------------------------------------------------
     # read-only state
@@ -131,7 +168,8 @@ class ElasticPartitioner(ABC):
 
     @property
     def total_bytes(self) -> float:
-        return float(sum(self._sizes.values()))
+        """All chunk bytes in the ledger (O(1) running counter)."""
+        return self._total_bytes
 
     def node_loads(self) -> Dict[NodeId, float]:
         """Bytes currently assigned to each node."""
@@ -210,17 +248,47 @@ class ElasticPartitioner(ABC):
             )
         existing = self._assignment.get(ref)
         if existing is not None:
-            self._sizes[ref] += size_bytes
-            self._loads[existing] += size_bytes
+            self._merge_existing(ref, float(size_bytes), existing)
             return existing
         node = self._place_new(ref, float(size_bytes))
-        if node not in self._loads:
-            raise PartitioningError(
-                f"{self.name} placed {ref} on unknown node {node}"
-            )
-        self._assignment[ref] = node
-        self._sizes[ref] = float(size_bytes)
-        self._loads[node] += float(size_bytes)
+        self._commit_new(ref, float(size_bytes), node)
+        return node
+
+    def place_batch(
+        self, refs_and_sizes: Sequence[Tuple[ChunkRef, float]]
+    ) -> Dict[ChunkRef, NodeId]:
+        """Place a whole insert batch; return each chunk's node.
+
+        Semantically equivalent to calling :meth:`place` once per item in
+        batch order (see the module docstring's batch contract): known
+        refs merge bytes onto their current node, duplicate refs within
+        the batch merge into their first placement, and the returned
+        mapping holds the final node of every distinct ref.
+
+        This default is the correct sequential loop; subclasses override
+        it with vectorized (numpy) or amortized equivalents — the
+        override must preserve the equivalence bit for bit.
+        """
+        placements: Dict[ChunkRef, NodeId] = {}
+        for ref, size_bytes in refs_and_sizes:
+            placements[ref] = self.place(ref, size_bytes)
+        return placements
+
+    def remove(self, ref: ChunkRef) -> NodeId:
+        """Drop a chunk from the ledger (deletion / expiry).
+
+        Returns:
+            The node that held the chunk.
+
+        Raises:
+            PartitioningError: when the chunk was never placed.
+        """
+        node = self.locate(ref)
+        size = self._sizes.pop(ref)
+        del self._assignment[ref]
+        self._loads[node] -= size
+        self._total_bytes -= size
+        self._forget(ref, size, node)
         return node
 
     def scale_out(self, new_nodes: Sequence[NodeId]) -> RebalancePlan:
@@ -274,6 +342,7 @@ class ElasticPartitioner(ABC):
             )
         self._sizes[ref] = new_size
         self._loads[node] += delta_bytes
+        self._total_bytes += delta_bytes
 
     # ------------------------------------------------------------------
     # subclass responsibilities
@@ -294,6 +363,137 @@ class ElasticPartitioner(ABC):
         """
 
     # ------------------------------------------------------------------
+    # ledger primitives (shared by place and the place_batch overrides)
+    # ------------------------------------------------------------------
+    def _merge_existing(
+        self, ref: ChunkRef, size_bytes: float, node: NodeId
+    ) -> NodeId:
+        """Add bytes to an already-placed chunk on its current node."""
+        self._sizes[ref] += size_bytes
+        self._loads[node] += size_bytes
+        self._total_bytes += size_bytes
+        return node
+
+    def _commit_new(
+        self, ref: ChunkRef, size_bytes: float, node: NodeId
+    ) -> NodeId:
+        """Record a first-time placement decided by the subclass."""
+        if node not in self._loads:
+            raise PartitioningError(
+                f"{self.name} placed {ref} on unknown node {node}"
+            )
+        self._assignment[ref] = node
+        self._sizes[ref] = size_bytes
+        self._loads[node] += size_bytes
+        self._total_bytes += size_bytes
+        return node
+
+    def _forget(
+        self, ref: ChunkRef, size_bytes: float, node: NodeId
+    ) -> None:
+        """Subclass hook: drop scheme-private per-chunk state on remove.
+
+        Called after the base ledger already dropped ``ref``.  The default
+        is a no-op; schemes with side tables (hash-bucket membership,
+        arrival ordinals, index caches) override it.
+        """
+
+    def _partition_batch(
+        self, items: Sequence[Tuple[ChunkRef, float]]
+    ) -> Tuple[Dict[ChunkRef, float], List[Tuple[ChunkRef, float]]]:
+        """Split a batch into first-time placements and merges.
+
+        The first half of every ``place_batch`` override.  Returns
+        ``(first_sizes, merges)``: the first occurrence of each unknown
+        ref (in batch order) with its size, and, in batch order, every
+        item that merges onto an existing chunk (already assigned, or a
+        duplicate of an earlier batch item).  The subclass resolves the
+        owners of ``first_sizes``'s refs in bulk, then hands both parts
+        to :meth:`_commit_batch`.  Does not touch the ledger.  The loop
+        is deliberately lean — two ref-dict operations per item — since
+        refs hash through Python-level ``__hash__``.
+        """
+        assignment = self._assignment
+        first_sizes: Dict[ChunkRef, float] = {}
+        merges: List[Tuple[ChunkRef, float]] = []
+        append = merges.append
+        setdefault = first_sizes.setdefault
+        count = 0
+        if assignment:
+            for ref, size_bytes in items:
+                if size_bytes < 0:
+                    raise PartitioningError(
+                        f"negative chunk size {size_bytes} for {ref}"
+                    )
+                if ref in assignment:
+                    append((ref, size_bytes))
+                    continue
+                setdefault(ref, float(size_bytes))
+                if len(first_sizes) == count:  # batch-internal duplicate
+                    append((ref, size_bytes))
+                else:
+                    count += 1
+        else:
+            # Empty ledger (first ingest): every ref is unknown, skip
+            # the per-item assignment probe.
+            for ref, size_bytes in items:
+                if size_bytes < 0:
+                    raise PartitioningError(
+                        f"negative chunk size {size_bytes} for {ref}"
+                    )
+                setdefault(ref, float(size_bytes))
+                if len(first_sizes) == count:  # batch-internal duplicate
+                    append((ref, size_bytes))
+                else:
+                    count += 1
+        return first_sizes, merges
+
+    def _commit_batch(
+        self,
+        first_sizes: Dict[ChunkRef, float],
+        commit_nodes: Sequence[NodeId],
+        merges: Sequence[Tuple[ChunkRef, float]],
+    ) -> Dict[ChunkRef, NodeId]:
+        """Apply a partitioned batch to the ledger.
+
+        ``commit_nodes`` holds the chosen node of each ``first_sizes``
+        ref, in iteration order.  First-time placements are committed
+        with C-level bulk dict updates; merges replay in batch order.
+        Assignments, returned placements, and per-chunk sizes come out
+        bit-identical to sequential :meth:`place`; per-node loads and
+        the running total accumulate the same bytes in a different
+        order (see the module docstring's batch contract).
+        """
+        assignment = self._assignment
+        sizes = self._sizes
+        loads = self._loads
+        placements: Dict[ChunkRef, NodeId] = {}
+        total_delta = 0.0
+        if first_sizes:
+            for node in set(commit_nodes):
+                if node not in loads:
+                    raise PartitioningError(
+                        f"{self.name} placed a chunk on unknown "
+                        f"node {node}"
+                    )
+            # Build placements first: the dict-to-dict updates below
+            # then reuse its stored hashes (no Python-level re-hashing).
+            placements = dict(zip(first_sizes, commit_nodes))
+            assignment.update(placements)
+            sizes.update(first_sizes)
+            for node, size in zip(commit_nodes, first_sizes.values()):
+                loads[node] += size
+                total_delta += size
+        for ref, size_bytes in merges:
+            size = float(size_bytes)
+            node = assignment[ref]
+            sizes[ref] += size
+            loads[node] += size
+            total_delta += size
+            placements[ref] = node
+        self._total_bytes += total_delta
+        return placements
+
     def _relocate(self, ref: ChunkRef, dest: NodeId) -> Move:
         """Move a chunk to ``dest`` in the ledger and return the move."""
         if dest not in self._loads:

@@ -103,6 +103,49 @@ class ExtendibleHashPartitioner(ElasticPartitioner):
         bucket.bytes += size_bytes
         return bucket.node
 
+    # Keep the invariant ``bucket.bytes == sum of member ledger sizes``:
+    # scale-out splits and :meth:`remove` subtract full ledger sizes, so
+    # merges and size updates must credit the bucket too.
+    def _merge_existing(self, ref, size_bytes, node):
+        self.bucket_for(ref).bytes += size_bytes
+        return super()._merge_existing(ref, size_bytes, node)
+
+    def update_size(self, ref: ChunkRef, delta_bytes: float) -> None:
+        super().update_size(ref, delta_bytes)
+        self.bucket_for(ref).bytes += delta_bytes
+
+    def place_batch(self, refs_and_sizes):
+        """Amortized batch placement.
+
+        Placement never changes the directory, so the depth mask and
+        the directory/bucket tables are hoisted out of the loop and
+        each new chunk pays one hash + two array lookups instead of the
+        full ``place`` → ``bucket_for`` dispatch chain.  Equivalent to
+        sequential :meth:`place` calls per the base class's batch
+        contract.
+        """
+        first_sizes, merges = self._partition_batch(list(refs_and_sizes))
+        commit_nodes: List[NodeId] = []
+        mask = (1 << self._global_depth) - 1
+        directory = self._directory
+        buckets = self._buckets
+        for ref, size in first_sizes.items():
+            bucket = buckets[directory[hash_chunk_ref(ref) & mask]]
+            bucket.members.add(ref)
+            bucket.bytes += size
+            commit_nodes.append(bucket.node)
+        # Merges credit their bucket too (bucket.bytes mirrors the
+        # ledger), matching the scalar path's _merge_existing override.
+        for ref, size in merges:
+            buckets[directory[hash_chunk_ref(ref) & mask]].bytes += \
+                float(size)
+        return self._commit_batch(first_sizes, commit_nodes, merges)
+
+    def _forget(self, ref, size_bytes, node) -> None:
+        bucket = self.bucket_for(ref)
+        bucket.members.discard(ref)
+        bucket.bytes -= size_bytes
+
     def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
         moves: List[Move] = []
         preexisting = [

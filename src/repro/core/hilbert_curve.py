@@ -15,7 +15,9 @@ sends data, so the reorganization is incremental.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.arrays.chunk import ChunkRef
 from repro.arrays.sfc import RectangleHilbert
@@ -81,11 +83,94 @@ class HilbertCurvePartitioner(ElasticPartitioner):
             self._index_cache[ref] = cached
         return cached
 
+    def _compute_indices(self, refs: Sequence[ChunkRef]) -> np.ndarray:
+        """Vectorized curve positions of many refs (cache untouched).
+
+        Stacks the keys into one ``(n, ndim)`` array and runs a single
+        :meth:`RectangleHilbert.index_batch` call instead of n scalar
+        Skilling transforms.  Falls back to the scalar oracle per ref
+        when the keys cannot form a rectangular int64 array (mixed
+        arities — the scalar path then raises the precise per-ref
+        error); the result is then an object-dtype array of exact ints,
+        as with ``index_batch`` overflow.
+        """
+        try:
+            keys = np.array([r.key for r in refs], dtype=np.int64)
+        except (ValueError, OverflowError):
+            return np.array(
+                [self._curve.index(r.key) for r in refs], dtype=object
+            )
+        return self._curve.index_batch(keys)
+
+    def _fill_index_cache(self, refs: Iterable[ChunkRef]) -> None:
+        """Batch-fill the index cache for any uncached refs."""
+        missing = list(dict.fromkeys(
+            r for r in refs if r not in self._index_cache
+        ))
+        if missing:
+            self._index_cache.update(
+                zip(missing, self._compute_indices(missing).tolist())
+            )
+
     def _owner_of_index(self, index: int) -> NodeId:
         slot = bisect.bisect_right(self._bounds, index) - 1
         if slot < 0:
             slot = 0
         return self._range_nodes[slot]
+
+    # ------------------------------------------------------------------
+    def place_batch(self, refs_and_sizes):
+        """Vectorized batch placement: one searchsorted for all refs.
+
+        Curve indices for the batch's new refs are computed with the
+        numpy Hilbert transform in one call (batch-filling the index
+        cache), then every ref's owning range is found with a single
+        ``np.searchsorted`` over the boundary table instead of a per-ref
+        ``bisect``.  Equivalent to sequential :meth:`place` calls per
+        the base class's batch contract.
+        """
+        first_sizes, merges = self._partition_batch(list(refs_and_sizes))
+        commit_nodes: List[NodeId] = []
+        if first_sizes:
+            unknown = list(first_sizes)
+            cache = self._index_cache
+            if cache:
+                # prepare_batch (or earlier batches) warmed the cache:
+                # only compute what is actually missing.
+                self._fill_index_cache(unknown)
+                values = [cache[r] for r in unknown]
+                try:
+                    idx_arr = np.asarray(values, dtype=np.int64)
+                except OverflowError:
+                    idx_arr = np.array(values, dtype=object)
+            else:
+                # Cold cache: one direct vectorized pass, then batch-fill
+                # the cache (scale-out median splits read the same
+                # positions later).
+                idx_arr = self._compute_indices(unknown)
+                cache.update(zip(unknown, idx_arr.tolist()))
+            try:
+                if idx_arr.dtype == object:
+                    raise OverflowError
+                bounds = np.asarray(self._bounds, dtype=np.int64)
+            except OverflowError:
+                # Positions beyond int64 (gigantic overflow epochs):
+                # bisect per ref on exact Python ints.
+                commit_nodes = [
+                    self._owner_of_index(i) for i in idx_arr.tolist()
+                ]
+            else:
+                slots = np.searchsorted(
+                    bounds, idx_arr, side="right"
+                ) - 1
+                np.clip(slots, 0, None, out=slots)
+                commit_nodes = np.asarray(
+                    self._range_nodes, dtype=np.int64
+                )[slots].tolist()
+        return self._commit_batch(first_sizes, commit_nodes, merges)
+
+    def _forget(self, ref, size_bytes, node) -> None:
+        self._index_cache.pop(ref, None)
 
     # ------------------------------------------------------------------
     def prepare_batch(self, batch) -> None:
@@ -102,25 +187,38 @@ class HilbertCurvePartitioner(ElasticPartitioner):
             self._bounds_fitted = True
             return
         self._bounds_fitted = True
-        indexed = sorted(
-            ((self._curve.index(ref.key), size) for ref, size in batch),
-            key=lambda pair: pair[0],
-        )
-        if len(indexed) < 2:
+        items = list(batch)
+        if len(items) < 2:
             return
-        total = sum(size for _, size in indexed)
+        # Index the whole batch with the vectorized curve transform (this
+        # also pre-warms the cache for the placement that follows), then
+        # find the byte medians with a sort + cumulative sum instead of a
+        # per-item Python loop.
+        self._fill_index_cache(ref for ref, _ in items)
+        indices = [self._index_cache[ref] for ref, _ in items]
+        try:
+            idx = np.asarray(indices, dtype=np.int64)
+        except OverflowError:
+            idx = np.array(indices, dtype=object)
+        sizes = np.fromiter(
+            (float(size) for _, size in items),
+            dtype=np.float64,
+            count=len(items),
+        )
+        order = np.argsort(idx, kind="stable")
+        idx_sorted = idx[order]
+        running = np.cumsum(sizes[order])
+        total = float(running[-1])
         n = len(self._nodes)
         bounds = [0]
-        running = 0.0
         cut = 1
-        for i in range(len(indexed) - 1):
-            running += indexed[i][1]
-            if (
-                cut < n
-                and running >= total * cut / n
-                and indexed[i + 1][0] > indexed[i][0]
-            ):
-                bounds.append(indexed[i + 1][0])
+        # Cuts may only fall where the curve position changes; visit just
+        # those boundaries.
+        for i in np.nonzero(idx_sorted[1:] > idx_sorted[:-1])[0].tolist():
+            if cut >= n:
+                break
+            if running[i] >= total * cut / n:
+                bounds.append(int(idx_sorted[i + 1]))
                 cut += 1
         while len(bounds) < n:
             bounds.append(bounds[-1] + 1)

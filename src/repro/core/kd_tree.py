@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.arrays.chunk import ChunkRef
 from repro.arrays.coords import Box
 from repro.core.base import ElasticPartitioner, Move, NodeId
@@ -129,9 +131,64 @@ class KdTreePartitioner(ElasticPartitioner):
 
         return rec(self._root)
 
+    def locate_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Batch tree descent: owners of many keys at once.
+
+        Instead of walking the tree once per key, whole groups of keys
+        descend together — at each inner node one vectorized comparison
+        splits the group across the two subtrees, so the per-key cost is
+        amortized to a few numpy operations per tree level.
+
+        Args:
+            keys: ``(n, ndim)`` int array of chunk-grid coordinates.
+
+        Returns:
+            ``(n,)`` int64 array of owning node ids, equal to
+            ``[locate_key(k) for k in keys]``.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n = keys.shape[0]
+        owners = np.empty(n, dtype=np.int64)
+        stack = [(self._root, np.arange(n))]
+        while stack:
+            tree_node, idxs = stack.pop()
+            if idxs.size == 0:
+                continue
+            if isinstance(tree_node, KdLeaf):
+                owners[idxs] = tree_node.node
+            else:
+                left = keys[idxs, tree_node.dim] < tree_node.at
+                stack.append((tree_node.left, idxs[left]))
+                stack.append((tree_node.right, idxs[~left]))
+        return owners
+
     # ------------------------------------------------------------------
     def _place_new(self, ref: ChunkRef, size_bytes: float) -> NodeId:
         return self.locate_key(ref.key)
+
+    def place_batch(self, refs_and_sizes):
+        """Vectorized batch placement via :meth:`locate_keys`.
+
+        Equivalent to sequential :meth:`place` calls per the base
+        class's batch contract.  Falls back to per-ref scalar descent
+        when the batch keys cannot form one rectangular int64 array
+        (mixed arities).
+        """
+        first_sizes, merges = self._partition_batch(list(refs_and_sizes))
+        commit_nodes: List[NodeId] = []
+        if first_sizes:
+            unknown = list(first_sizes)
+            try:
+                keys = np.array(
+                    [r.key for r in unknown], dtype=np.int64
+                )
+            except (ValueError, OverflowError):
+                commit_nodes = [
+                    self.locate_key(r.key) for r in unknown
+                ]
+            else:
+                commit_nodes = self.locate_keys(keys).tolist()
+        return self._commit_batch(first_sizes, commit_nodes, merges)
 
     def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
         moves: List[Move] = []

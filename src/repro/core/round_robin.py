@@ -34,6 +34,29 @@ class RoundRobinPartitioner(ElasticPartitioner):
         self._ordinal[ref] = ordinal
         return self._nodes[ordinal % len(self._nodes)]
 
+    def place_batch(self, refs_and_sizes):
+        """Amortized batch placement: arrival ordinals of the batch's
+        new refs are assigned arithmetically in one bulk update
+        (duplicates merge, consuming no ordinal).  Equivalent to
+        sequential :meth:`place` calls per the base class's batch
+        contract."""
+        first_sizes, merges = self._partition_batch(list(refs_and_sizes))
+        nodes = self._nodes
+        k = len(nodes)
+        counter = self._counter
+        n_new = len(first_sizes)
+        commit_nodes = [
+            nodes[(counter + i) % k] for i in range(n_new)
+        ]
+        self._ordinal.update(
+            zip(first_sizes, range(counter, counter + n_new))
+        )
+        self._counter = counter + n_new
+        return self._commit_batch(first_sizes, commit_nodes, merges)
+
+    def _forget(self, ref, size_bytes, node) -> None:
+        self._ordinal.pop(ref, None)
+
     def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
         # Recompute i mod k for every chunk under the new node count; any
         # chunk whose slot changes moves — typically (k-1)/k of the data.

@@ -1,0 +1,293 @@
+"""Batch APIs must be bit-for-bit equivalent to their scalar oracles.
+
+Covers the tentpole contract of the vectorized hot paths:
+
+* :func:`hilbert_index_batch` ≡ :func:`hilbert_index` mapped over the
+  batch, across ndim 1–5 and curve orders (including the object-dtype
+  fallback when the index space exceeds int64).
+* :meth:`RectangleHilbert.index_batch` ≡ :meth:`RectangleHilbert.index`,
+  including overflow-epoch coordinates beyond the declared extents.
+* :meth:`ElasticPartitioner.place_batch` ≡ sequential
+  :meth:`ElasticPartitioner.place` for every registered scheme,
+  including duplicate refs within one batch.
+* The running ``total_bytes`` counter stays equal to the size ledger
+  through place / update_size / remove.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import Box, ChunkRef
+from repro.arrays.sfc import (
+    RectangleHilbert,
+    hilbert_index,
+    hilbert_index_batch,
+)
+from repro.core import ALL_PARTITIONERS, make_partitioner
+from repro.errors import ChunkError
+
+GRID = Box((0, 0, 0), (40, 29, 23))
+
+
+def _random_batch(n, seed, dup_every=7, arrays=("a", "b")):
+    """Random (ref, size) items: mixed arrays, coords past the declared
+    extents (overflow epochs), and periodic duplicate refs."""
+    rng = np.random.default_rng(seed)
+    items = []
+    for i in range(n):
+        key = (
+            int(rng.integers(0, 60)),  # beyond extent 40: overflow epoch
+            int(rng.integers(0, 29)),
+            int(rng.integers(0, 23)),
+        )
+        ref = ChunkRef(arrays[i % len(arrays)], key)
+        items.append((ref, float(rng.lognormal(2, 1))))
+    for i in range(0, n, dup_every):
+        items.append(items[i])
+    return items
+
+
+class TestHilbertIndexBatchParity:
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_matches_scalar(self, data):
+        ndim = data.draw(st.integers(1, 5))
+        bits = data.draw(st.integers(1, 7))
+        n = data.draw(st.integers(1, 50))
+        limit = 1 << bits
+        pts = data.draw(
+            st.lists(
+                st.tuples(*[st.integers(0, limit - 1)] * ndim),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        arr = np.array(pts, dtype=np.int64).reshape(n, ndim)
+        batch = hilbert_index_batch(arr, bits)
+        assert batch.tolist() == [hilbert_index(p, bits) for p in pts]
+
+    def test_object_fallback_beyond_int64(self):
+        # 5 dims × 13 bits = 65 index bits: must fall back to exact
+        # Python ints, never overflow silently.
+        rng = np.random.default_rng(11)
+        pts = rng.integers(0, 1 << 13, size=(40, 5))
+        out = hilbert_index_batch(pts, 13)
+        assert out.dtype == object
+        assert out.tolist() == [
+            hilbert_index(tuple(p), 13) for p in pts.tolist()
+        ]
+
+    def test_empty_batch(self):
+        out = hilbert_index_batch(np.empty((0, 3), dtype=np.int64), 4)
+        assert out.shape == (0,)
+
+    def test_validation_matches_scalar(self):
+        with pytest.raises(ChunkError):
+            hilbert_index_batch(np.array([[4, 0]]), 2)
+        with pytest.raises(ChunkError):
+            hilbert_index_batch(np.array([[-1, 0]]), 2)
+        with pytest.raises(ChunkError):
+            hilbert_index_batch(np.array([[0, 0]]), 0)
+        with pytest.raises(ChunkError):
+            hilbert_index_batch(np.empty((2, 0), dtype=np.int64), 2)
+
+
+class TestRectangleIndexBatchParity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_matches_scalar_with_overflow_epochs(self, data):
+        ndim = data.draw(st.integers(1, 5))
+        extents = tuple(
+            data.draw(st.integers(1, 12)) for _ in range(ndim)
+        )
+        rect = RectangleHilbert(extents)
+        n = data.draw(st.integers(1, 40))
+        # Coordinates up to 4x the cube edge exercise overflow folding.
+        hi = 4 * (1 << rect.bits)
+        pts = data.draw(
+            st.lists(
+                st.tuples(*[st.integers(0, hi)] * ndim),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        arr = np.array(pts, dtype=np.int64).reshape(n, ndim)
+        batch = rect.index_batch(arr)
+        assert batch.tolist() == [rect.index(p) for p in pts]
+
+    def test_huge_overflow_falls_back_exactly(self):
+        rect = RectangleHilbert((2**20, 2**20, 2**20))
+        rng = np.random.default_rng(5)
+        pts = rng.integers(0, 2**45, size=(16, 3))
+        out = rect.index_batch(pts)
+        assert out.dtype == object
+        assert out.tolist() == [
+            rect.index(tuple(p)) for p in pts.tolist()
+        ]
+
+    def test_coordinates_beyond_int64_fall_back_exactly(self):
+        # Object-dtype input whose values cannot even be cast to int64:
+        # both batch paths must defer to the scalar oracle, not crash.
+        rect = RectangleHilbert((4, 4))
+        pts = np.array([[2**70, 1], [3, 2]], dtype=object)
+        out = rect.index_batch(pts)
+        assert out.tolist() == [rect.index((2**70, 1)), rect.index((3, 2))]
+        with pytest.raises(ChunkError):
+            # hilbert_index_batch: same coordinate is out of range for
+            # the cube curve, and the scalar oracle says so.
+            hilbert_index_batch(pts, 2)
+
+    def test_uint64_coordinates_do_not_wrap(self):
+        # astype(int64) would silently wrap uint64 values >= 2**63; the
+        # batch paths must match the scalar oracle instead.
+        rect = RectangleHilbert((40, 29))
+        pts = np.array([[2**63, 5], [7, 3]], dtype=np.uint64)
+        out = rect.index_batch(pts)
+        assert out.tolist() == [rect.index((2**63, 5)), rect.index((7, 3))]
+        big = hilbert_index_batch(np.array([[2**63]], dtype=np.uint64), 64)
+        assert big.tolist() == [hilbert_index((2**63,), 64)]
+
+    def test_order_63_curve_falls_back_exactly(self):
+        # bits == 63 overflows the vectorized epoch arithmetic (the
+        # divisor 2**63 exceeds C long); the scalar oracle must take
+        # over transparently.
+        rect = RectangleHilbert((2**62 + 1,))
+        assert rect.bits == 63
+        out = rect.index_batch(np.array([[12345], [2**62]], dtype=np.int64))
+        assert out.tolist() == [rect.index((12345,)), rect.index((2**62,))]
+
+    def test_arity_and_sign_validation(self):
+        rect = RectangleHilbert((4, 4))
+        with pytest.raises(ChunkError):
+            rect.index_batch(np.array([[1, 2, 3]]))
+        with pytest.raises(ChunkError):
+            rect.index_batch(np.array([[-1, 0]]))
+
+
+class TestPlaceBatchParity:
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    def test_matches_sequential(self, name):
+        items = _random_batch(1500, seed=hash(name) % 2**31)
+        seq = make_partitioner(
+            name, [0, 1, 2, 3], grid=GRID, node_capacity_bytes=1e12
+        )
+        bat = make_partitioner(
+            name, [0, 1, 2, 3], grid=GRID, node_capacity_bytes=1e12
+        )
+        expected = {ref: seq.place(ref, size) for ref, size in items}
+        placements = bat.place_batch(items)
+        # Assignments, placements, and per-chunk sizes are bit-exact.
+        assert placements == expected
+        assert bat.assignment() == seq.assignment()
+        for ref in seq.assignment():
+            assert bat.size_of(ref) == seq.size_of(ref)
+        # Loads/totals hold the same bytes, summed in a different order
+        # (vectorized reductions): equal up to float reassociation.
+        for node, load in seq.node_loads().items():
+            assert bat.load_of(node) == pytest.approx(load, rel=1e-12)
+        assert bat.total_bytes == pytest.approx(
+            seq.total_bytes, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    def test_batch_then_scalar_interleave(self, name):
+        """A batch may follow scalar placements and vice versa."""
+        items = _random_batch(300, seed=3)
+        p = make_partitioner(
+            name, [0, 1], grid=GRID, node_capacity_bytes=1e12
+        )
+        ref0, size0 = items[0]
+        first = p.place(ref0, size0)
+        placements = p.place_batch(items[1:])
+        # The scalar-placed chunk keeps its node; batch merges agree.
+        assert p.locate(ref0) == first
+        for ref, node in placements.items():
+            assert p.locate(ref) == node
+
+    def test_empty_batch(self):
+        for name in ALL_PARTITIONERS:
+            p = make_partitioner(
+                name, [0, 1], grid=GRID, node_capacity_bytes=1e12
+            )
+            assert p.place_batch([]) == {}
+            assert p.total_bytes == 0.0
+
+    def test_negative_size_rejected(self):
+        for name in ALL_PARTITIONERS:
+            p = make_partitioner(
+                name, [0, 1], grid=GRID, node_capacity_bytes=1e12
+            )
+            with pytest.raises(Exception):
+                p.place_batch([(ChunkRef("a", (0, 0, 0)), -1.0)])
+
+
+class TestRunningTotalAndRemove:
+    def _ledger_total(self, p):
+        return sum(p.size_of(r) for r in p.assignment())
+
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    def test_total_tracks_ledger(self, name):
+        items = _random_batch(400, seed=9)
+        p = make_partitioner(
+            name, [0, 1, 2], grid=GRID, node_capacity_bytes=1e12
+        )
+        p.place_batch(items)
+        assert p.total_bytes == pytest.approx(self._ledger_total(p))
+        some = list(p.assignment())[:20]
+        for ref in some[:10]:
+            p.update_size(ref, 3.5)
+        for ref in some[10:]:
+            removed_from = p.remove(ref)
+            assert removed_from in p.nodes
+        assert p.total_bytes == pytest.approx(self._ledger_total(p))
+        # loads stay consistent with sizes after removals
+        loads = {n: 0.0 for n in p.nodes}
+        for ref, node in p.assignment().items():
+            loads[node] += p.size_of(ref)
+        for node, load in p.node_loads().items():
+            assert load == pytest.approx(loads[node])
+
+    def test_remove_unknown_raises(self):
+        p = make_partitioner(
+            "round_robin", [0, 1], grid=GRID, node_capacity_bytes=1e12
+        )
+        with pytest.raises(Exception):
+            p.remove(ChunkRef("a", (0, 0, 0)))
+
+    def test_extendible_bucket_bytes_track_ledger(self):
+        """bucket.bytes must mirror member ledger sizes through merges,
+        size updates, and removes (scale-out splits subtract full
+        ledger sizes, so a drifting bucket counter corrupts them)."""
+        p = make_partitioner(
+            "extendible_hash", [0, 1], grid=GRID,
+            node_capacity_bytes=1e12,
+        )
+        ref = ChunkRef("a", (1, 2, 3))
+        p.place(ref, 100.0)
+        p.place(ref, 50.0)           # merge via scalar path
+        p.place_batch([(ref, 25.0)])  # merge via batch path
+        p.update_size(ref, 10.0)
+        for b in p.buckets():
+            assert b.bytes == pytest.approx(
+                sum(p.size_of(m) for m in b.members)
+            )
+        p.remove(ref)
+        for b in p.buckets():
+            assert b.bytes == pytest.approx(0.0)
+            assert not b.members
+
+    def test_removed_chunk_can_be_replaced(self):
+        for name in ALL_PARTITIONERS:
+            p = make_partitioner(
+                name, [0, 1], grid=GRID, node_capacity_bytes=1e12
+            )
+            ref = ChunkRef("a", (1, 2, 3))
+            p.place(ref, 10.0)
+            p.remove(ref)
+            assert p.chunk_count == 0
+            node = p.place(ref, 4.0)
+            assert node in p.nodes
+            assert p.size_of(ref) == 4.0
+            assert p.total_bytes == pytest.approx(4.0)

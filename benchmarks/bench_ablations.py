@@ -10,7 +10,6 @@
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.arrays import Box, ChunkRef

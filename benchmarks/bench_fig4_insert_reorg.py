@@ -10,7 +10,6 @@ Paper shapes asserted:
   storage far better than the rest (paper: 13 % vs 44 % mean RSD).
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.harness import figure4_insert_reorg

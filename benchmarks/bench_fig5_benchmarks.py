@@ -9,7 +9,6 @@ Paper shapes asserted:
   Round Robin baseline by >15 % (paper: >20 %).
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.harness import figure4_insert_reorg, figure5_benchmarks

@@ -9,7 +9,6 @@ Paper shapes asserted:
 
 import statistics
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.harness import figure6_join_series

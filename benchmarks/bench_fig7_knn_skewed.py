@@ -12,7 +12,6 @@ Paper shapes asserted:
 
 import statistics
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.harness import figure7_knn_series

@@ -7,7 +7,6 @@ Paper shapes asserted:
 * provisioned capacity ordering follows the set points.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.harness import figure8_staircase

@@ -1,0 +1,174 @@
+"""CI perf gate: fail when a benchmark regresses vs the committed baseline.
+
+Runs the ``bench_micro.py`` suite (or normalizes an existing
+pytest-benchmark JSON via ``--input``), converts every result to
+items/second exactly like ``bench_report.py``, and compares each hot
+path against the committed ``BENCH_micro.json``.  Any benchmark whose
+items/second falls more than ``--tolerance`` (default 25 %) below the
+baseline fails the gate, as does a baseline benchmark missing from the
+current run (renames must refresh the baseline).
+
+Usage::
+
+    python benchmarks/bench_gate.py [--baseline BENCH_micro.json]
+                                    [--input raw-benchmark.json]
+                                    [--tolerance 0.25]
+
+The gate only ever reads the baseline; refresh it with
+``python benchmarks/bench_report.py`` (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_report import REPO_ROOT, normalize, run_benchmarks  # noqa: E402
+
+
+def _best_case_ips(entry: dict):
+    """Items/second at the benchmark's best round.
+
+    The gate compares best-case rates: per-round minima are far more
+    stable than means under scheduler noise, which matters when the
+    tolerance is a hard CI failure.  Falls back to the mean-based rate
+    for entries without a recorded minimum.
+    """
+    items = entry.get("items", 1)
+    min_seconds = entry.get("min_seconds")
+    if min_seconds:
+        return items / min_seconds
+    return entry.get("items_per_second")
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float
+) -> list:
+    """Per-benchmark verdicts: (name, base ips, current ips, ratio, ok)."""
+    rows = []
+    for name, base in sorted(baseline.items()):
+        base_ips = _best_case_ips(base)
+        cur = current.get(name)
+        cur_ips = _best_case_ips(cur) if cur is not None else None
+        if not cur_ips:
+            rows.append((name, base_ips, None, None, False))
+            continue
+        if not base_ips:
+            continue  # malformed baseline entry: nothing to gate on
+        ratio = cur_ips / base_ips
+        rows.append(
+            (name, base_ips, cur_ips, ratio, ratio >= 1.0 - tolerance)
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_micro.json"),
+        help="committed baseline report (default: repo root)",
+    )
+    parser.add_argument(
+        "--input",
+        default=None,
+        help="existing pytest-benchmark JSON to gate on "
+             "(skips running the suite)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional items/second regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("items", "speedups"),
+        default="items",
+        help="'items' gates absolute items/second vs the baseline "
+             "(assumes comparable hardware); 'speedups' gates the "
+             "within-run batch-vs-scalar ratios, which are "
+             "hardware-independent (for heterogeneous runners)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as fh:
+            baseline_report = json.load(fh)
+        baseline = baseline_report["hot_paths"]
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        raise SystemExit(f"cannot read baseline {args.baseline}: {exc}")
+
+    if args.input:
+        try:
+            with open(args.input) as fh:
+                raw = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read {args.input}: {exc}")
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            raw_path = os.path.join(tmp, "benchmark_raw.json")
+            run_benchmarks(raw_path)
+            with open(raw_path) as fh:
+                raw = json.load(fh)
+
+    report = normalize(raw)
+    if args.mode == "speedups":
+        base_speedups = baseline_report.get(
+            "batch_vs_scalar_speedup", {}
+        )
+        cur_speedups = report.get("batch_vs_scalar_speedup", {})
+        rows = compare(
+            {k: {"items": v, "min_seconds": 1.0}
+             for k, v in base_speedups.items()},
+            {k: {"items": v, "min_seconds": 1.0}
+             for k, v in cur_speedups.items()},
+            args.tolerance,
+        )
+    else:
+        rows = compare(baseline, report["hot_paths"], args.tolerance)
+    current = (
+        report["hot_paths"] if args.mode == "items"
+        else report.get("batch_vs_scalar_speedup", {})
+    )
+
+    unit = "items/s" if args.mode == "items" else "x scalar"
+    failures = 0
+    for name, base_ips, cur_ips, ratio, ok in rows:
+        if cur_ips is None:
+            print(f"FAIL {name:45s} missing from current run")
+            failures += 1
+            continue
+        verdict = "ok  " if ok else "FAIL"
+        print(
+            f"{verdict} {name:45s} "
+            f"{base_ips:14.2f} -> {cur_ips:14.2f} {unit} "
+            f"({ratio:5.2f}x)"
+        )
+        if not ok:
+            failures += 1
+
+    extra = sorted(set(current) - {r[0] for r in rows})
+    for name in extra:
+        print(f"new  {name:45s} (not in baseline)")
+
+    if failures:
+        print(
+            f"\nperf gate FAILED: {failures} benchmark(s) regressed "
+            f"more than {args.tolerance:.0%} vs {args.baseline}"
+        )
+        return 1
+    print(
+        f"\nperf gate passed: {len(rows)} benchmark(s) within "
+        f"{args.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,14 +1,22 @@
 """Micro-benchmarks of the hot code paths (true pytest-benchmark loops).
 
 These time the library primitives themselves — chunk placement, curve
-indexing, tree lookups, batch chunking — rather than simulated workloads.
+indexing, tree lookups, batch chunking, and the query-operator kernels —
+rather than simulated workloads.
 
 Scalar and batch variants of each hot path run side by side on identical
 inputs; ``benchmark.extra_info["items"]`` records the per-round item
 count so ``bench_report.py`` can normalize every result to items/second
 and derive batch-vs-scalar speedups from one run (the BENCH trajectory
 tracked in ``BENCH_micro.json`` at the repo root).
+
+``BENCH_SCALE`` scales the input sizes (default 1.0) for quick local
+iteration.  Gate runs (``bench_gate.py``) must use the same scale as
+the committed baseline: items/second of loops with per-round setup
+does not transfer across scales.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -17,6 +25,7 @@ from repro.arrays import Box, ChunkRef, hilbert_index, parse_schema
 from repro.arrays.array import chunk_cells
 from repro.arrays.sfc import RectangleHilbert, hilbert_index_batch
 from repro.core import make_partitioner
+from repro.query import operators as ops
 
 GRID = Box((0, 0, 0), (40, 29, 23))
 
@@ -25,9 +34,12 @@ PARTITIONERS = [
     "hilbert_curve", "round_robin",
 ]
 
+#: Input-size multiplier (CI perf gate may shrink the run).
+SCALE = float(os.environ.get("BENCH_SCALE", "1"))
+
 #: Hot-path batch size: 10x the original micro-benchmark scale, the
 #: regime where vectorization matters (ISSUE 1 acceptance criteria).
-N_REFS = 20_000
+N_REFS = max(1_000, int(20_000 * SCALE))
 
 
 def _refs(n=N_REFS, seed=1):
@@ -188,3 +200,138 @@ def test_kd_lookup_batch_latency(benchmark):
 
     out = benchmark(p.locate_keys, arr)
     assert out.tolist() == [p.locate_key(k) for k in keys]
+
+
+# ----------------------------------------------------------------------
+# query-operator kernels (scalar oracle vs vectorized batch kernel)
+# ----------------------------------------------------------------------
+N_CELLS = max(1_000, int(20_000 * SCALE))
+KNN_POINTS = max(500, int(4_000 * SCALE))
+KNN_QUERIES = max(32, int(256 * SCALE))
+
+
+def _kmeans_points(n=N_CELLS):
+    rng = np.random.default_rng(7)
+    return rng.normal(0, 50.0, size=(n, 3))
+
+
+def test_kmeans_scalar(benchmark):
+    pts = _kmeans_points()
+    benchmark.extra_info["items"] = pts.shape[0]
+
+    out = benchmark(ops.kmeans_scalar, pts, 8, 6, 0)
+    assert out[0].shape == (8, 3)
+
+
+def test_kmeans_batch(benchmark):
+    """Matmul assignment + bincount update on the scalar run's points."""
+    pts = _kmeans_points()
+    benchmark.extra_info["items"] = pts.shape[0]
+
+    centroids, labels = benchmark(ops.kmeans, pts, 8, 6, 0)
+    ref_c, ref_l = ops.kmeans_scalar(pts, 8, 6, 0)
+    # Near-tie assignments may round differently across BLAS builds;
+    # compare clustering quality, not exact centroids.
+    inertia = ((pts - centroids[labels]) ** 2).sum(axis=1).mean()
+    ref_inertia = ((pts - ref_c[ref_l]) ** 2).sum(axis=1).mean()
+    assert inertia == pytest.approx(ref_inertia, rel=0.01)
+
+
+def _knn_inputs():
+    rng = np.random.default_rng(8)
+    pts = rng.uniform(0, 1000.0, size=(KNN_POINTS, 2))
+    return pts, pts[:KNN_QUERIES]
+
+
+def test_knn_scalar(benchmark):
+    pts, queries = _knn_inputs()
+    benchmark.extra_info["items"] = queries.shape[0]
+
+    out = benchmark(ops.knn_mean_distance_scalar, pts, queries, 5)
+    assert out.shape == (queries.shape[0],)
+
+
+def test_knn_batch(benchmark):
+    """All query points against the point set in one distance matrix."""
+    pts, queries = _knn_inputs()
+    benchmark.extra_info["items"] = queries.shape[0]
+
+    out = benchmark(ops.knn_mean_distance, pts, queries, 5)
+    ref = ops.knn_mean_distance_scalar(pts, queries, 5)
+    assert np.allclose(out, ref, rtol=1e-9, equal_nan=True)
+
+
+def _grid_coords(n=N_CELLS):
+    rng = np.random.default_rng(9)
+    return np.stack(
+        [
+            rng.integers(0, 60, n),
+            rng.integers(0, 1000, n),
+            rng.integers(0, 1000, n),
+        ],
+        axis=1,
+    )
+
+
+def test_grid_groupby_scalar(benchmark):
+    """The pre-vectorization query path: per-chunk group-by dicts, merged."""
+    coords = _grid_coords()
+    chunks = np.array_split(coords, 50)
+    benchmark.extra_info["items"] = coords.shape[0]
+
+    def per_chunk_merge():
+        counts = {}
+        for chunk in chunks:
+            local = ops.group_count_by_grid(chunk, [1, 2], [8, 8])
+            for bucket, count in local.items():
+                counts[bucket] = counts.get(bucket, 0) + count
+        return counts
+
+    out = benchmark(per_chunk_merge)
+    assert sum(out.values()) == coords.shape[0]
+
+
+def test_grid_groupby_batch(benchmark):
+    """One unique/count pass over the same cells, no dicts."""
+    coords = _grid_coords()
+    benchmark.extra_info["items"] = coords.shape[0]
+
+    _buckets, counts = benchmark(
+        ops.group_count_by_grid_arrays, coords, [1, 2], [8, 8]
+    )
+    assert int(counts.sum()) == coords.shape[0]
+
+
+def _window_inputs(n=N_CELLS):
+    rng = np.random.default_rng(10)
+    coords = np.stack(
+        [
+            rng.integers(0, 60, n),
+            rng.integers(0, 256, n),
+            rng.integers(0, 256, n),
+        ],
+        axis=1,
+    )
+    return coords, rng.random(n)
+
+
+def test_window_average_scalar(benchmark):
+    coords, values = _window_inputs()
+    benchmark.extra_info["items"] = coords.shape[0]
+
+    out = benchmark(
+        ops.window_average_scalar, coords, values, (1, 2), 16
+    )
+    assert out
+
+
+def test_window_average_batch(benchmark):
+    """Stencil-slice scatter instead of a full mask per bucket."""
+    coords, values = _window_inputs()
+    benchmark.extra_info["items"] = coords.shape[0]
+
+    buckets, _means = benchmark(
+        ops.window_average_arrays, coords, values, (1, 2), 16
+    )
+    ref = ops.window_average_scalar(coords, values, (1, 2), 16)
+    assert buckets.shape[0] == len(ref)

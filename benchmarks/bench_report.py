@@ -35,6 +35,12 @@ SPEEDUP_PAIRS = [
      "test_hilbert_indexing_batch"),
     ("kd_lookup", "test_kd_lookup_latency",
      "test_kd_lookup_batch_latency"),
+    ("kmeans", "test_kmeans_scalar", "test_kmeans_batch"),
+    ("knn_mean_distance", "test_knn_scalar", "test_knn_batch"),
+    ("grid_groupby", "test_grid_groupby_scalar",
+     "test_grid_groupby_batch"),
+    ("window_average", "test_window_average_scalar",
+     "test_window_average_batch"),
 ] + [
     (f"placement:{name}", f"test_placement_throughput[{name}]",
      f"test_place_batch_throughput[{name}]")

@@ -8,7 +8,6 @@ Paper shapes asserted:
 * train and test errors correlate (the parameter is well-modeled).
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.harness import table2_sampling

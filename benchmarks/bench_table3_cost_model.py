@@ -9,7 +9,6 @@ Paper shapes asserted:
   modeled vs 12-16 measured node-hours).
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.harness import table3_cost_model

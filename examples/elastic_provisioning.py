@@ -10,10 +10,10 @@ Demonstrates the full provisioning workflow:
 Run:  python examples/elastic_provisioning.py
 """
 
-from repro import GB, RunConfig, ScaleOutCostModel, fit_sample_count
+from repro import GB, ScaleOutCostModel, fit_sample_count
 from repro.cluster import DEFAULT_COSTS
 from repro.core.tuning import best_planning_cycles, best_sample_count
-from repro.harness import ExperimentRunner, figure8_staircase
+from repro.harness import figure8_staircase
 from repro.workloads import AisWorkload, ModisWorkload
 
 

@@ -7,7 +7,7 @@ storage skew (RSD), and rebalance plans without touching cell payloads.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.errors import StorageError

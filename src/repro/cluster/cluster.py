@@ -14,7 +14,7 @@ protocol (per-node chunk access plus placement lookups).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.cluster.coordinator import (

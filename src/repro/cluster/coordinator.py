@@ -9,8 +9,10 @@ new nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
 
 from repro.arrays.chunk import ChunkData
 from repro.cluster.costs import CostParameters
@@ -62,25 +64,36 @@ def execute_insert(
     # Route the whole batch through the partitioner's batch API (one
     # vectorized placement pass instead of a place() call per chunk).
     placements = partitioner.place_batch(refs_and_sizes)
-    bytes_by_node: Dict[int, float] = {}
-    count = 0
-    total = 0.0
-    for chunk, (ref, _) in zip(chunks, refs_and_sizes):
-        target = placements[ref]
-        if target not in nodes:
-            raise ClusterError(
-                f"partitioner placed {ref} on unknown node {target}"
-            )
-        nodes[target].store.put(chunk)
-        bytes_by_node[target] = (
-            bytes_by_node.get(target, 0.0) + chunk.size_bytes
+    count = len(chunks)
+    targets = np.fromiter(
+        (placements[ref] for ref, _ in refs_and_sizes),
+        dtype=np.int64,
+        count=count,
+    )
+    sizes = np.fromiter(
+        (size for _, size in refs_and_sizes),
+        dtype=np.float64,
+        count=count,
+    )
+    # Per-node byte totals as one unique/bincount pass; physical stores
+    # still receive each chunk (object-level put).
+    uniq_targets, inverse = np.unique(targets, return_inverse=True)
+    unknown = [int(t) for t in uniq_targets.tolist() if t not in nodes]
+    if unknown:
+        raise ClusterError(
+            f"partitioner placed chunks on unknown nodes {unknown}"
         )
-        count += 1
-        total += chunk.size_bytes
+    node_bytes = np.bincount(inverse, weights=sizes)
+    bytes_by_node: Dict[int, float] = {
+        int(t): float(b)
+        for t, b in zip(uniq_targets.tolist(), node_bytes.tolist())
+    }
+    for chunk, target in zip(chunks, targets.tolist()):
+        nodes[target].store.put(chunk)
     elapsed = insert_time(bytes_by_node, coordinator_id, costs)
     return InsertReport(
         chunk_count=count,
-        total_bytes=total,
+        total_bytes=float(sizes.sum()),
         bytes_by_node=bytes_by_node,
         elapsed_seconds=elapsed,
     )

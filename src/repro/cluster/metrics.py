@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.errors import ClusterError
 
 
 def relative_std(values: Sequence[float]) -> float:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.arrays.storage import ChunkStore
 from repro.errors import ClusterError

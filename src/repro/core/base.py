@@ -40,7 +40,15 @@ every registered scheme).
 
 Ledger invariants
 -----------------
-The bookkeeping maintained here is redundant by design and must stay
+The bookkeeping lives in a pluggable chunk ledger
+(:mod:`repro.core.ledger`): by default the array-backed ledger that
+interns refs to dense integer ids and keeps bytes/owner/coordinates in
+parallel numpy columns, with the PR-1 dict ledger selectable as parity
+oracle — set ``REPRO_LEDGER=dict`` or wrap construction in
+:func:`repro.core.ledger.ledger_mode`; registered schemes do not
+forward the base ``ledger=`` keyword, which exists for direct
+subclass/test construction.
+Whatever the backing store, it is redundant by design and must stay
 consistent at every public-method boundary:
 
 * ``sum(sizes) == total_bytes`` — the running counter updated by
@@ -49,15 +57,24 @@ consistent at every public-method boundary:
 * ``sum(loads) == total_bytes`` and ``loads[n] == sum of sizes of chunks
   assigned to n``.
 * every assigned chunk's node is in ``nodes``.
+
+Subclasses read the ledger through the mapping attributes
+``_assignment`` / ``_sizes`` / ``_loads`` (read-only views) or, on bulk
+paths, through :meth:`sizes_of` / :meth:`key_column` which gather whole
+numpy columns at once — the storage-median rebalance heuristics use
+those instead of one dict probe per chunk.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.arrays.chunk import ChunkRef
+from repro.core.ledger import make_ledger
 from repro.core.traits import PartitionerTraits
 from repro.errors import PartitioningError
 
@@ -136,19 +153,37 @@ class ElasticPartitioner(ABC):
     #: The scheme's Table-1 feature row.
     traits: PartitionerTraits
 
-    def __init__(self, nodes: Sequence[NodeId]) -> None:
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        *,
+        ledger: Optional[str] = None,
+    ) -> None:
         if not nodes:
             raise PartitioningError("partitioner needs at least one node")
         if len(set(nodes)) != len(nodes):
             raise PartitioningError(f"duplicate node ids in {list(nodes)}")
         self._nodes: List[NodeId] = [int(n) for n in nodes]
-        self._assignment: Dict[ChunkRef, NodeId] = {}
-        self._sizes: Dict[ChunkRef, float] = {}
-        self._loads: Dict[NodeId, float] = {n: 0.0 for n in self._nodes}
-        # Running total of all chunk bytes.  ``total_bytes`` is read on
-        # every ingest cycle and consistency check, so it is maintained
-        # incrementally instead of summing the size ledger per call.
-        self._total_bytes: float = 0.0
+        # All chunk bookkeeping (assignment, sizes, per-node loads, the
+        # running byte total) lives in the ledger; ``ledger`` picks the
+        # backing store ("array" default, "dict" parity oracle).
+        self._ledger = make_ledger(ledger, self._nodes)
+
+    # ------------------------------------------------------------------
+    # ledger views (read-only; subclasses must mutate through the
+    # ledger primitives below, never through these mappings)
+    # ------------------------------------------------------------------
+    @property
+    def _assignment(self) -> Mapping:
+        return self._ledger.assignment_view()
+
+    @property
+    def _sizes(self) -> Mapping:
+        return self._ledger.sizes_view()
+
+    @property
+    def _loads(self) -> Mapping:
+        return self._ledger.loads_view()
 
     # ------------------------------------------------------------------
     # read-only state
@@ -164,46 +199,70 @@ class ElasticPartitioner(ABC):
 
     @property
     def chunk_count(self) -> int:
-        return len(self._assignment)
+        return self._ledger.chunk_count
 
     @property
     def total_bytes(self) -> float:
         """All chunk bytes in the ledger (O(1) running counter)."""
-        return self._total_bytes
+        return self._ledger.total_bytes
 
     def node_loads(self) -> Dict[NodeId, float]:
         """Bytes currently assigned to each node."""
-        return dict(self._loads)
+        return self._ledger.node_loads()
 
     def load_of(self, node: NodeId) -> float:
         try:
-            return self._loads[node]
+            return self._ledger.load_of(node)
         except KeyError:
             raise PartitioningError(f"unknown node {node}") from None
 
     def assignment(self) -> Dict[ChunkRef, NodeId]:
         """A copy of the full chunk→node map."""
-        return dict(self._assignment)
+        return self._ledger.assignment()
 
     def chunks_on(self, node: NodeId) -> List[ChunkRef]:
         """Chunk refs assigned to one node (sorted for determinism)."""
-        if node not in self._loads:
+        if not self._ledger.has_node(node):
             raise PartitioningError(f"unknown node {node}")
         return sorted(
-            (r for r, n in self._assignment.items() if n == node),
-            key=lambda r: (r.array, r.key),
+            self._ledger.refs_on(node), key=lambda r: (r.array, r.key)
         )
 
     def size_of(self, ref: ChunkRef) -> float:
         try:
-            return self._sizes[ref]
+            return self._ledger.size_of(ref)
         except KeyError:
             raise PartitioningError(f"unknown chunk {ref}") from None
+
+    def sizes_of(self, refs: Sequence[ChunkRef]) -> np.ndarray:
+        """Bulk byte sizes of many placed refs (one column gather).
+
+        The vectorized counterpart of :meth:`size_of` — rebalance
+        heuristics (storage medians, split deltas) read whole byte
+        columns through this instead of probing the ledger per chunk.
+        """
+        try:
+            return self._ledger.sizes_of(refs)
+        except KeyError:
+            raise PartitioningError(
+                "sizes_of includes a chunk that was never placed"
+            ) from None
+
+    def key_column(
+        self, refs: Sequence[ChunkRef], dim: int
+    ) -> np.ndarray:
+        """Bulk chunk-key coordinates of placed refs along one dimension."""
+        try:
+            return self._ledger.key_column(refs, dim)
+        except KeyError:
+            raise PartitioningError(
+                "key_column includes a chunk that was never placed"
+            ) from None
 
     def locate(self, ref: ChunkRef) -> NodeId:
         """Node currently holding ``ref`` (must have been placed)."""
         try:
-            return self._assignment[ref]
+            return self._ledger.node_of(ref)
         except KeyError:
             raise PartitioningError(f"chunk {ref} was never placed") from None
 
@@ -246,7 +305,7 @@ class ElasticPartitioner(ABC):
             raise PartitioningError(
                 f"negative chunk size {size_bytes} for {ref}"
             )
-        existing = self._assignment.get(ref)
+        existing = self._ledger.get_node(ref)
         if existing is not None:
             self._merge_existing(ref, float(size_bytes), existing)
             return existing
@@ -283,11 +342,9 @@ class ElasticPartitioner(ABC):
         Raises:
             PartitioningError: when the chunk was never placed.
         """
-        node = self.locate(ref)
-        size = self._sizes.pop(ref)
-        del self._assignment[ref]
-        self._loads[node] -= size
-        self._total_bytes -= size
+        if not self._ledger.contains(ref):
+            raise PartitioningError(f"chunk {ref} was never placed")
+        node, size = self._ledger.remove(ref)
         self._forget(ref, size, node)
         return node
 
@@ -307,14 +364,14 @@ class ElasticPartitioner(ABC):
         if not new_nodes:
             return RebalancePlan(moves=[])
         for n in new_nodes:
-            if n in self._loads:
+            if self._ledger.has_node(n):
                 raise PartitioningError(f"node {n} already in cluster")
         if len(set(new_nodes)) != len(new_nodes):
             raise PartitioningError(f"duplicate new node ids {new_nodes}")
 
         for n in new_nodes:
             self._nodes.append(n)
-            self._loads[n] = 0.0
+            self._ledger.add_node(n)
 
         moves = self._extend(new_nodes)
 
@@ -334,15 +391,12 @@ class ElasticPartitioner(ABC):
 
     def update_size(self, ref: ChunkRef, delta_bytes: float) -> None:
         """Grow (or shrink) the recorded bytes of an existing chunk."""
-        node = self.locate(ref)
-        new_size = self._sizes[ref] + delta_bytes
-        if new_size < 0:
+        current = self.size_of(ref)  # raises if never placed
+        if current + delta_bytes < 0:
             raise PartitioningError(
                 f"chunk {ref} size would become negative"
             )
-        self._sizes[ref] = new_size
-        self._loads[node] += delta_bytes
-        self._total_bytes += delta_bytes
+        self._ledger.update_size(ref, delta_bytes)
 
     # ------------------------------------------------------------------
     # subclass responsibilities
@@ -369,23 +423,18 @@ class ElasticPartitioner(ABC):
         self, ref: ChunkRef, size_bytes: float, node: NodeId
     ) -> NodeId:
         """Add bytes to an already-placed chunk on its current node."""
-        self._sizes[ref] += size_bytes
-        self._loads[node] += size_bytes
-        self._total_bytes += size_bytes
+        self._ledger.merge(ref, size_bytes)
         return node
 
     def _commit_new(
         self, ref: ChunkRef, size_bytes: float, node: NodeId
     ) -> NodeId:
         """Record a first-time placement decided by the subclass."""
-        if node not in self._loads:
+        if not self._ledger.has_node(node):
             raise PartitioningError(
                 f"{self.name} placed {ref} on unknown node {node}"
             )
-        self._assignment[ref] = node
-        self._sizes[ref] = size_bytes
-        self._loads[node] += size_bytes
-        self._total_bytes += size_bytes
+        self._ledger.commit_new(ref, size_bytes, node)
         return node
 
     def _forget(
@@ -413,19 +462,19 @@ class ElasticPartitioner(ABC):
         is deliberately lean — two ref-dict operations per item — since
         refs hash through Python-level ``__hash__``.
         """
-        assignment = self._assignment
+        contains = self._ledger.contains
         first_sizes: Dict[ChunkRef, float] = {}
         merges: List[Tuple[ChunkRef, float]] = []
         append = merges.append
         setdefault = first_sizes.setdefault
         count = 0
-        if assignment:
+        if self._ledger.chunk_count:
             for ref, size_bytes in items:
                 if size_bytes < 0:
                     raise PartitioningError(
                         f"negative chunk size {size_bytes} for {ref}"
                     )
-                if ref in assignment:
+                if contains(ref):
                     append((ref, size_bytes))
                     continue
                 setdefault(ref, float(size_bytes))
@@ -457,58 +506,39 @@ class ElasticPartitioner(ABC):
         """Apply a partitioned batch to the ledger.
 
         ``commit_nodes`` holds the chosen node of each ``first_sizes``
-        ref, in iteration order.  First-time placements are committed
-        with C-level bulk dict updates; merges replay in batch order.
-        Assignments, returned placements, and per-chunk sizes come out
-        bit-identical to sequential :meth:`place`; per-node loads and
-        the running total accumulate the same bytes in a different
-        order (see the module docstring's batch contract).
+        ref, in iteration order.  The ledger applies first-time
+        placements as bulk column writes (or C-level dict updates on
+        the dict oracle); merges replay in batch order.  Assignments,
+        returned placements, and per-chunk sizes come out bit-identical
+        to sequential :meth:`place`; per-node loads and the running
+        total accumulate the same bytes in a different order (see the
+        module docstring's batch contract).
         """
-        assignment = self._assignment
-        sizes = self._sizes
-        loads = self._loads
-        placements: Dict[ChunkRef, NodeId] = {}
-        total_delta = 0.0
         if first_sizes:
+            has_node = self._ledger.has_node
             for node in set(commit_nodes):
-                if node not in loads:
+                if not has_node(node):
                     raise PartitioningError(
                         f"{self.name} placed a chunk on unknown "
                         f"node {node}"
                     )
-            # Build placements first: the dict-to-dict updates below
-            # then reuse its stored hashes (no Python-level re-hashing).
-            placements = dict(zip(first_sizes, commit_nodes))
-            assignment.update(placements)
-            sizes.update(first_sizes)
-            for node, size in zip(commit_nodes, first_sizes.values()):
-                loads[node] += size
-                total_delta += size
-        for ref, size_bytes in merges:
-            size = float(size_bytes)
-            node = assignment[ref]
-            sizes[ref] += size
-            loads[node] += size
-            total_delta += size
-            placements[ref] = node
-        self._total_bytes += total_delta
-        return placements
+        return self._ledger.commit_batch(
+            first_sizes, commit_nodes, merges
+        )
 
     def _relocate(self, ref: ChunkRef, dest: NodeId) -> Move:
         """Move a chunk to ``dest`` in the ledger and return the move."""
-        if dest not in self._loads:
+        if not self._ledger.has_node(dest):
             raise PartitioningError(f"relocation to unknown node {dest}")
-        source = self._assignment[ref]
-        size = self._sizes[ref]
+        source = self._ledger.node_of(ref)
+        size = self._ledger.size_of(ref)
         move = Move(ref=ref, source=source, dest=dest, size_bytes=size)
-        self._assignment[ref] = dest
-        self._loads[source] -= size
-        self._loads[dest] += size
+        self._ledger.relocate(ref, dest)
         return move
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(nodes={len(self._nodes)}, "
-            f"chunks={len(self._assignment)}, "
+            f"chunks={self.chunk_count}, "
             f"bytes={self.total_bytes:.3g})"
         )

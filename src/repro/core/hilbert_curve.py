@@ -246,32 +246,32 @@ class HilbertCurvePartitioner(ElasticPartitioner):
             self._insert_empty_tail_range(donor, new_node)
             return []
 
+        self._fill_index_cache(donor_chunks)
         ordered = sorted(
             donor_chunks, key=lambda r: (self.curve_index(r), r.array)
         )
-        total = sum(self._sizes[r] for r in ordered)
-
-        # Choose the prefix/suffix boundary whose byte split is closest to
-        # half, with both sides non-empty (storage median, §4.2).
-        best_cut = 1
-        best_err = None
-        running = 0.0
-        for i in range(len(ordered) - 1):
-            running += self._sizes[ordered[i]]
-            # A cut between i and i+1 is only valid when the curve indices
-            # differ, otherwise both chunks would land in the same range.
-            if self.curve_index(ordered[i]) == self.curve_index(
-                ordered[i + 1]
-            ):
-                continue
-            err = abs(running - (total - running))
-            if best_err is None or err < best_err:
-                best_err = err
-                best_cut = i + 1
-        if best_err is None:
+        # Byte prefix sums come from one ledger column gather instead of
+        # a size-dict probe per chunk (storage median, §4.2): choose the
+        # prefix/suffix boundary whose byte split is closest to half,
+        # with both sides non-empty.
+        sizes = self.sizes_of(ordered)
+        total = float(sizes.sum())
+        running = np.cumsum(sizes[:-1])
+        positions = [self.curve_index(r) for r in ordered]
+        # A cut between i and i+1 is only valid when the curve indices
+        # differ, otherwise both chunks would land in the same range.
+        valid = np.fromiter(
+            (a != b for a, b in zip(positions, positions[1:])),
+            dtype=bool,
+            count=len(ordered) - 1,
+        )
+        if not valid.any():
             # All donor chunks share one curve position: cannot split.
             self._insert_empty_tail_range(donor, new_node)
             return []
+        err = np.abs(running - (total - running))
+        err[~valid] = np.inf
+        best_cut = int(np.argmin(err)) + 1  # first minimum, cut order
 
         cut_index = self.curve_index(ordered[best_cut])
         self._insert_boundary(donor, cut_index, new_node)

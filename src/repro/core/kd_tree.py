@@ -256,29 +256,42 @@ class KdTreePartitioner(ElasticPartitioner):
         if not chunks:
             return (lo + hi) // 2
 
-        by_coord: Dict[int, float] = {}
-        for ref in chunks:
-            c = min(max(ref.key[dim], lo), hi - 1)
-            by_coord[c] = by_coord.get(c, 0.0) + self._sizes[ref]
-        total = sum(by_coord.values())
-        if len(by_coord) < 2:
+        try:
+            coords = np.clip(self.key_column(chunks, dim), lo, hi - 1)
+        except OverflowError:
+            # Coordinates beyond int64 (unbounded growth): exact Python
+            # ints, scalar accumulation.
+            coords = None
+        if coords is None:
+            by_coord: Dict[int, float] = {}
+            for ref in chunks:
+                c = min(max(ref.key[dim], lo), hi - 1)
+                by_coord[c] = by_coord.get(c, 0.0) + self._sizes[ref]
+            uniq = np.array(sorted(by_coord), dtype=object)
+            weights = np.array(
+                [by_coord[c] for c in uniq.tolist()], dtype=np.float64
+            )
+        else:
+            # One column gather + bincount replaces the per-ref dict
+            # accumulation: the split's byte histogram is a vector op.
+            uniq, inverse = np.unique(coords, return_inverse=True)
+            weights = np.bincount(
+                inverse, weights=self.sizes_of(chunks)
+            )
+        total = float(weights.sum())
+        if uniq.size < 2:
             # All bytes at one coordinate: fall back to a volume split so
             # the new node gets usable space for future inserts.
             return (lo + hi) // 2
 
-        best_at = None
-        best_err = None
-        running = 0.0
-        for coord in sorted(by_coord)[:-1]:
-            running += by_coord[coord]
-            at = coord + 1  # plane between `coord` and the next coordinate
-            if not lo < at < hi:
-                continue
-            err = abs(running - (total - running))
-            if best_err is None or err < best_err:
-                best_err = err
-                best_at = at
-        return best_at if best_at is not None else (lo + hi) // 2
+        running = np.cumsum(weights[:-1])
+        at = uniq[:-1] + 1  # planes between adjacent coordinates
+        err = np.abs(running - (total - running))
+        err[~((lo < at) & (at < hi))] = np.inf
+        best = int(np.argmin(err))  # first minimum, in coordinate order
+        if not np.isfinite(err[best]):
+            return (lo + hi) // 2
+        return int(at[best])
 
     def _apply_split(
         self,

@@ -1,0 +1,624 @@
+"""Chunk ledgers: the bookkeeping store behind every partitioner.
+
+The ledger answers "which node holds this chunk and how big is it" and
+maintains the per-node byte loads plus the running total.  Two
+implementations share one interface:
+
+* :class:`ArrayChunkLedger` (the default) interns every
+  :class:`ChunkRef` to a dense integer id and keeps the per-chunk state
+  in parallel numpy columns — bytes, owning node, and (when all refs
+  share one arity) the chunk-key coordinates.  Batch commits, merges,
+  and rebalance reads then become vector operations over those columns
+  instead of per-ref dict traffic through Python-level ``__hash__``.
+* :class:`DictChunkLedger` is the PR-1 dict ledger, kept bit-for-bit as
+  the parity oracle (``tests/test_ledger.py`` drives both through
+  identical op sequences).
+
+Selection mirrors the scalar/batch contract of the placement layer: the
+module default comes from the ``REPRO_LEDGER`` environment variable
+(``array`` unless overridden), and :func:`ledger_mode` temporarily pins
+a mode for tests.
+
+Float semantics
+---------------
+Per-chunk sizes are stored and merged in batch order, so they stay
+bit-identical between the two ledgers.  Per-node loads and the running
+total accumulate the same bytes but may reassociate the additions
+(vectorized reductions), so they agree only up to float ulps — the same
+contract `place_batch` already documents.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.chunk import ChunkRef
+from repro.errors import PartitioningError
+
+NodeId = int
+
+#: Ledger modes accepted by :func:`make_ledger` / ``REPRO_LEDGER``.
+LEDGER_MODES = ("array", "dict")
+
+_DEFAULT_MODE: Optional[str] = None
+
+
+def default_ledger_mode() -> str:
+    """The process-wide ledger mode (env ``REPRO_LEDGER``, default array)."""
+    if _DEFAULT_MODE is not None:
+        return _DEFAULT_MODE
+    mode = os.environ.get("REPRO_LEDGER", "array").strip().lower()
+    return mode if mode in LEDGER_MODES else "array"
+
+
+@contextmanager
+def ledger_mode(mode: str) -> Iterator[None]:
+    """Temporarily pin the default ledger mode (parity tests)."""
+    if mode not in LEDGER_MODES:
+        raise PartitioningError(
+            f"unknown ledger mode {mode!r}; expected one of {LEDGER_MODES}"
+        )
+    global _DEFAULT_MODE
+    previous = _DEFAULT_MODE
+    _DEFAULT_MODE = mode
+    try:
+        yield
+    finally:
+        _DEFAULT_MODE = previous
+
+
+def make_ledger(mode: Optional[str], nodes: Sequence[NodeId]):
+    """Construct a ledger of the requested (or default) mode."""
+    mode = mode or default_ledger_mode()
+    if mode == "dict":
+        return DictChunkLedger(nodes)
+    if mode == "array":
+        return ArrayChunkLedger(nodes)
+    raise PartitioningError(
+        f"unknown ledger mode {mode!r}; expected one of {LEDGER_MODES}"
+    )
+
+
+class DictChunkLedger:
+    """The dict-of-refs ledger (PR-1 structure), kept as parity oracle."""
+
+    mode = "dict"
+
+    def __init__(self, nodes: Sequence[NodeId]) -> None:
+        self._assignment: Dict[ChunkRef, NodeId] = {}
+        self._sizes: Dict[ChunkRef, float] = {}
+        self._loads: Dict[NodeId, float] = {int(n): 0.0 for n in nodes}
+        self._total: float = 0.0
+
+    # -- nodes ---------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        self._loads[int(node)] = 0.0
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._loads
+
+    def load_of(self, node: NodeId) -> float:
+        return self._loads[node]
+
+    def node_loads(self) -> Dict[NodeId, float]:
+        return dict(self._loads)
+
+    # -- reads ---------------------------------------------------------
+    def contains(self, ref: ChunkRef) -> bool:
+        return ref in self._assignment
+
+    def get_node(self, ref: ChunkRef) -> Optional[NodeId]:
+        return self._assignment.get(ref)
+
+    def node_of(self, ref: ChunkRef) -> NodeId:
+        return self._assignment[ref]
+
+    def size_of(self, ref: ChunkRef) -> float:
+        return self._sizes[ref]
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._assignment)
+
+    @property
+    def total_bytes(self) -> float:
+        return self._total
+
+    def assignment(self) -> Dict[ChunkRef, NodeId]:
+        return dict(self._assignment)
+
+    def refs_on(self, node: NodeId) -> List[ChunkRef]:
+        return [r for r, n in self._assignment.items() if n == node]
+
+    def sizes_of(self, refs: Sequence[ChunkRef]) -> np.ndarray:
+        sizes = self._sizes
+        return np.fromiter(
+            (sizes[r] for r in refs), dtype=np.float64, count=len(refs)
+        )
+
+    def key_column(
+        self, refs: Sequence[ChunkRef], dim: int
+    ) -> np.ndarray:
+        return np.fromiter(
+            (r.key[dim] for r in refs), dtype=np.int64, count=len(refs)
+        )
+
+    # -- views (zero-cost: the dicts themselves) -----------------------
+    def assignment_view(self) -> Mapping:
+        return self._assignment
+
+    def sizes_view(self) -> Mapping:
+        return self._sizes
+
+    def loads_view(self) -> Mapping:
+        return self._loads
+
+    # -- mutation ------------------------------------------------------
+    def commit_new(
+        self, ref: ChunkRef, size_bytes: float, node: NodeId
+    ) -> None:
+        self._assignment[ref] = node
+        self._sizes[ref] = size_bytes
+        self._loads[node] += size_bytes
+        self._total += size_bytes
+
+    def merge(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        node = self._assignment[ref]
+        self._sizes[ref] += size_bytes
+        self._loads[node] += size_bytes
+        self._total += size_bytes
+        return node
+
+    def remove(self, ref: ChunkRef) -> Tuple[NodeId, float]:
+        node = self._assignment.pop(ref)
+        size = self._sizes.pop(ref)
+        self._loads[node] -= size
+        self._total -= size
+        return node, size
+
+    def relocate(
+        self, ref: ChunkRef, dest: NodeId
+    ) -> Tuple[NodeId, float]:
+        source = self._assignment[ref]
+        size = self._sizes[ref]
+        self._assignment[ref] = dest
+        self._loads[source] -= size
+        self._loads[dest] += size
+        return source, size
+
+    def update_size(self, ref: ChunkRef, delta_bytes: float) -> NodeId:
+        node = self._assignment[ref]
+        self._sizes[ref] += delta_bytes
+        self._loads[node] += delta_bytes
+        self._total += delta_bytes
+        return node
+
+    def commit_batch(
+        self,
+        first_sizes: Dict[ChunkRef, float],
+        commit_nodes: Sequence[NodeId],
+        merges: Sequence[Tuple[ChunkRef, float]],
+    ) -> Dict[ChunkRef, NodeId]:
+        assignment = self._assignment
+        sizes = self._sizes
+        loads = self._loads
+        placements: Dict[ChunkRef, NodeId] = {}
+        total_delta = 0.0
+        if first_sizes:
+            # Build placements first: the dict-to-dict updates below
+            # then reuse its stored hashes (no Python-level re-hashing).
+            placements = dict(zip(first_sizes, commit_nodes))
+            assignment.update(placements)
+            sizes.update(first_sizes)
+            for node, size in zip(commit_nodes, first_sizes.values()):
+                loads[node] += size
+                total_delta += size
+        for ref, size_bytes in merges:
+            size = float(size_bytes)
+            node = assignment[ref]
+            sizes[ref] += size
+            loads[node] += size
+            total_delta += size
+            placements[ref] = node
+        self._total += total_delta
+        return placements
+
+
+class _RefsMappingView(Mapping):
+    """Read-only mapping over the array ledger's alive refs."""
+
+    __slots__ = ("_ledger",)
+
+    def __init__(self, ledger: "ArrayChunkLedger") -> None:
+        self._ledger = ledger
+
+    def __iter__(self):
+        return iter(self._ledger._id_of)
+
+    def __len__(self) -> int:
+        return len(self._ledger._id_of)
+
+    def __contains__(self, ref) -> bool:
+        return ref in self._ledger._id_of
+
+
+class _AssignmentView(_RefsMappingView):
+    """``ChunkRef -> NodeId`` view backed by the node column."""
+
+    def __getitem__(self, ref: ChunkRef) -> NodeId:
+        led = self._ledger
+        return led._node_list[led._node[led._id_of[ref]]]
+
+    def get(self, ref, default=None):
+        led = self._ledger
+        i = led._id_of.get(ref)
+        if i is None:
+            return default
+        return led._node_list[led._node[i]]
+
+
+class _SizesView(_RefsMappingView):
+    """``ChunkRef -> bytes`` view backed by the size column."""
+
+    def __getitem__(self, ref: ChunkRef) -> float:
+        led = self._ledger
+        return float(led._size[led._id_of[ref]])
+
+    def get(self, ref, default=None):
+        i = self._ledger._id_of.get(ref)
+        if i is None:
+            return default
+        return float(self._ledger._size[i])
+
+
+class _LoadsView(Mapping):
+    """``NodeId -> bytes`` view backed by the load column."""
+
+    __slots__ = ("_ledger",)
+
+    def __init__(self, ledger: "ArrayChunkLedger") -> None:
+        self._ledger = ledger
+
+    def __getitem__(self, node: NodeId) -> float:
+        led = self._ledger
+        return float(led._load[led._slot_of[node]])
+
+    def get(self, node, default=None):
+        slot = self._ledger._slot_of.get(node)
+        if slot is None:
+            return default
+        return float(self._ledger._load[slot])
+
+    def __iter__(self):
+        return iter(self._ledger._slot_of)
+
+    def __len__(self) -> int:
+        return len(self._ledger._slot_of)
+
+    def __contains__(self, node) -> bool:
+        return node in self._ledger._slot_of
+
+
+class ArrayChunkLedger:
+    """Interned-ref ledger over parallel numpy columns.
+
+    Every first-time ref is interned to a dense integer id; the id
+    indexes the ``_size`` (float64 bytes), ``_node`` (int64 owner id)
+    and — when every ref shares one key arity — ``_key`` (int64 chunk
+    coordinates) columns.  Removed ids go on a free list and are reused
+    by later placements, so the columns stay dense under churn.
+
+    Node ids are likewise interned to dense slots (the ``_load``
+    column); the ``_node`` column stores the *slot*, not the raw node
+    id, so the -1 free-slot sentinel can never collide with a caller's
+    node id (node ids may be any ints, including negatives).  Batch
+    commits turn the per-node load accumulation into ``np.add.at``
+    over slot indices, and rebalance heuristics read whole byte
+    columns (:meth:`sizes_of`, :meth:`key_column`) instead of one dict
+    probe per chunk.
+    """
+
+    mode = "array"
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self, nodes: Sequence[NodeId]) -> None:
+        cap = self._INITIAL_CAPACITY
+        self._id_of: Dict[ChunkRef, int] = {}
+        self._refs = np.empty(cap, dtype=object)
+        self._size = np.zeros(cap, dtype=np.float64)
+        self._node = np.full(cap, -1, dtype=np.int64)
+        self._key: Optional[np.ndarray] = None  # (cap, ndim) int64
+        self._key_width: Optional[int] = None
+        self._keys_ok = True
+        self._free: List[int] = []
+        self._hwm = 0  # high-water mark of allocated ids
+        self._total = 0.0
+        # node interning
+        self._slot_of: Dict[NodeId, int] = {}
+        self._node_list: List[NodeId] = []  # slot -> node id
+        self._load = np.zeros(0, dtype=np.float64)
+        for n in nodes:
+            self.add_node(int(n))
+        # cached views (stateless over self)
+        self._assignment_view = _AssignmentView(self)
+        self._sizes_view = _SizesView(self)
+        self._loads_view = _LoadsView(self)
+
+    # -- capacity ------------------------------------------------------
+    def _grow(self, need: int) -> None:
+        cap = len(self._size)
+        if need <= cap:
+            return
+        new_cap = max(need, cap * 2)
+        self._refs = np.concatenate(
+            [self._refs, np.empty(new_cap - cap, dtype=object)]
+        )
+        self._size = np.concatenate(
+            [self._size, np.zeros(new_cap - cap, dtype=np.float64)]
+        )
+        self._node = np.concatenate(
+            [self._node, np.full(new_cap - cap, -1, dtype=np.int64)]
+        )
+        if self._key is not None:
+            self._key = np.concatenate(
+                [
+                    self._key,
+                    np.zeros(
+                        (new_cap - cap, self._key.shape[1]),
+                        dtype=np.int64,
+                    ),
+                ]
+            )
+
+    def _alloc(self, count: int) -> np.ndarray:
+        """Allocate ``count`` ids: free-list first, then fresh slots."""
+        reuse = min(count, len(self._free))
+        ids = np.empty(count, dtype=np.int64)
+        if reuse:
+            ids[:reuse] = self._free[len(self._free) - reuse:]
+            del self._free[len(self._free) - reuse:]
+        fresh = count - reuse
+        if fresh:
+            self._grow(self._hwm + fresh)
+            ids[reuse:] = np.arange(
+                self._hwm, self._hwm + fresh, dtype=np.int64
+            )
+            self._hwm += fresh
+        return ids
+
+    def _store_keys(self, ids: np.ndarray, refs: Sequence[ChunkRef]) -> None:
+        """Fill the key-coordinate column for freshly interned refs."""
+        if not self._keys_ok:
+            return
+        try:
+            keys = np.array([r.key for r in refs], dtype=np.int64)
+        except (ValueError, OverflowError):
+            # Mixed arities or beyond-int64 coordinates: the coordinate
+            # column cannot represent this workload; disable it (bulk
+            # key reads then fall back to per-ref tuples).
+            self._keys_ok = False
+            self._key = None
+            return
+        width = keys.shape[1] if keys.ndim == 2 else 1
+        if self._key_width is None:
+            self._key_width = width
+            self._key = np.zeros(
+                (len(self._size), width), dtype=np.int64
+            )
+        elif width != self._key_width:
+            self._keys_ok = False
+            self._key = None
+            return
+        self._key[ids] = keys.reshape(len(refs), width)
+
+    # -- nodes ---------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        slot = len(self._slot_of)
+        self._slot_of[int(node)] = slot
+        self._node_list.append(int(node))
+        self._load = np.concatenate([self._load, np.zeros(1)])
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._slot_of
+
+    def load_of(self, node: NodeId) -> float:
+        return float(self._load[self._slot_of[node]])
+
+    def node_loads(self) -> Dict[NodeId, float]:
+        load = self._load
+        return {
+            n: float(load[slot]) for n, slot in self._slot_of.items()
+        }
+
+    def _slots_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Map an array of node ids to load slots (KeyError on unknown)."""
+        slot_of = self._slot_of
+        return np.fromiter(
+            (slot_of[int(n)] for n in nodes),
+            dtype=np.int64,
+            count=len(nodes),
+        )
+
+    # -- reads ---------------------------------------------------------
+    def contains(self, ref: ChunkRef) -> bool:
+        return ref in self._id_of
+
+    def get_node(self, ref: ChunkRef) -> Optional[NodeId]:
+        i = self._id_of.get(ref)
+        return None if i is None else self._node_list[self._node[i]]
+
+    def node_of(self, ref: ChunkRef) -> NodeId:
+        return self._node_list[self._node[self._id_of[ref]]]
+
+    def size_of(self, ref: ChunkRef) -> float:
+        return float(self._size[self._id_of[ref]])
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._id_of)
+
+    @property
+    def total_bytes(self) -> float:
+        return self._total
+
+    def assignment(self) -> Dict[ChunkRef, NodeId]:
+        node = self._node
+        node_list = self._node_list
+        return {r: node_list[node[i]] for r, i in self._id_of.items()}
+
+    def ids_on(self, node: NodeId) -> np.ndarray:
+        """Dense ids of the chunks assigned to one node (vector scan)."""
+        slot = self._slot_of[node]
+        return np.nonzero(self._node[: self._hwm] == slot)[0]
+
+    def refs_on(self, node: NodeId) -> List[ChunkRef]:
+        return self._refs[self.ids_on(node)].tolist()
+
+    def sizes_of(self, refs: Sequence[ChunkRef]) -> np.ndarray:
+        """Bulk byte sizes of many refs (one column gather)."""
+        id_of = self._id_of
+        ids = np.fromiter(
+            (id_of[r] for r in refs), dtype=np.int64, count=len(refs)
+        )
+        return self._size[ids]
+
+    def key_column(
+        self, refs: Sequence[ChunkRef], dim: int
+    ) -> np.ndarray:
+        """Bulk chunk-key coordinates of many refs along one dimension."""
+        if self._keys_ok and self._key is not None:
+            id_of = self._id_of
+            ids = np.fromiter(
+                (id_of[r] for r in refs),
+                dtype=np.int64,
+                count=len(refs),
+            )
+            return self._key[ids, dim]
+        return np.fromiter(
+            (r.key[dim] for r in refs), dtype=np.int64, count=len(refs)
+        )
+
+    # -- views ---------------------------------------------------------
+    def assignment_view(self) -> Mapping:
+        return self._assignment_view
+
+    def sizes_view(self) -> Mapping:
+        return self._sizes_view
+
+    def loads_view(self) -> Mapping:
+        return self._loads_view
+
+    # -- mutation ------------------------------------------------------
+    def commit_new(
+        self, ref: ChunkRef, size_bytes: float, node: NodeId
+    ) -> None:
+        i = int(self._alloc(1)[0])
+        slot = self._slot_of[node]
+        self._id_of[ref] = i
+        self._refs[i] = ref
+        self._size[i] = size_bytes
+        self._node[i] = slot
+        self._store_keys(np.array([i], dtype=np.int64), [ref])
+        self._load[slot] += size_bytes
+        self._total += size_bytes
+
+    def merge(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        i = self._id_of[ref]
+        slot = int(self._node[i])
+        self._size[i] += size_bytes
+        self._load[slot] += size_bytes
+        self._total += size_bytes
+        return self._node_list[slot]
+
+    def remove(self, ref: ChunkRef) -> Tuple[NodeId, float]:
+        i = self._id_of.pop(ref)
+        slot = int(self._node[i])
+        size = float(self._size[i])
+        self._node[i] = -1
+        self._size[i] = 0.0
+        self._refs[i] = None
+        self._free.append(i)
+        self._load[slot] -= size
+        self._total -= size
+        return self._node_list[slot], size
+
+    def relocate(
+        self, ref: ChunkRef, dest: NodeId
+    ) -> Tuple[NodeId, float]:
+        i = self._id_of[ref]
+        source_slot = int(self._node[i])
+        dest_slot = self._slot_of[dest]
+        size = float(self._size[i])
+        self._node[i] = dest_slot
+        self._load[source_slot] -= size
+        self._load[dest_slot] += size
+        return self._node_list[source_slot], size
+
+    def update_size(self, ref: ChunkRef, delta_bytes: float) -> NodeId:
+        i = self._id_of[ref]
+        slot = int(self._node[i])
+        self._size[i] += delta_bytes
+        self._load[slot] += delta_bytes
+        self._total += delta_bytes
+        return self._node_list[slot]
+
+    def commit_batch(
+        self,
+        first_sizes: Dict[ChunkRef, float],
+        commit_nodes: Sequence[NodeId],
+        merges: Sequence[Tuple[ChunkRef, float]],
+    ) -> Dict[ChunkRef, NodeId]:
+        """Apply a partitioned batch with vectorized column writes.
+
+        First-time placements land as whole-column fancy-index writes
+        plus one ``np.add.at`` into the load column; merges gather
+        their ids once and accumulate sizes/loads with unbuffered adds
+        (duplicate refs within ``merges`` accumulate in batch order, so
+        per-chunk sizes stay bit-identical to sequential placement).
+        """
+        placements: Dict[ChunkRef, NodeId] = {}
+        total_delta = 0.0
+        if first_sizes:
+            refs = list(first_sizes)
+            n_new = len(refs)
+            sizes = np.fromiter(
+                first_sizes.values(), dtype=np.float64, count=n_new
+            )
+            nodes = np.asarray(commit_nodes, dtype=np.int64)
+            slots = self._slots_of(nodes)  # validates node ids
+            ids = self._alloc(n_new)
+            self._refs[ids] = refs
+            self._size[ids] = sizes
+            self._node[ids] = slots
+            self._store_keys(ids, refs)
+            self._id_of.update(zip(refs, ids.tolist()))
+            np.add.at(self._load, slots, sizes)
+            total_delta += float(sizes.sum())
+            placements = dict(zip(refs, nodes.tolist()))
+        if merges:
+            id_of = self._id_of
+            mids = np.fromiter(
+                (id_of[r] for r, _ in merges),
+                dtype=np.int64,
+                count=len(merges),
+            )
+            msizes = np.fromiter(
+                (s for _, s in merges),
+                dtype=np.float64,
+                count=len(merges),
+            )
+            np.add.at(self._size, mids, msizes)
+            mslots = self._node[mids]
+            np.add.at(self._load, mslots, msizes)
+            total_delta += float(msizes.sum())
+            node_list = self._node_list
+            for (ref, _), slot in zip(merges, mslots.tolist()):
+                placements[ref] = node_list[slot]
+        self._total += total_delta
+        return placements

@@ -15,7 +15,7 @@ Two workload-specific parameters shape the staircase:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ProvisioningError

@@ -12,18 +12,16 @@ laptop runs; modeled bytes always sit at paper scale (630 GB MODIS /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.costs import DEFAULT_COSTS, GB
-from repro.cluster.metrics import RunMetrics
-from repro.core.registry import PARTITIONER_CLASSES, make_partitioner
+from repro.core.registry import PARTITIONER_CLASSES
 from repro.core.traits import DISPLAY_NAMES, PAPER_ORDER, PAPER_TAXONOMY, TRAIT_COLUMNS
 from repro.core.tuning import (
     ScaleOutCostModel,
     best_planning_cycles,
     best_sample_count,
-    fit_sample_count,
     sampling_error_window,
 )
 from repro.harness.reporting import format_series_table, format_table

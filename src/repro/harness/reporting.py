@@ -6,7 +6,7 @@ report; these helpers keep the formatting consistent and dependency-free.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 
 def format_table(

@@ -16,15 +16,13 @@ Two provisioning modes mirror the paper's two experiment families:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.cluster.cluster import ElasticCluster
 from repro.cluster.costs import DEFAULT_COSTS, GB, CostParameters
 from repro.cluster.metrics import CycleMetrics, RunMetrics
-from repro.core.base import ElasticPartitioner
 from repro.core.provisioner import LeadingStaircase
 from repro.core.registry import make_partitioner
-from repro.errors import ClusterError
 from repro.query.executor import Query, run_suite
 from repro.query.suites import suite_for
 from repro.workloads.model import CyclicWorkload

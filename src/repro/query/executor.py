@@ -1,21 +1,24 @@
 """Query execution: the Query base class and a parallel chunk runner.
 
 Queries compute real answers over the cluster's chunk payloads and price
-themselves with the placement-sensitive cost model.  For CPU-bound local
-work, :func:`map_chunks` optionally fans the per-chunk computation across a
-``multiprocessing`` pool (the actual parallelism of the prototype; the
-*simulated* latency always comes from the cost model so results don't
-depend on the test machine).
+themselves with the placement-sensitive cost model.  The query layer is
+batch-first: queries concatenate the chunk payloads they touch
+(:func:`repro.query.operators.concat_chunk_payload`) and invoke each
+vectorized operator kernel once over the concatenation, instead of once
+per chunk.  For genuinely heavy per-chunk math, :func:`map_chunks` still
+optionally fans a per-chunk computation across a ``multiprocessing``
+pool (the actual parallelism of the prototype; the *simulated* latency
+always comes from the cost model so results don't depend on the test
+machine).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.cluster.cluster import ElasticCluster
-from repro.errors import QueryError
 from repro.query.result import QueryResult
 
 T = TypeVar("T")

@@ -4,11 +4,25 @@ These compute the *real answers* of the benchmark queries over the
 synthetic cells; the simulated timing lives in :mod:`repro.query.cost`.
 All operators take plain arrays or :class:`ChunkData` sequences and return
 numpy values, so they are trivially parallelizable by the executor.
+
+Scalar/batch contract
+---------------------
+The math-heavy operators come in two flavours, mirroring the ingest
+layer's ``place``/``place_batch`` pairing: the default names
+(:func:`kmeans`, :func:`knn_mean_distance`, :func:`window_average`,
+:func:`count_close_pairs`, the grid group-bys) are the vectorized batch
+kernels used by the queries, and each keeps its pre-vectorization
+implementation as a ``*_scalar`` parity oracle.  The oracles define the
+semantics: ``tests/test_query_parity.py`` checks the vectorized kernels
+against them — exactly on integer-valued inputs (where every float
+operation is exact) and to float tolerance on continuous inputs, since
+the batch kernels may reassociate reductions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +69,34 @@ def filter_region(
     )
 
 
+def concat_chunk_payload(
+    chunks: Iterable[ChunkData],
+    attrs: Sequence[str],
+    ndim: int = 0,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Concatenate many chunks' cells into one coordinate/value table.
+
+    The batch-first entry point of the query layer: operators run once
+    over the concatenation instead of once per chunk.  ``ndim`` shapes
+    the empty coordinate table when ``chunks`` is empty.
+    """
+    coords_parts: List[np.ndarray] = []
+    value_parts: Dict[str, List[np.ndarray]] = {a: [] for a in attrs}
+    for chunk in chunks:
+        coords_parts.append(chunk.coords)
+        for a in attrs:
+            value_parts[a].append(chunk.values(a))
+    if not coords_parts:
+        return (
+            np.empty((0, ndim), dtype=np.int64),
+            {a: np.empty(0) for a in attrs},
+        )
+    return (
+        np.concatenate(coords_parts, axis=0),
+        {a: np.concatenate(value_parts[a]) for a in attrs},
+    )
+
+
 def quantiles(
     values: np.ndarray, qs: Sequence[float]
 ) -> np.ndarray:
@@ -83,8 +125,15 @@ def sorted_distinct(values: np.ndarray) -> np.ndarray:
     return np.unique(values)
 
 
-def _pack_coords(coords: np.ndarray) -> np.ndarray:
-    """View an (n, d) int64 coordinate table as one void column."""
+def pack_coords(coords: np.ndarray) -> np.ndarray:
+    """View an (n, d) int64 coordinate table as one void key column.
+
+    The packed keys are what :func:`position_join` intersects on.
+    Packing is cheap (a reinterpreting view when the input is already
+    contiguous int64) but not free; callers that join the same
+    coordinate table repeatedly should pack once and pass the keys
+    through ``position_join(..., keys_a=..., keys_b=...)``.
+    """
     c = np.ascontiguousarray(coords, dtype=np.int64)
     return c.view([("", np.int64)] * c.shape[1]).reshape(-1)
 
@@ -94,11 +143,16 @@ def position_join(
     values_a: np.ndarray,
     coords_b: np.ndarray,
     values_b: np.ndarray,
+    keys_a: Optional[np.ndarray] = None,
+    keys_b: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Join two cell sets on exact array position.
 
     Returns ``(coords, a_values, b_values)`` for the matching positions —
-    the engine of the §3.3 vegetation-index query.
+    the engine of the §3.3 vegetation-index query.  ``keys_a`` /
+    ``keys_b`` accept coordinate keys precomputed with
+    :func:`pack_coords`, so repeated joins against the same side skip
+    the re-pack.
     """
     if coords_a.shape[0] == 0 or coords_b.shape[0] == 0:
         ndim = coords_a.shape[1] if coords_a.size else coords_b.shape[1]
@@ -107,9 +161,11 @@ def position_join(
             np.empty(0),
             np.empty(0),
         )
-    keys_a = _pack_coords(coords_a)
-    keys_b = _pack_coords(coords_b)
-    common, idx_a, idx_b = np.intersect1d(
+    if keys_a is None:
+        keys_a = pack_coords(coords_a)
+    if keys_b is None:
+        keys_b = pack_coords(coords_b)
+    _common, idx_a, idx_b = np.intersect1d(
         keys_a, keys_b, return_indices=True
     )
     return coords_a[idx_a], values_a[idx_a], values_b[idx_b]
@@ -122,6 +178,18 @@ def ndvi(band1: np.ndarray, band2: np.ndarray) -> np.ndarray:
     return (band2 - band1) / denom
 
 
+def make_sorted_lookup(
+    keys: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort a lookup table once for repeated :func:`equi_join_lookup`.
+
+    Returns ``(sorted_keys, values_in_key_order)``; hoist this out of
+    per-cycle query loops so the table is not re-sorted on every call.
+    """
+    order = np.argsort(keys)
+    return keys[order], values[order]
+
+
 def equi_join_lookup(
     keys: np.ndarray,
     lookup_keys: np.ndarray,
@@ -130,14 +198,145 @@ def equi_join_lookup(
     """Map each key through a (small, replicated) lookup table.
 
     Used for the AIS Broadcast ⋈ Vessel join: ``lookup_keys`` must be
-    sorted and unique (vessel ids are).  Keys absent from the table map to
-    -1 when values are numeric.
+    sorted and unique (vessel ids are; see :func:`make_sorted_lookup`).
+    Keys absent from the table map to -1 when values are numeric.
     """
     idx = np.searchsorted(lookup_keys, keys)
     idx = np.clip(idx, 0, len(lookup_keys) - 1)
     matched = lookup_keys[idx] == keys
     out = np.where(matched, lookup_values[idx], -1)
     return out
+
+
+# ----------------------------------------------------------------------
+# grid group-bys
+# ----------------------------------------------------------------------
+def _pack_rows(
+    rows: np.ndarray, lo: np.ndarray, span: np.ndarray
+) -> np.ndarray:
+    """Mixed-radix encode int64 rows into one scalar key column.
+
+    With per-column offsets ``lo`` and extents ``span``, the packing is
+    order-preserving: sorting the keys sorts the rows lexicographically,
+    so 1-d ``np.unique`` replaces the much slower ``axis=0`` variant.
+    Callers must ensure ``prod(span)`` fits int64 (see
+    :func:`_row_packing`).
+    """
+    keys = np.zeros(rows.shape[0], dtype=np.int64)
+    for d in range(rows.shape[1]):
+        keys *= span[d]
+        keys += rows[:, d] - lo[d]
+    return keys
+
+
+def _row_packing(
+    rows: np.ndarray, pad: int = 0
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """(lo, span) of a row table, or None when packing would overflow.
+
+    ``pad`` widens the admitted range on both sides (stencil kernels
+    pack neighbour rows one step outside the observed extremes).
+    """
+    if rows.shape[0] == 0 or rows.shape[1] == 0:
+        return None
+    # Exact Python ints: extreme coordinates can make a padded bound, a
+    # single span, or the span product overflow int64, which must
+    # disable packing, not wrap around into colliding keys.
+    los = [int(v) - pad for v in rows.min(axis=0)]
+    his = [int(v) + pad for v in rows.max(axis=0)]
+    spans = [h - l + 1 for l, h in zip(los, his)]
+    total = 1
+    for lo, s in zip(los, spans):
+        total *= s
+        if total > 2**62 or lo < -(2**63):
+            return None
+    return (
+        np.array(los, dtype=np.int64),
+        np.array(spans, dtype=np.int64),
+    )
+
+
+def _unique_rows(
+    rows: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``np.unique(rows, axis=0)`` with inverse and counts, fast path.
+
+    Packs the rows into scalar keys when their extent allows, falling
+    back to the void-view ``axis=0`` unique otherwise.  The unique rows
+    come out in lexicographic order either way.
+    """
+    packing = _row_packing(rows)
+    if packing is None:
+        uniq, inverse, counts = np.unique(
+            rows, axis=0, return_inverse=True, return_counts=True
+        )
+        return uniq, inverse, counts
+    lo, span = packing
+    keys = _pack_rows(rows, lo, span)
+    uniq_keys, inverse, counts = np.unique(
+        keys, return_inverse=True, return_counts=True
+    )
+    uniq = np.empty((uniq_keys.shape[0], rows.shape[1]), dtype=np.int64)
+    rem = uniq_keys
+    for d in range(rows.shape[1] - 1, -1, -1):
+        rem, digit = np.divmod(rem, span[d])
+        uniq[:, d] = digit + lo[d]
+    return uniq, inverse, counts
+
+
+def grid_buckets(
+    coords: np.ndarray,
+    dims: Sequence[int],
+    cell_sizes: Sequence[int],
+) -> np.ndarray:
+    """Coarse grid bucket of every row over selected dimensions."""
+    return np.stack(
+        [coords[:, d] // s for d, s in zip(dims, cell_sizes)], axis=1
+    )
+
+
+def group_count_by_grid_arrays(
+    coords: np.ndarray,
+    dims: Sequence[int],
+    cell_sizes: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cells per coarse grid bucket, as ``(buckets, counts)`` arrays.
+
+    The batch kernel behind :func:`group_count_by_grid`: one
+    ``np.unique`` over the bucket table, no per-bucket Python objects.
+    Queries that only need aggregate shapes (bucket count, max) should
+    use this and skip the dict entirely.
+    """
+    if coords.shape[0] == 0:
+        return (
+            np.empty((0, len(list(dims))), dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    buckets = grid_buckets(coords, dims, cell_sizes)
+    uniq, _inverse, counts = _unique_rows(buckets)
+    return uniq, counts
+
+
+def group_mean_by_grid_arrays(
+    coords: np.ndarray,
+    values: np.ndarray,
+    dims: Sequence[int],
+    cell_sizes: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean of ``values`` per coarse bucket, as ``(buckets, means)``.
+
+    ``np.unique`` + ``bincount`` — sums accumulate in row order, so the
+    means match the scalar oracle bit-for-bit on exact inputs.
+    """
+    if coords.shape[0] == 0:
+        return (
+            np.empty((0, len(list(dims))), dtype=np.int64),
+            np.empty(0),
+        )
+    buckets = grid_buckets(coords, dims, cell_sizes)
+    uniq, inverse, counts = _unique_rows(buckets)
+    sums = np.bincount(inverse, weights=values.astype(np.float64))
+    return uniq, sums / counts
 
 
 def group_count_by_grid(
@@ -148,14 +347,10 @@ def group_count_by_grid(
     """Count cells per coarse grid bucket over selected dimensions.
 
     The AIS track-count map groups broadcasts into coarse (e.g. 8°) bins;
-    the MODIS statistics query groups by day.
+    the MODIS statistics query groups by day.  Dict-shaped wrapper over
+    :func:`group_count_by_grid_arrays`.
     """
-    if coords.shape[0] == 0:
-        return {}
-    buckets = np.stack(
-        [coords[:, d] // s for d, s in zip(dims, cell_sizes)], axis=1
-    )
-    uniq, counts = np.unique(buckets, axis=0, return_counts=True)
+    uniq, counts = group_count_by_grid_arrays(coords, dims, cell_sizes)
     return {
         tuple(int(v) for v in row): int(c)
         for row, c in zip(uniq, counts)
@@ -168,20 +363,113 @@ def group_mean_by_grid(
     dims: Sequence[int],
     cell_sizes: Sequence[int],
 ) -> Dict[Tuple[int, ...], float]:
-    """Mean of ``values`` per coarse grid bucket."""
-    if coords.shape[0] == 0:
-        return {}
-    buckets = np.stack(
-        [coords[:, d] // s for d, s in zip(dims, cell_sizes)], axis=1
+    """Mean of ``values`` per coarse grid bucket (dict-shaped wrapper)."""
+    uniq, means = group_mean_by_grid_arrays(
+        coords, values, dims, cell_sizes
     )
-    uniq, inverse = np.unique(buckets, axis=0, return_inverse=True)
-    sums = np.bincount(inverse, weights=values.astype(np.float64))
-    counts = np.bincount(inverse)
-    means = sums / counts
     return {
         tuple(int(v) for v in row): float(m)
         for row, m in zip(uniq, means)
     }
+
+
+def group_count_by_grid_scalar(
+    coords: np.ndarray,
+    dims: Sequence[int],
+    cell_sizes: Sequence[int],
+) -> Dict[Tuple[int, ...], int]:
+    """Parity oracle: per-row Python accumulation of the bucket counts."""
+    out: Dict[Tuple[int, ...], int] = {}
+    dims = list(dims)
+    sizes = list(cell_sizes)
+    for row in coords:
+        bucket = tuple(int(row[d]) // s for d, s in zip(dims, sizes))
+        out[bucket] = out.get(bucket, 0) + 1
+    return out
+
+
+def group_mean_by_grid_scalar(
+    coords: np.ndarray,
+    values: np.ndarray,
+    dims: Sequence[int],
+    cell_sizes: Sequence[int],
+) -> Dict[Tuple[int, ...], float]:
+    """Parity oracle: per-row Python accumulation of the bucket means."""
+    sums: Dict[Tuple[int, ...], float] = {}
+    counts: Dict[Tuple[int, ...], int] = {}
+    dims = list(dims)
+    sizes = list(cell_sizes)
+    for row, value in zip(coords, values):
+        bucket = tuple(int(row[d]) // s for d, s in zip(dims, sizes))
+        sums[bucket] = sums.get(bucket, 0.0) + float(value)
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return {b: sums[b] / counts[b] for b in sums}
+
+
+# ----------------------------------------------------------------------
+# windowed aggregation
+# ----------------------------------------------------------------------
+def window_average_arrays(
+    coords: np.ndarray,
+    values: np.ndarray,
+    spatial_dims: Sequence[int],
+    window: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Overlapping-window smoothing, as ``(buckets, means)`` arrays.
+
+    Each occupied bucket averages all cells within ``window`` of its
+    center.  A qualifying cell is always within one bucket of its own,
+    so instead of masking every cell against every bucket (the scalar
+    oracle's quadratic sweep) the batch kernel visits the 3^d stencil
+    offsets: for each offset one vectorized validity test scatters the
+    cells onto candidate buckets, and a single ``unique``/``bincount``
+    pass reduces them.
+    """
+    ndim = len(list(spatial_dims))
+    if coords.shape[0] == 0:
+        return np.empty((0, ndim), dtype=np.int64), np.empty(0)
+    spatial = coords[:, list(spatial_dims)].astype(np.int64)
+    vals = values.astype(np.float64)
+    base = spatial // window
+    packing = _row_packing(base, pad=1)  # stencil reaches ±1 bucket
+    cand_parts: List[np.ndarray] = []
+    val_parts: List[np.ndarray] = []
+    for offset in itertools.product((-1, 0, 1), repeat=ndim):
+        cand = base + np.asarray(offset, dtype=np.int64)
+        center = (cand + 0.5) * window
+        ok = np.all(np.abs(spatial - center) <= window, axis=1)
+        if ok.any():
+            cand = cand[ok]
+            if packing is not None:
+                cand = _pack_rows(cand, *packing)
+            cand_parts.append(cand)
+            val_parts.append(vals[ok])
+    cands = np.concatenate(cand_parts, axis=0)
+    cvals = np.concatenate(val_parts)
+    if packing is not None:
+        uniq_keys, inverse, counts = np.unique(
+            cands, return_inverse=True, return_counts=True
+        )
+        sums = np.bincount(inverse, weights=cvals)
+        # Only occupied buckets are reported (cells can scatter onto
+        # empty neighbour buckets the oracle never visits).
+        keep = np.isin(
+            uniq_keys, np.unique(_pack_rows(base, *packing))
+        )
+        lo, span = packing
+        uniq = np.empty((uniq_keys.shape[0], ndim), dtype=np.int64)
+        rem = uniq_keys
+        for d in range(ndim - 1, -1, -1):
+            rem, digit = np.divmod(rem, span[d])
+            uniq[:, d] = digit + lo[d]
+    else:
+        uniq, inverse, counts = np.unique(
+            cands, axis=0, return_inverse=True, return_counts=True
+        )
+        sums = np.bincount(inverse, weights=cvals)
+        occupied = np.unique(base, axis=0)
+        keep = np.isin(pack_coords(uniq), pack_coords(occupied))
+    return uniq[keep], sums[keep] / counts[keep]
 
 
 def window_average(
@@ -195,7 +483,24 @@ def window_average(
     Each output pixel (coarse bucket) averages all cells whose positions
     fall within ``window`` of the bucket center — buckets share samples
     with their neighbours, producing the paper's "smooth picture".
+    Dict-shaped wrapper over :func:`window_average_arrays`.
     """
+    buckets, means = window_average_arrays(
+        coords, values, spatial_dims, window
+    )
+    return {
+        tuple(int(v) for v in row): float(m)
+        for row, m in zip(buckets, means)
+    }
+
+
+def window_average_scalar(
+    coords: np.ndarray,
+    values: np.ndarray,
+    spatial_dims: Sequence[int],
+    window: int,
+) -> Dict[Tuple[int, ...], float]:
+    """Parity oracle: mask the full cell table once per occupied bucket."""
     if coords.shape[0] == 0:
         return {}
     spatial = coords[:, list(spatial_dims)].astype(np.int64)
@@ -212,17 +517,64 @@ def window_average(
     return out
 
 
+# ----------------------------------------------------------------------
+# modeling kernels
+# ----------------------------------------------------------------------
 def kmeans(
     points: np.ndarray,
     k: int,
     iterations: int = 10,
     seed: int = 0,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Lloyd's k-means over row-vector points.
+    """Lloyd's k-means over row-vector points (batch kernel).
 
     Returns ``(centroids, labels)``.  Deterministic given the seed; used
-    by the MODIS deforestation-modeling query.
+    by the MODIS deforestation-modeling query.  Assignment runs as one
+    ``|x|² - 2x·c + |c|²`` matmul expansion over the full point matrix
+    and the centroid update as one ``bincount`` per dimension — no
+    per-cluster Python loop.  Matches :func:`kmeans_scalar` exactly on
+    integer-valued inputs; on continuous inputs the expansion may round
+    differently than the oracle's explicit differences, so near-ties
+    can flip (both results are then equally valid Lloyd steps).
     """
+    if points.shape[0] == 0:
+        raise QueryError("kmeans needs at least one point")
+    k = min(k, points.shape[0])
+    rng = np.random.default_rng(seed)
+    pts = points.astype(np.float64)
+    centroids = points[
+        rng.choice(points.shape[0], size=k, replace=False)
+    ].astype(np.float64)
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    pts_sq = (pts * pts).sum(axis=1)
+    ndim = pts.shape[1]
+    for _ in range(iterations):
+        cent_sq = (centroids * centroids).sum(axis=1)
+        dists_sq = pts_sq[:, None] - 2.0 * (pts @ centroids.T)
+        dists_sq += cent_sq[None, :]
+        labels = dists_sq.argmin(axis=1)
+        counts = np.bincount(labels, minlength=k)
+        sums = np.stack(
+            [
+                np.bincount(labels, weights=pts[:, d], minlength=k)
+                for d in range(ndim)
+            ],
+            axis=1,
+        )
+        nonempty = counts > 0
+        centroids[nonempty] = (
+            sums[nonempty] / counts[nonempty, None]
+        )
+    return centroids, labels
+
+
+def kmeans_scalar(
+    points: np.ndarray,
+    k: int,
+    iterations: int = 10,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Parity oracle: per-cluster centroid update loop."""
     if points.shape[0] == 0:
         raise QueryError("kmeans needs at least one point")
     k = min(k, points.shape[0])
@@ -248,11 +600,48 @@ def knn_mean_distance(
     queries: np.ndarray,
     k: int,
 ) -> np.ndarray:
-    """Mean distance to each query's k nearest neighbours.
+    """Mean distance to each query's k nearest neighbours (batch kernel).
 
     Brute force (the data sets are chunk neighbourhoods); excludes
-    zero-distance self matches.
+    zero-distance self matches.  All query points run at once: one
+    distance matrix, one row-wise sort, and a cumulative-sum read of
+    each row's first ``k_i`` finite entries.
     """
+    if queries.shape[0] == 0:
+        return np.empty(0)
+    if points.shape[0] == 0:
+        return np.full(queries.shape[0], np.nan)
+    pts = points.astype(np.float64)
+    qs = queries.astype(np.float64)
+    # Squared distances select the same neighbours (monotone), so the
+    # sqrt runs only over the k-smallest block each row keeps.  The
+    # squares accumulate per dimension to keep every temporary at
+    # (queries, points) instead of (queries, points, ndim).
+    d2 = np.zeros((qs.shape[0], pts.shape[0]))
+    for d in range(pts.shape[1]):
+        diff = pts[None, :, d] - qs[:, None, d]
+        diff *= diff
+        d2 += diff
+    usable = d2 > 0
+    counts = usable.sum(axis=1)
+    kk = np.minimum(k, counts)
+    d2 = np.where(usable, d2, np.inf)
+    kth = min(max(k, 1), d2.shape[1]) - 1
+    block = np.partition(d2, kth, axis=1)[:, : kth + 1]
+    dists = np.sqrt(block)
+    finite = np.isfinite(dists)
+    out = np.where(finite, dists, 0.0).sum(axis=1)
+    out /= np.maximum(kk, 1)
+    out[kk == 0] = np.nan
+    return out
+
+
+def knn_mean_distance_scalar(
+    points: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Parity oracle: one distance vector per query point."""
     if queries.shape[0] == 0:
         return np.empty(0)
     if points.shape[0] == 0:
@@ -292,13 +681,60 @@ def dead_reckon(
 
 
 def count_close_pairs(
-    lon: np.ndarray, lat: np.ndarray, radius: float
+    lon: np.ndarray,
+    lat: np.ndarray,
+    radius: float,
+    segments: Optional[np.ndarray] = None,
 ) -> int:
     """Number of point pairs within ``radius`` (collision candidates).
 
     Grid-hashing keeps this near-linear: points are bucketed at the
-    radius scale and only neighbouring buckets are compared.
+    radius scale and only neighbouring buckets are compared — but the
+    bucket membership and the pair distance tests are all vectorized
+    (the scalar oracle walks every pair in Python).  With ``segments``,
+    only pairs within the same segment count: the collision query
+    concatenates every chunk's ships and passes the chunk index, so one
+    call covers the whole fleet without inventing cross-chunk pairs.
     """
+    n = lon.shape[0]
+    if n < 2:
+        return 0
+    gx = np.floor(lon / radius).astype(np.int64)
+    gy = np.floor(lat / radius).astype(np.int64)
+    if segments is None:
+        seg = np.zeros(n, dtype=np.int64)
+    else:
+        seg = np.asarray(segments, dtype=np.int64)
+    key = np.stack([seg, gx, gy], axis=1)
+    uniq, inverse = np.unique(key, axis=0, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    ends = np.cumsum(np.bincount(inverse))
+    groups: Dict[Tuple[int, int, int], np.ndarray] = {}
+    start = 0
+    for row, end in zip(uniq.tolist(), ends.tolist()):
+        groups[tuple(row)] = order[start:end]
+        start = end
+    count = 0
+    r2 = radius * radius
+    for (s, bx, by), members in groups.items():
+        neighbor_parts = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                g = groups.get((s, bx + dx, by + dy))
+                if g is not None:
+                    neighbor_parts.append(g)
+        neighbors = np.concatenate(neighbor_parts)
+        d2 = (lon[members][:, None] - lon[neighbors][None, :]) ** 2
+        d2 += (lat[members][:, None] - lat[neighbors][None, :]) ** 2
+        later = neighbors[None, :] > members[:, None]
+        count += int(((d2 <= r2) & later).sum())
+    return count
+
+
+def count_close_pairs_scalar(
+    lon: np.ndarray, lat: np.ndarray, radius: float
+) -> int:
+    """Parity oracle: Python bucket walk with per-pair distance tests."""
     n = lon.shape[0]
     if n < 2:
         return 0

@@ -21,7 +21,7 @@ node cost no network (§6.2.2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -177,35 +177,41 @@ class ModisKMeans(Query):
         band2: Dict[Tuple[int, ...], Tuple[ChunkData, int]],
         region: Box,
     ) -> np.ndarray:
-        rows = []
-        for c1, _ in band1:
-            pair = band2.get(c1.key)
-            if pair is None:
-                continue
-            c2, _ = pair
-            coords, v1, v2 = ops.position_join(
-                c1.coords, c1.values("radiance"),
-                c2.coords, c2.values("radiance"),
-            )
-            if coords.shape[0] == 0:
-                continue
-            mask = ops.region_mask(coords, region)
-            if not mask.any():
-                continue
-            nd = ops.ndvi(v1[mask], v2[mask])
-            rows.append(
-                np.stack(
-                    [
-                        coords[mask, 1].astype(np.float64),
-                        coords[mask, 2].astype(np.float64),
-                        nd * 100.0,
-                    ],
-                    axis=1,
-                )
-            )
-        if not rows:
+        # Batch join: concatenate the key-matched chunks of both bands
+        # and intersect the packed positions once.  Positions are
+        # unique within a band, so the joined *set* equals the old
+        # per-chunk-pair joins; the rows come back in packed-key order
+        # rather than chunk order, so kmeans' rng-seeded init may draw
+        # different rows than the pre-batch code did (both are valid
+        # uniform draws over the same point set).
+        matched = [
+            (c1, band2[c1.key][0])
+            for c1, _ in band1
+            if c1.key in band2
+        ]
+        coords1, vals1 = ops.concat_chunk_payload(
+            (c1 for c1, _ in matched), ["radiance"], ndim=3
+        )
+        coords2, vals2 = ops.concat_chunk_payload(
+            (c2 for _, c2 in matched), ["radiance"], ndim=3
+        )
+        coords, v1, v2 = ops.position_join(
+            coords1, vals1["radiance"], coords2, vals2["radiance"]
+        )
+        if coords.shape[0] == 0:
             return np.empty((0, 3))
-        pts = np.concatenate(rows, axis=0)
+        mask = ops.region_mask(coords, region)
+        if not mask.any():
+            return np.empty((0, 3))
+        nd = ops.ndvi(v1[mask], v2[mask])
+        pts = np.stack(
+            [
+                coords[mask, 1].astype(np.float64),
+                coords[mask, 2].astype(np.float64),
+                nd * 100.0,
+            ],
+            axis=1,
+        )
         return pts[~np.isnan(pts).any(axis=1)]
 
 
@@ -242,20 +248,19 @@ class ModisWindowAggregate(Query):
         network = add_network_work(per_node, halo, cluster.costs)
         wire = network / 2.0
 
-        coords_parts = [c.coords for c, _ in touched]
-        value_parts = [c.values("radiance") for c, _ in touched]
-        if coords_parts:
-            coords = np.concatenate(coords_parts, axis=0)
-            values = np.concatenate(value_parts)
-            smooth = ops.window_average(
-                coords, values, spatial_dims=(1, 2), window=self.window
-            )
-        else:
-            smooth = {}
+        coords, values = ops.concat_chunk_payload(
+            (c for c, _ in touched), ["radiance"], ndim=3
+        )
+        # The stencil kernel returns plain arrays; the query only needs
+        # the occupied-window count, so no per-bucket dicts are built.
+        windows, _means = ops.window_average_arrays(
+            coords, values["radiance"],
+            spatial_dims=(1, 2), window=self.window,
+        )
         return QueryResult(
             name=self.name,
             category=self.category,
-            value={"windows": len(smooth)},
+            value={"windows": int(windows.shape[0])},
             elapsed_seconds=elapsed_time(
                 per_node, cluster.costs, wire_bytes=wire
             ),
@@ -292,24 +297,23 @@ class AisDensityMap(Query):
         }
         network = add_network_work(per_node, merge, cluster.costs)
 
-        counts: Dict[Tuple[int, ...], int] = {}
-        for chunk, _ in touched:
-            moving = chunk.values("speed") > 0
-            if not moving.any():
-                continue
-            local = ops.group_count_by_grid(
-                chunk.coords[moving],
-                dims=[1, 2],
-                cell_sizes=[self.coarse_degrees, self.coarse_degrees],
-            )
-            for bucket, count in local.items():
-                counts[bucket] = counts.get(bucket, 0) + count
+        # Batch group-by: one mask + one unique/count pass over every
+        # moving ship, replacing the per-chunk dict merges.
+        coords, values = ops.concat_chunk_payload(
+            (c for c, _ in touched), ["speed"], ndim=3
+        )
+        moving = values["speed"] > 0
+        _buckets, counts = ops.group_count_by_grid_arrays(
+            coords[moving],
+            dims=[1, 2],
+            cell_sizes=[self.coarse_degrees, self.coarse_degrees],
+        )
         return QueryResult(
             name=self.name,
             category=self.category,
             value={
-                "buckets": len(counts),
-                "busiest": max(counts.values()) if counts else 0,
+                "buckets": int(counts.shape[0]),
+                "busiest": int(counts.max()) if counts.size else 0,
             },
             elapsed_seconds=elapsed_time(per_node, cluster.costs),
             per_node_seconds=per_node,
@@ -370,7 +374,14 @@ class AisKnn(Query):
 
         per_node: Dict[int, float] = {}
         wire: Dict[int, float] = {}
-        distances = []
+        # First pass: per-sample cost accounting (every sample pays its
+        # fragment dispatch, as before), while the query points group by
+        # neighbourhood.  The rng stream is drawn in sample order, so
+        # sampling stays deterministic; the distance math then runs once
+        # per distinct neighbourhood with all its query points batched.
+        pts_by_key: Dict[Tuple[int, ...], np.ndarray] = {}
+        queries_by_key: Dict[Tuple[int, ...], List[int]] = {}
+        key_order: List[Tuple[int, ...]] = []
         for key_idx in sampled_keys:
             center_key = all_keys[int(key_idx)]
             center_chunk, owner = current[center_key]
@@ -403,13 +414,24 @@ class AisKnn(Query):
                 len(remote_nodes) * cluster.costs.task_dispatch_seconds
             )
 
-            pts = np.concatenate(
-                [c.coords[:, 1:3] for c, _ in neighborhood], axis=0
-            ).astype(np.float64)
-            q = rng.integers(0, pts.shape[0])
-            d = ops.knn_mean_distance(pts, pts[q:q + 1], self.k)
-            if d.size and np.isfinite(d[0]):
-                distances.append(float(d[0]))
+            pts = pts_by_key.get(center_key)
+            if pts is None:
+                pts = np.concatenate(
+                    [c.coords[:, 1:3] for c, _ in neighborhood], axis=0
+                ).astype(np.float64)
+                pts_by_key[center_key] = pts
+                queries_by_key[center_key] = []
+                key_order.append(center_key)
+            queries_by_key[center_key].append(
+                int(rng.integers(0, pts.shape[0]))
+            )
+
+        distances: List[float] = []
+        for center_key in key_order:
+            pts = pts_by_key[center_key]
+            qidx = np.asarray(queries_by_key[center_key])
+            d = ops.knn_mean_distance(pts, pts[qidx], self.k)
+            distances.extend(d[np.isfinite(d)].tolist())
 
         network = add_network_work(per_node, wire, cluster.costs)
         return QueryResult(
@@ -463,21 +485,30 @@ class AisCollisionPrediction(Query):
         network = add_network_work(per_node, halo, cluster.costs)
         wire = network / 2.0
 
-        collisions = 0
-        for chunk, _ in touched:
-            moving = chunk.values("speed") > 0
-            if moving.sum() < 2:
-                continue
-            lon, lat = ops.dead_reckon(
-                chunk.coords[moving, 1],
-                chunk.coords[moving, 2],
-                chunk.values("speed")[moving],
-                chunk.values("course")[moving],
-                self.minutes_ahead,
+        # Batch: dead-reckon every chunk's moving ships in one call and
+        # count close pairs with the chunk index as the segment key, so
+        # per-chunk pair semantics survive the concatenation.
+        coords, values = ops.concat_chunk_payload(
+            (c for c, _ in touched), ["speed", "course"], ndim=3
+        )
+        segments = (
+            np.repeat(
+                np.arange(len(touched)),
+                [c.cell_count for c, _ in touched],
             )
-            collisions += ops.count_close_pairs(
-                lon, lat, self.radius_deg
-            )
+            if touched else np.empty(0, dtype=np.int64)
+        )
+        moving = values["speed"] > 0
+        lon, lat = ops.dead_reckon(
+            coords[moving, 1],
+            coords[moving, 2],
+            values["speed"][moving],
+            values["course"][moving],
+            self.minutes_ahead,
+        )
+        collisions = ops.count_close_pairs(
+            lon, lat, self.radius_deg, segments=segments[moving]
+        )
         return QueryResult(
             name=self.name,
             category=self.category,

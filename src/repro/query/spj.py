@@ -190,19 +190,20 @@ class ModisJoinNdvi(Query):
         network = add_network_work(per_node, shuffle, cluster.costs)
         wire = network / 2.0  # endpoint sums count each transfer twice
 
-        ndvi_values = []
-        for key in common:
-            c1, _ = band1[key]
-            c2, _ = band2[key]
-            coords, v1, v2 = ops.position_join(
-                c1.coords, c1.values("radiance"),
-                c2.coords, c2.values("radiance"),
-            )
-            if coords.shape[0]:
-                ndvi_values.append(ops.ndvi(v1, v2))
-        ndvi_all = (
-            np.concatenate(ndvi_values) if ndvi_values else np.empty(0)
+        # Batch join: concatenate each band's day slice and intersect
+        # the packed positions once — cell positions are globally unique
+        # within a band, so one join over the concatenation equals the
+        # union of the per-chunk-pair joins.
+        coords1, vals1 = ops.concat_chunk_payload(
+            (band1[key][0] for key in common), ["radiance"]
         )
+        coords2, vals2 = ops.concat_chunk_payload(
+            (band2[key][0] for key in common), ["radiance"]
+        )
+        _, v1, v2 = ops.position_join(
+            coords1, vals1["radiance"], coords2, vals2["radiance"]
+        )
+        ndvi_all = ops.ndvi(v1, v2) if v1.shape[0] else np.empty(0)
         return QueryResult(
             name=self.name,
             category=self.category,
@@ -305,6 +306,25 @@ class AisVesselJoin(Query):
 
     def __init__(self, workload: AisWorkload) -> None:
         self.workload = workload
+        # The vessel array is static and replicated; sort its lookup
+        # table once per array object instead of per cycle.  Holding
+        # the array itself keys the cache by identity safely (an id()
+        # key could be reused after garbage collection).
+        self._lookup_cache: Optional[
+            Tuple[object, np.ndarray, np.ndarray]
+        ] = None
+
+    def _vessel_lookup(self) -> Tuple[np.ndarray, np.ndarray]:
+        array = self.workload.vessel_array
+        cached = self._lookup_cache
+        if cached is not None and cached[0] is array:
+            return cached[1], cached[2]
+        vessel_coords, vessel_vals = array.scan(["ship_type"])
+        ids, types = ops.make_sorted_lookup(
+            vessel_coords[:, 0], vessel_vals["ship_type"]
+        )
+        self._lookup_cache = (array, ids, types)
+        return ids, types
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         t_chunks = self._latest_time_chunks(cycle)
@@ -318,24 +338,19 @@ class AisVesselJoin(Query):
             cpu_intensity=0.8,
         )
 
-        vessel_coords, vessel_vals = self.workload.vessel_array.scan(
-            ["ship_type"]
-        )
-        vessel_ids = vessel_coords[:, 0]
-        order = np.argsort(vessel_ids)
-        vessel_ids = vessel_ids[order]
-        vessel_types = vessel_vals["ship_type"][order]
+        vessel_ids, vessel_types = self._vessel_lookup()
 
-        type_counts: Dict[int, int] = {}
-        for chunk, _ in touched:
-            types = ops.equi_join_lookup(
-                chunk.values("ship_id"), vessel_ids, vessel_types
-            )
-            for t in np.unique(types):
-                type_counts[int(t)] = (
-                    type_counts.get(int(t), 0)
-                    + int((types == t).sum())
-                )
+        # Batch join: one lookup over the concatenated ship ids, one
+        # unique/count pass for the per-type histogram.
+        ship_ids = (
+            np.concatenate([c.values("ship_id") for c, _ in touched])
+            if touched else np.empty(0, dtype=np.int64)
+        )
+        types = ops.equi_join_lookup(ship_ids, vessel_ids, vessel_types)
+        uniq_types, counts = np.unique(types, return_counts=True)
+        type_counts = {
+            int(t): int(c) for t, c in zip(uniq_types, counts)
+        }
         return QueryResult(
             name=self.name,
             category=self.category,

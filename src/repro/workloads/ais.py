@@ -15,7 +15,7 @@ derivative.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -29,7 +29,6 @@ from repro.workloads.distributions import (
     Port,
     SpatialModel,
     port_hotspots,
-    zipf_weights,
 )
 from repro.workloads.model import CyclicWorkload
 

@@ -13,7 +13,7 @@ Concrete workloads: :class:`~repro.workloads.modis.ModisWorkload` and
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.arrays.coords import Box
 from repro.arrays.schema import ArraySchema

@@ -15,7 +15,7 @@ byte inflation maps laptop-scale cell counts onto paper-scale chunk sizes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

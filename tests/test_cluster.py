@@ -15,7 +15,7 @@ from repro.cluster import (
     relative_std,
 )
 from repro.cluster.metrics import CycleMetrics, RunMetrics
-from repro.core import LeadingStaircase, make_partitioner
+from repro.core import LeadingStaircase
 from repro.core.base import Move, RebalancePlan
 from repro.errors import ClusterError
 from tests.conftest import make_cluster

@@ -5,8 +5,6 @@ the extendible-hash directory algebra, Hilbert range bookkeeping, K-d
 tree region disjointness, and quadtree tiling under randomized growth.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -14,7 +12,7 @@ from repro.arrays import Box, ChunkRef
 from repro.core.extendible_hash import ExtendibleHashPartitioner
 from repro.core.hashing import hash_chunk_ref
 from repro.core.hilbert_curve import HilbertCurvePartitioner
-from repro.core.kd_tree import KdInner, KdLeaf, KdTreePartitioner
+from repro.core.kd_tree import KdTreePartitioner
 from repro.core.quadtree import IncrementalQuadtreePartitioner
 
 GRID = Box((0, 0), (16, 16))

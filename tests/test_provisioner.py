@@ -1,10 +1,9 @@
 """The leading staircase PD control loop (paper §5.1, Eqs. 2-4)."""
 
-import math
 
 import pytest
 
-from repro.core.provisioner import LeadingStaircase, ProvisioningDecision
+from repro.core.provisioner import LeadingStaircase
 from repro.errors import ProvisioningError
 
 

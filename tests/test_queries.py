@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.arrays import Box, ChunkRef
 from repro.cluster import CostParameters, GB
 from repro.query import (
     ais_suite,
@@ -131,7 +130,7 @@ class TestModisSuite:
                                             small_modis):
         from repro.query.spj import ModisQuantileSort, ModisSelection
 
-        sel = ModisSelection(small_modis).run(modis_cluster, 3)
+        ModisSelection(small_modis).run(modis_cluster, 3)
         sort = ModisQuantileSort(small_modis).run(modis_cluster, 3)
         # the sort reads one column of everything; the selection reads
         # every column of a 1/16 corner — vertical partitioning makes
@@ -186,6 +185,22 @@ class TestAisSuite:
         assert counts
         assert all(t >= 0 for t in counts)
         assert -1 not in counts  # every broadcast resolves to a vessel
+
+    def test_vessel_join_lookup_hoisted_across_cycles(self, ais_cluster,
+                                                      small_ais):
+        """Regression: the sorted vessel table is built once, not per run."""
+        from repro.query.spj import AisVesselJoin
+
+        query = AisVesselJoin(small_ais)
+        first = query.run(ais_cluster, small_ais.n_cycles)
+        cached = query._lookup_cache
+        assert cached is not None
+        second = query.run(ais_cluster, small_ais.n_cycles)
+        assert query._lookup_cache is cached  # reused, not re-sorted
+        assert (
+            first.value["broadcasts_by_type"]
+            == second.value["broadcasts_by_type"]
+        )
 
     def test_knn_distance_finite(self, ais_cluster, small_ais):
         from repro.query.science import AisKnn

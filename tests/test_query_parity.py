@@ -1,0 +1,286 @@
+"""Vectorized query kernels ≡ their scalar oracles.
+
+Extends the `test_batch_parity.py` scalar/batch contract to the query
+layer: every vectorized operator must reproduce its pre-refactor scalar
+implementation.  On integer-valued inputs every float operation both
+paths perform is exact, so the comparison is bitwise; seeded continuous
+smoke tests allow float-reassociation tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import operators as ops
+
+def _int_points(draw, n_max=60, d_min=1, d_max=3, lo=-50, hi=50):
+    n = draw(st.integers(1, n_max))
+    d = draw(st.integers(d_min, d_max))
+    rows = draw(
+        st.lists(
+            st.tuples(*[st.integers(lo, hi)] * d),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.array(rows, dtype=np.float64).reshape(n, d)
+
+
+class TestKmeansParity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_integer_points_exact(self, data):
+        pts = _int_points(data.draw)
+        k = data.draw(st.integers(1, 6))
+        iterations = data.draw(st.integers(1, 6))
+        seed = data.draw(st.integers(0, 1000))
+        c_vec, l_vec = ops.kmeans(pts, k, iterations, seed=seed)
+        c_sca, l_sca = ops.kmeans_scalar(pts, k, iterations, seed=seed)
+        assert np.array_equal(c_vec, c_sca)
+        assert np.array_equal(l_vec, l_sca)
+
+    def test_continuous_points_close(self):
+        # On continuous inputs the matmul expansion may round near-tie
+        # assignments differently than the oracle (and BLAS rounding
+        # varies across builds), so compare clustering *quality* — both
+        # must be equally good Lloyd iterates — not exact labels.
+        rng = np.random.default_rng(42)
+        pts = rng.normal(0, 10, size=(500, 3))
+        c_vec, l_vec = ops.kmeans(pts, 5, iterations=8, seed=3)
+        c_sca, l_sca = ops.kmeans_scalar(pts, 5, iterations=8, seed=3)
+
+        def inertia(centroids, labels):
+            return float(
+                ((pts - centroids[labels]) ** 2).sum(axis=1).mean()
+            )
+
+        assert inertia(c_vec, l_vec) == pytest.approx(
+            inertia(c_sca, l_sca), rel=0.01
+        )
+
+    def test_empty_rejected_like_scalar(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            ops.kmeans(np.empty((0, 2)), k=2)
+
+
+class TestKnnParity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_matches_scalar(self, data):
+        pts = _int_points(data.draw)
+        m = data.draw(st.integers(1, 10))
+        qs = pts[
+            data.draw(
+                st.lists(
+                    st.integers(0, pts.shape[0] - 1),
+                    min_size=m,
+                    max_size=m,
+                )
+            )
+        ]
+        k = data.draw(st.integers(1, 5))
+        vec = ops.knn_mean_distance(pts, qs, k)
+        sca = ops.knn_mean_distance_scalar(pts, qs, k)
+        assert np.allclose(vec, sca, rtol=1e-9, equal_nan=True)
+
+    def test_empty_cases_match(self):
+        empty = np.empty((0, 2))
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert ops.knn_mean_distance(pts, empty, 2).shape == (0,)
+        out = ops.knn_mean_distance(empty, pts, 2)
+        assert np.isnan(out).all()
+
+    def test_all_duplicates_give_nan(self):
+        pts = np.zeros((4, 2))
+        vec = ops.knn_mean_distance(pts, pts[:2], 3)
+        sca = ops.knn_mean_distance_scalar(pts, pts[:2], 3)
+        assert np.isnan(vec).all() and np.isnan(sca).all()
+
+
+class TestGridGroupByParity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_count_exact(self, data):
+        coords = _int_points(
+            data.draw, d_min=2, d_max=3, lo=0, hi=200
+        ).astype(np.int64)
+        g = data.draw(st.integers(1, coords.shape[1]))
+        dims = list(range(g))
+        sizes = [data.draw(st.integers(1, 16)) for _ in range(g)]
+        assert ops.group_count_by_grid(
+            coords, dims, sizes
+        ) == ops.group_count_by_grid_scalar(coords, dims, sizes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_mean_exact_on_integers(self, data):
+        coords = _int_points(
+            data.draw, d_min=2, d_max=3, lo=0, hi=200
+        ).astype(np.int64)
+        n = coords.shape[0]
+        values = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(-100, 100), min_size=n, max_size=n
+                )
+            ),
+            dtype=np.float64,
+        )
+        dims = [0]
+        sizes = [data.draw(st.integers(1, 16))]
+        vec = ops.group_mean_by_grid(coords, values, dims, sizes)
+        sca = ops.group_mean_by_grid_scalar(coords, values, dims, sizes)
+        assert vec.keys() == sca.keys()
+        for bucket in vec:
+            assert vec[bucket] == sca[bucket]
+
+    def test_empty_inputs(self):
+        empty = np.empty((0, 2), dtype=np.int64)
+        assert ops.group_count_by_grid(empty, [0], [4]) == {}
+        assert ops.group_mean_by_grid(
+            empty, np.empty(0), [0], [4]
+        ) == {}
+
+    def test_extreme_coordinates_disable_packing(self):
+        # Regression: span arithmetic near the int64 limits must fall
+        # back to the unpacked path, never wrap into colliding keys.
+        coords = np.array(
+            [[-(2**62), 0], [2**62, 0], [2**62, 1]], dtype=np.int64
+        )
+        vec = ops.group_count_by_grid(coords, [0, 1], [1, 1])
+        sca = ops.group_count_by_grid_scalar(coords, [0, 1], [1, 1])
+        assert vec == sca
+        assert len(vec) == 3
+        lo = np.array([[-(2**63)], [2**63 - 1]], dtype=np.int64)
+        assert ops.group_count_by_grid(
+            lo, [0], [1]
+        ) == ops.group_count_by_grid_scalar(lo, [0], [1])
+
+
+class TestWindowAverageParity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_exact_on_integers(self, data):
+        coords = _int_points(
+            data.draw, d_min=3, d_max=3, lo=0, hi=100
+        ).astype(np.int64)
+        n = coords.shape[0]
+        values = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(-50, 50), min_size=n, max_size=n
+                )
+            ),
+            dtype=np.float64,
+        )
+        window = data.draw(st.integers(1, 12))
+        vec = ops.window_average(coords, values, (1, 2), window)
+        sca = ops.window_average_scalar(coords, values, (1, 2), window)
+        assert vec.keys() == sca.keys()
+        for bucket in vec:
+            assert vec[bucket] == sca[bucket]
+
+    def test_continuous_values_close(self):
+        rng = np.random.default_rng(9)
+        coords = rng.integers(0, 64, size=(400, 3))
+        values = rng.normal(0, 1, 400)
+        vec = ops.window_average(coords, values, (1, 2), 8)
+        sca = ops.window_average_scalar(coords, values, (1, 2), 8)
+        assert vec.keys() == sca.keys()
+        for bucket in vec:
+            assert vec[bucket] == pytest.approx(sca[bucket], rel=1e-9)
+
+
+class TestClosePairsParity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_matches_scalar_and_bruteforce(self, data):
+        n = data.draw(st.integers(2, 50))
+        seed = data.draw(st.integers(0, 10_000))
+        rng = np.random.default_rng(seed)
+        lon = rng.uniform(0, 4, n)
+        lat = rng.uniform(0, 4, n)
+        radius = float(rng.uniform(0.2, 1.5))
+        vec = ops.count_close_pairs(lon, lat, radius)
+        sca = ops.count_close_pairs_scalar(lon, lat, radius)
+        brute = sum(
+            1
+            for i in range(n)
+            for j in range(i + 1, n)
+            if (lon[i] - lon[j]) ** 2 + (lat[i] - lat[j]) ** 2
+            <= radius * radius
+        )
+        assert vec == sca == brute
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_segmented_equals_per_segment_sum(self, data):
+        n = data.draw(st.integers(2, 60))
+        seed = data.draw(st.integers(0, 10_000))
+        n_seg = data.draw(st.integers(1, 4))
+        rng = np.random.default_rng(seed)
+        lon = rng.uniform(0, 4, n)
+        lat = rng.uniform(0, 4, n)
+        segs = rng.integers(0, n_seg, n)
+        radius = 0.7
+        combined = ops.count_close_pairs(
+            lon, lat, radius, segments=segs
+        )
+        split = sum(
+            ops.count_close_pairs_scalar(
+                lon[segs == s], lat[segs == s], radius
+            )
+            for s in range(n_seg)
+        )
+        assert combined == split
+
+
+class TestJoinHoisting:
+    """Regression: pre-packed coordinate keys must be honoured."""
+
+    def test_position_join_with_hoisted_keys(self):
+        rng = np.random.default_rng(1)
+        ca = rng.integers(0, 20, size=(40, 3))
+        cb = rng.integers(0, 20, size=(40, 3))
+        va = rng.random(40)
+        vb = rng.random(40)
+        plain = ops.position_join(ca, va, cb, vb)
+        hoisted = ops.position_join(
+            ca, va, cb, vb,
+            keys_a=ops.pack_coords(ca),
+            keys_b=ops.pack_coords(cb),
+        )
+        for left, right in zip(plain, hoisted):
+            assert np.array_equal(left, right)
+
+    def test_position_join_skips_repacking(self, monkeypatch):
+        calls = []
+        original = ops.pack_coords
+
+        def counting(coords):
+            calls.append(1)
+            return original(coords)
+
+        monkeypatch.setattr(ops, "pack_coords", counting)
+        ca = np.array([[0, 0], [1, 1]])
+        cb = np.array([[1, 1], [2, 2]])
+        keys_a = original(ca)
+        keys_b = original(cb)
+        ops.position_join(
+            ca, np.ones(2), cb, np.ones(2),
+            keys_a=keys_a, keys_b=keys_b,
+        )
+        assert not calls  # no re-pack when keys are supplied
+
+    def test_make_sorted_lookup_matches_manual_sort(self):
+        keys = np.array([5, 1, 9, 3])
+        values = np.array([50, 10, 90, 30])
+        sorted_keys, sorted_vals = ops.make_sorted_lookup(keys, values)
+        assert sorted_keys.tolist() == [1, 3, 5, 9]
+        out = ops.equi_join_lookup(
+            np.array([9, 1, 7]), sorted_keys, sorted_vals
+        )
+        assert out.tolist() == [90, 10, -1]

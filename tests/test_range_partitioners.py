@@ -5,7 +5,7 @@ import pytest
 
 from repro.arrays import Box, ChunkRef
 from repro.core.hilbert_curve import HilbertCurvePartitioner
-from repro.core.kd_tree import KdInner, KdLeaf, KdTreePartitioner
+from repro.core.kd_tree import KdInner, KdTreePartitioner
 from repro.core.quadtree import IncrementalQuadtreePartitioner
 from repro.core.uniform_range import UniformRangePartitioner, build_leaves
 from repro.errors import PartitioningError
@@ -256,7 +256,6 @@ class TestUniformRange:
 
     def test_balanced_chunk_counts_on_uniform_data(self):
         p = UniformRangePartitioner([0, 1, 2, 3], GRID, height=6)
-        rng = np.random.default_rng(0)
         for x in range(16):
             for y in range(16):
                 p.place(ChunkRef("a", (x, y)), 10.0)

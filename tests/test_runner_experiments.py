@@ -11,7 +11,6 @@ from repro.harness import (
     default_modis,
     figure4_insert_reorg,
     figure8_staircase,
-    headline_claims,
     table1_taxonomy,
     table2_sampling,
     table3_cost_model,

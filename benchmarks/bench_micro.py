@@ -21,11 +21,20 @@ import os
 import numpy as np
 import pytest
 
-from repro.arrays import Box, ChunkRef, hilbert_index, parse_schema
-from repro.arrays.array import chunk_cells
+from repro.arrays import Box, ChunkData, ChunkRef, hilbert_index, parse_schema
+from repro.arrays.array import chunk_cells, chunk_cells_scalar
 from repro.arrays.sfc import RectangleHilbert, hilbert_index_batch
+from repro.cluster.costs import CostParameters
 from repro.core import make_partitioner
 from repro.query import operators as ops
+from repro.query.cost import (
+    CostAccumulator,
+    add_scan_work,
+    add_scan_work_scalar,
+    halo_shuffle_bytes,
+    halo_shuffle_bytes_scalar,
+    scan_columns,
+)
 
 GRID = Box((0, 0, 0), (40, 29, 23))
 
@@ -152,27 +161,51 @@ def test_hilbert_index_batch_raw(benchmark):
     ]
 
 
-def test_chunk_cells_throughput(benchmark):
+def _chunk_cells_inputs(n=20000):
     schema = parse_schema(
         "B<v:double, w:int32>[t=0:*,100, x=0:999,50, y=0:999,50]"
     )
     rng = np.random.default_rng(3)
     coords = np.stack(
         [
-            rng.integers(0, 1000, 20000),
-            rng.integers(0, 1000, 20000),
-            rng.integers(0, 1000, 20000),
+            rng.integers(0, 1000, n),
+            rng.integers(0, 1000, n),
+            rng.integers(0, 1000, n),
         ],
         axis=1,
     )
     attrs = {
-        "v": rng.random(20000),
-        "w": rng.integers(0, 100, 20000).astype(np.int32),
+        "v": rng.random(n),
+        "w": rng.integers(0, 100, n).astype(np.int32),
     }
-    benchmark.extra_info["items"] = 20000
+    return schema, coords, attrs
+
+
+def test_chunk_cells_scalar(benchmark):
+    """The dict-of-cell-masks parity oracle: one Python probe per cell.
+
+    Note this is the deliberately naive reference implementation, not
+    the previously shipped code — the pre-PR-3 path (lexsort grouping +
+    re-validating ChunkData construction) sits between the two at
+    roughly 5x the batch kernel's time on these inputs.
+    """
+    schema, coords, attrs = _chunk_cells_inputs()
+    benchmark.extra_info["items"] = coords.shape[0]
+
+    chunks = benchmark(chunk_cells_scalar, schema, coords, attrs)
+    assert sum(c.cell_count for c in chunks) == coords.shape[0]
+
+
+def test_chunk_cells_throughput(benchmark):
+    """One packed-key argsort grouping pass over the same cells."""
+    schema, coords, attrs = _chunk_cells_inputs()
+    benchmark.extra_info["items"] = coords.shape[0]
 
     chunks = benchmark(chunk_cells, schema, coords, attrs)
-    assert sum(c.cell_count for c in chunks) == 20000
+    assert sum(c.cell_count for c in chunks) == coords.shape[0]
+    ref = chunk_cells_scalar(schema, coords, attrs)
+    assert [c.key for c in chunks] == [c.key for c in ref]
+    assert [c.size_bytes for c in chunks] == [c.size_bytes for c in ref]
 
 
 def test_kd_lookup_latency(benchmark):
@@ -335,3 +368,96 @@ def test_window_average_batch(benchmark):
     )
     ref = ops.window_average_scalar(coords, values, (1, 2), 16)
     assert buckets.shape[0] == len(ref)
+
+
+# ----------------------------------------------------------------------
+# cost-model accounting (scalar dict oracle vs column kernels)
+# ----------------------------------------------------------------------
+COST_CHUNKS = max(1_000, int(20_000 * SCALE))
+COST_NODES = 8
+_COST_SCHEMA = parse_schema(
+    "C<a:double, b:int32>[t=0:*,1, x=0:199,1, y=0:199,1]"
+)
+
+
+def _cost_layout(n=COST_CHUNKS, seed=20):
+    """(chunk, node) pairs over a dense spatial grid (unique keys)."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.lognormal(18, 1.5, size=n)
+    nodes = rng.integers(0, COST_NODES, size=n)
+    layout = []
+    for i in range(n):
+        key = (0, i // 200, i % 200)
+        layout.append(
+            (
+                ChunkData.from_validated_cells(
+                    _COST_SCHEMA, key,
+                    np.array([key], dtype=np.int64),
+                    {
+                        "a": np.array([1.0]),
+                        "b": np.array([1], dtype=np.int32),
+                    },
+                    size_bytes=float(sizes[i]),
+                ),
+                int(nodes[i]),
+            )
+        )
+    return layout
+
+
+def test_cost_scan_scalar(benchmark):
+    """Per-chunk dict accounting: one bytes_for + dict update per chunk."""
+    layout = _cost_layout()
+    costs = CostParameters()
+    benchmark.extra_info["items"] = len(layout)
+
+    def scan():
+        per_node = {}
+        add_scan_work_scalar(per_node, layout, ["a"], costs, 1.5)
+        return per_node
+
+    out = benchmark(scan)
+    assert len(out) == COST_NODES
+
+
+def test_cost_scan_batch(benchmark):
+    """Column lowering + one fused multiply + one np.add.at pass."""
+    layout = _cost_layout()
+    costs = CostParameters()
+    benchmark.extra_info["items"] = len(layout)
+
+    def scan():
+        acc = CostAccumulator(range(COST_NODES))
+        sizes, nodes = scan_columns(layout, ["a"])
+        add_scan_work(acc, sizes, nodes, costs, 1.5)
+        return acc
+
+    acc = benchmark(scan)
+    per_node = {}
+    add_scan_work_scalar(per_node, layout, ["a"], costs, 1.5)
+    got = acc.as_dict()
+    assert all(
+        abs(got[n] - s) <= 1e-9 * s for n, s in per_node.items()
+    )
+
+
+def test_halo_bytes_scalar(benchmark):
+    """Per-chunk dict probes over every stencil neighbour."""
+    layout = _cost_layout()
+    benchmark.extra_info["items"] = len(layout)
+
+    out = benchmark(
+        halo_shuffle_bytes_scalar, layout, ["a"], (1, 2), 0.5
+    )
+    assert out
+
+
+def test_halo_bytes_batch(benchmark):
+    """One packed-key searchsorted per stencil offset, np.add.at wires."""
+    layout = _cost_layout()
+    benchmark.extra_info["items"] = len(layout)
+
+    out = benchmark(halo_shuffle_bytes, layout, ["a"], (1, 2), 0.5)
+    ref = halo_shuffle_bytes_scalar(layout, ["a"], (1, 2), 0.5)
+    assert set(out) == set(ref)
+    assert all(abs(out[n] - v) <= 1e-9 * v for n, v in ref.items())

@@ -35,6 +35,10 @@ SPEEDUP_PAIRS = [
      "test_hilbert_indexing_batch"),
     ("kd_lookup", "test_kd_lookup_latency",
      "test_kd_lookup_batch_latency"),
+    ("chunk_cells", "test_chunk_cells_scalar",
+     "test_chunk_cells_throughput"),
+    ("cost_scan", "test_cost_scan_scalar", "test_cost_scan_batch"),
+    ("halo_bytes", "test_halo_bytes_scalar", "test_halo_bytes_batch"),
     ("kmeans", "test_kmeans_scalar", "test_kmeans_batch"),
     ("knn_mean_distance", "test_knn_scalar", "test_knn_batch"),
     ("grid_groupby", "test_grid_groupby_scalar",

@@ -1,0 +1,59 @@
+# Sphinx configuration for the repro documentation site.
+#
+# The CI docs job builds this with warnings-as-errors
+# (``sphinx-build -W``) plus a link-check pass, so stale module
+# references or broken cross-links fail the pipeline.
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src")
+    ),
+)
+
+project = "repro — incremental elasticity for array databases"
+author = "repro contributors"
+copyright = "2026, repro contributors"
+
+extensions = [
+    "sphinx.ext.autodoc",
+    "sphinx.ext.napoleon",
+    "sphinx.ext.viewcode",
+    "myst_parser",
+]
+
+source_suffix = {
+    ".rst": "restructuredtext",
+    ".md": "markdown",
+}
+
+# Both docstring conventions appear in the codebase: the newer column
+# APIs are numpy-style, the older modules google-style.
+napoleon_google_docstring = True
+napoleon_numpy_docstring = True
+
+autodoc_member_order = "bysource"
+autodoc_default_options = {
+    "members": True,
+    "show-inheritance": True,
+}
+
+html_theme = "alabaster"
+html_theme_options = {
+    "description": (
+        "A batch-first reproduction of “Incremental elasticity for "
+        "array databases” (SIGMOD 2014)."
+    ),
+    "fixed_sidebar": True,
+    "page_width": "1024px",
+}
+
+exclude_patterns = ["_build"]
+
+# Link-check: external links are kept deliberately few and stable.
+linkcheck_anchors = False
+linkcheck_timeout = 15
+linkcheck_retries = 2

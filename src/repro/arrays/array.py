@@ -12,7 +12,7 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 import numpy as np
 
 from repro.arrays.chunk import ChunkData, ChunkKey
-from repro.arrays.coords import Box
+from repro.arrays.coords import Box, pack_rows, row_packing
 from repro.arrays.schema import ArraySchema
 from repro.errors import ChunkError
 
@@ -195,21 +195,38 @@ class LocalArray:
         return coords, values
 
 
-def chunk_cells(
+def _validated_keys(
     schema: ArraySchema,
     coords: np.ndarray,
     attributes: Mapping[str, np.ndarray],
-    inflate: float = 1.0,
-) -> List[ChunkData]:
-    """Partition a batch of cells into per-chunk :class:`ChunkData` objects.
+) -> np.ndarray:
+    """Bounds-check a cell batch and return its per-cell chunk keys.
 
-    This is the coordinator-side chunking step of the ingest path: incoming
-    cells are grouped by their chunk key; each group becomes one chunk whose
-    modeled size is its numpy footprint times ``inflate``.
+    Shared front half of :func:`chunk_cells` and
+    :func:`chunk_cells_scalar`: validates attribute columns, rejects
+    cells outside the schema's declared bounds, and computes every
+    cell's chunk-grid key as ``(cell - start) // interval`` per
+    dimension in one vector pass.
 
-    Returns chunks sorted by key.
+    Parameters
+    ----------
+    schema : ArraySchema
+        The target array's schema.
+    coords : numpy.ndarray of int64, shape (cells, ndim)
+        Cell coordinates.
+    attributes : mapping of str to numpy.ndarray
+        One value column per schema attribute.
+
+    Returns
+    -------
+    numpy.ndarray of int64, shape (cells, ndim)
+        Chunk-grid key of every cell.
+
+    Raises
+    ------
+    ChunkError
+        On a missing/short attribute column or out-of-bounds cells.
     """
-    coords = np.asarray(coords, dtype=np.int64)
     n_cells = coords.shape[0]
     for name in schema.attribute_names:
         if name not in attributes:
@@ -219,56 +236,199 @@ def chunk_cells(
                 f"attribute {name!r} length != cell count {n_cells}"
             )
 
-    # Vectorized chunk-key computation: (cell - start) // interval per dim.
     starts = np.asarray([d.start for d in schema.dimensions], dtype=np.int64)
     intervals = np.asarray(
         [d.chunk_interval for d in schema.dimensions], dtype=np.int64
-    )
-    lows = np.asarray(
-        [d.start for d in schema.dimensions], dtype=np.int64
     )
     highs = np.asarray(
         [d.end if d.end is not None else np.iinfo(np.int64).max
          for d in schema.dimensions],
         dtype=np.int64,
     )
-    if np.any(coords < lows) or np.any(coords > highs):
+    if np.any(coords < starts) or np.any(coords > highs):
         raise ChunkError(
             f"batch contains cells outside the declared bounds of "
             f"{schema.name}"
         )
-    keys = (coords - starts) // intervals
+    return (coords - starts) // intervals
 
-    order = np.lexsort(tuple(keys[:, d] for d in reversed(range(schema.ndim))))
+
+def _cell_byte_width(
+    schema: ArraySchema, columns: Mapping[str, np.ndarray]
+) -> int:
+    """Physical bytes one cell contributes (coords row + value columns).
+
+    Matches :meth:`ChunkData._actual_nbytes` exactly: 8 bytes per
+    coordinate, each column's dtype width, and the declared itemsize for
+    object-dtype columns — so group footprints can be priced as one
+    multiply instead of a per-chunk recount.
+    """
+    width = 8 * schema.ndim
+    for spec in schema.attributes:
+        column = columns[spec.name]
+        width += (
+            spec.itemsize if column.dtype == object
+            else column.dtype.itemsize
+        )
+    return width
+
+
+def _build_chunks(
+    schema: ArraySchema,
+    keys_sorted: np.ndarray,
+    coords_sorted: np.ndarray,
+    attrs_sorted: Mapping[str, np.ndarray],
+    boundaries: np.ndarray,
+    inflate: float,
+) -> List[ChunkData]:
+    """Materialize one :class:`ChunkData` per key-sorted cell group.
+
+    Uses the trusted :meth:`ChunkData.from_validated_cells` path: the
+    batch was bounds-checked up front and keys derive from coordinates,
+    so per-chunk re-validation and footprint recounts are skipped.
+    """
+    per_cell = _cell_byte_width(schema, attrs_sorted)
+    names = schema.attribute_names
+    chunks: List[ChunkData] = []
+    for i in range(len(boundaries) - 1):
+        lo, hi = int(boundaries[i]), int(boundaries[i + 1])
+        key = tuple(int(v) for v in keys_sorted[lo])
+        chunk_attrs = {
+            name: attrs_sorted[name][lo:hi] for name in names
+        }
+        chunks.append(
+            ChunkData.from_validated_cells(
+                schema, key, coords_sorted[lo:hi], chunk_attrs,
+                size_bytes=float((hi - lo) * per_cell) * inflate,
+            )
+        )
+    return chunks
+
+
+def chunk_cells(
+    schema: ArraySchema,
+    coords: np.ndarray,
+    attributes: Mapping[str, np.ndarray],
+    inflate: float = 1.0,
+) -> List[ChunkData]:
+    """Partition a batch of cells into per-chunk :class:`ChunkData` objects.
+
+    This is the coordinator-side chunking step of the ingest path
+    (feeding both the MODIS and AIS generators): incoming cells are
+    grouped by their chunk key; each group becomes one chunk whose
+    modeled size is its numpy footprint times ``inflate``.
+
+    The grouping is a single sort over *packed* chunk keys: each cell's
+    key tuple is mixed-radix encoded into one int64 (offset by the
+    batch's per-dimension key minima, so the packing is order-preserving
+    and overflow-checked), one stable ``argsort`` orders the cells, and
+    the group boundaries fall out of one ``diff`` over the sorted key
+    column.  When a batch's key extent cannot be packed into int64 the
+    grouping falls back to the per-dimension ``lexsort`` (the previous
+    implementation's grouping strategy).  A deliberately naive per-cell
+    reference implementation, :func:`chunk_cells_scalar`, serves as the
+    parity oracle.
+
+    Parameters
+    ----------
+    schema : ArraySchema
+        The target array's schema.
+    coords : numpy.ndarray of int64, shape (cells, ndim)
+        Cell coordinates.
+    attributes : mapping of str to numpy.ndarray
+        One value column per schema attribute.
+    inflate : float
+        Multiplier applied to each chunk's numpy footprint to obtain its
+        modeled ``size_bytes`` (paper-scale chunks from laptop-scale
+        cell counts).
+
+    Returns
+    -------
+    list of ChunkData
+        One chunk per distinct key, sorted by key; cells within a chunk
+        keep their batch order.
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    keys = _validated_keys(schema, coords, attributes)
+    n_cells = coords.shape[0]
+    if n_cells == 0:
+        return []
+
+    # Pack each key tuple into one int64 (order-preserving mixed radix
+    # over the batch's own key extent) so grouping needs a single-column
+    # sort instead of an ndim-pass lexsort.
+    packing = row_packing(keys)
+    if packing is not None:
+        packed = pack_rows(keys, *packing)
+        order = np.argsort(packed, kind="stable")
+        change = np.diff(packed[order]) != 0
+    else:  # key extent defeats packing: per-dimension fallback
+        order = np.lexsort(
+            tuple(keys[:, d] for d in reversed(range(schema.ndim)))
+        )
+        change = np.any(np.diff(keys[order], axis=0) != 0, axis=1)
+
     keys_sorted = keys[order]
     coords_sorted = coords[order]
     attrs_sorted = {
         name: np.asarray(attributes[name])[order]
         for name in schema.attribute_names
     }
-
-    # Group boundaries where any key component changes.
-    if n_cells == 0:
-        return []
-    change = np.any(np.diff(keys_sorted, axis=0) != 0, axis=1)
     boundaries = np.concatenate(
         [[0], np.nonzero(change)[0] + 1, [n_cells]]
     )
+    # Groups come out of the order-preserving sort already key-sorted.
+    return _build_chunks(
+        schema, keys_sorted, coords_sorted, attrs_sorted, boundaries,
+        inflate,
+    )
+
+
+def chunk_cells_scalar(
+    schema: ArraySchema,
+    coords: np.ndarray,
+    attributes: Mapping[str, np.ndarray],
+    inflate: float = 1.0,
+) -> List[ChunkData]:
+    """Parity oracle: per-cell Python loop building a dict of cell masks.
+
+    A deliberately naive reference implementation — one dict probe per
+    cell, one boolean-mask gather per chunk — that defines the
+    semantics without sharing any code with the packed-sort path.
+    Output is identical to :func:`chunk_cells` (checked by
+    ``tests/test_batch_parity.py``): same chunks in the same key order,
+    cells in batch order within each chunk, bit-identical sizes.
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    keys = _validated_keys(schema, coords, attributes)
+    n_cells = coords.shape[0]
+    if n_cells == 0:
+        return []
+
+    mask_by_key: Dict[Tuple[int, ...], np.ndarray] = {}
+    for i in range(n_cells):
+        key = tuple(int(v) for v in keys[i])
+        mask = mask_by_key.get(key)
+        if mask is None:
+            mask = np.zeros(n_cells, dtype=bool)
+            mask_by_key[key] = mask
+        mask[i] = True
 
     chunks: List[ChunkData] = []
-    for i in range(len(boundaries) - 1):
-        lo, hi = boundaries[i], boundaries[i + 1]
-        key = tuple(int(v) for v in keys_sorted[lo])
+    attr_columns = {
+        name: np.asarray(attributes[name])
+        for name in schema.attribute_names
+    }
+    for key in sorted(mask_by_key):
+        mask = mask_by_key[key]
         chunk_attrs = {
-            name: attrs_sorted[name][lo:hi]
-            for name in schema.attribute_names
+            name: column[mask] for name, column in attr_columns.items()
         }
-        chunk = ChunkData(schema, key, coords_sorted[lo:hi], chunk_attrs)
+        chunk = ChunkData(schema, key, coords[mask], chunk_attrs)
         if inflate != 1.0:
             chunk = ChunkData(
-                schema, key, coords_sorted[lo:hi], chunk_attrs,
+                schema, key, coords[mask], chunk_attrs,
                 size_bytes=chunk.size_bytes * inflate,
             )
         chunks.append(chunk)
-    chunks.sort(key=lambda c: c.key)
     return chunks

@@ -152,6 +152,54 @@ class ChunkData:
         self.size_bytes = float(size_bytes)
         self.attr_bytes = self._vertical_shares(self.size_bytes)
 
+    @classmethod
+    def from_validated_cells(
+        cls,
+        schema: ArraySchema,
+        key: ChunkKey,
+        coords: np.ndarray,
+        attributes: Dict[str, np.ndarray],
+        size_bytes: float,
+    ) -> "ChunkData":
+        """Trusted constructor for pre-validated cell groups (ingest path).
+
+        :func:`repro.arrays.array.chunk_cells` validates a whole batch
+        once — attribute completeness and lengths, cell bounds — and the
+        chunk key is *derived* from the coordinates, so every group is
+        in-box by construction.  This path skips the per-chunk
+        re-validation of ``__init__`` (set algebra, box containment,
+        footprint recount), which dominates ingest time for workloads
+        producing many small chunks.
+
+        Parameters
+        ----------
+        schema : ArraySchema
+            Owning array's schema.
+        key : tuple of int
+            Chunk-grid coordinates (already plain ints).
+        coords : numpy.ndarray of int64, shape (cells, ndim)
+            Cell coordinates, all inside the chunk's box.
+        attributes : dict of str to numpy.ndarray
+            Exactly the schema's attribute columns, each of length
+            ``cells``.
+        size_bytes : float
+            Modeled physical size (the caller prices the footprint).
+
+        Returns
+        -------
+        ChunkData
+            An instance indistinguishable from one built by the
+            validating constructor on the same inputs.
+        """
+        self = object.__new__(cls)
+        self.schema = schema
+        self.key = key
+        self.coords = coords
+        self.attributes = attributes
+        self.size_bytes = float(size_bytes)
+        self.attr_bytes = self._vertical_shares(self.size_bytes)
+        return self
+
     # ------------------------------------------------------------------
     def _actual_nbytes(self) -> int:
         total = self.coords.nbytes

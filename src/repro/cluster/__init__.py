@@ -10,8 +10,10 @@ from repro.cluster.cluster import ElasticCluster, IngestReport
 from repro.cluster.coordinator import (
     InsertReport,
     RebalanceReport,
+    RemoveReport,
     execute_insert,
     execute_rebalance,
+    execute_remove,
 )
 from repro.cluster.costs import DEFAULT_COSTS, GB, CostParameters
 from repro.cluster.metrics import CycleMetrics, RunMetrics, relative_std
@@ -28,9 +30,11 @@ __all__ = [
     "InsertReport",
     "Node",
     "RebalanceReport",
+    "RemoveReport",
     "RunMetrics",
     "execute_insert",
     "execute_rebalance",
+    "execute_remove",
     "insert_time",
     "nic_bytes",
     "rebalance_time",

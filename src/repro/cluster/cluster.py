@@ -20,8 +20,10 @@ from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.cluster.coordinator import (
     InsertReport,
     RebalanceReport,
+    RemoveReport,
     execute_insert,
     execute_rebalance,
+    execute_remove,
 )
 from repro.cluster.costs import DEFAULT_COSTS, CostParameters
 from repro.cluster.metrics import relative_std
@@ -61,6 +63,11 @@ class ElasticCluster:
             :meth:`ingest` runs the control loop before inserting; when
             absent, use :meth:`scale_out` to add nodes manually (the fixed
             +2-node schedule of §6.2 does this).
+        ledger_compact_ratio: dead-slot ratio above which the
+            partitioner's chunk ledger is compacted during the
+            reorganization cycle (after rebalances and removals), so
+            churn-heavy retention workloads keep bounded ledger memory.
+            ``None`` disables compaction entirely.
 
     The partitioner's initial nodes define the cluster's initial nodes.
     """
@@ -71,13 +78,21 @@ class ElasticCluster:
         node_capacity_bytes: float,
         costs: CostParameters = DEFAULT_COSTS,
         provisioner: Optional[LeadingStaircase] = None,
+        ledger_compact_ratio: Optional[float] = 0.5,
     ) -> None:
         if node_capacity_bytes <= 0:
             raise ClusterError("node capacity must be positive")
+        if ledger_compact_ratio is not None and not (
+            0.0 <= ledger_compact_ratio <= 1.0
+        ):
+            raise ClusterError(
+                "ledger_compact_ratio must be in [0, 1] or None"
+            )
         self.partitioner = partitioner
         self.node_capacity_bytes = float(node_capacity_bytes)
         self.costs = costs
         self.provisioner = provisioner
+        self.ledger_compact_ratio = ledger_compact_ratio
         self.nodes: Dict[int, Node] = {
             node_id: Node(node_id, node_capacity_bytes)
             for node_id in partitioner.nodes
@@ -140,7 +155,13 @@ class ElasticCluster:
     # growth
     # ------------------------------------------------------------------
     def scale_out(self, count: int) -> RebalanceReport:
-        """Add ``count`` nodes and execute the partitioner's rebalance."""
+        """Add ``count`` nodes and execute the partitioner's rebalance.
+
+        The reorganization cycle is also when the chunk ledger reclaims
+        slots freed by earlier removals (see :meth:`remove_chunks`): a
+        compaction pass runs when the dead-slot ratio exceeds
+        ``ledger_compact_ratio``.
+        """
         if count < 1:
             raise ClusterError(f"scale_out needs count >= 1, got {count}")
         new_ids = []
@@ -150,7 +171,33 @@ class ElasticCluster:
             self.nodes[node_id] = Node(node_id, self.node_capacity_bytes)
             new_ids.append(node_id)
         plan = self.partitioner.scale_out(new_ids)
-        return execute_rebalance(self.nodes, plan, self.costs)
+        report = execute_rebalance(self.nodes, plan, self.costs)
+        self._maybe_compact_ledger()
+        return report
+
+    def remove_chunks(self, refs: Sequence[ChunkRef]) -> RemoveReport:
+        """Retire chunks (expiry / deletion) from stores and the ledger.
+
+        A retention-windowed workload calls this each cycle to drop data
+        that aged out; the freed ledger slots are compacted away once
+        their ratio crosses ``ledger_compact_ratio``, keeping ledger
+        memory bounded under insert/expire churn
+        (``tests/test_ledger_compaction.py`` drives a staircase run both
+        ways).  The shipped paper workloads are append-only and never
+        call this — a figure-level retention benchmark is on the
+        roadmap.
+        """
+        report = execute_remove(
+            self.nodes, self.partitioner, refs, self.costs
+        )
+        self._maybe_compact_ledger()
+        return report
+
+    def _maybe_compact_ledger(self) -> bool:
+        """Compact the partitioner's ledger past the dead-slot threshold."""
+        if self.ledger_compact_ratio is None:
+            return False
+        return self.partitioner.compact_ledger(self.ledger_compact_ratio)
 
     def ingest(self, chunks: Sequence[ChunkData]) -> IngestReport:
         """Run one §3.4 ingest phase.

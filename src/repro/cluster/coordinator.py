@@ -1,20 +1,21 @@
-"""Coordinator-side execution of inserts and rebalances.
+"""Coordinator-side execution of inserts, removals, and rebalances.
 
 The coordinator is the node that receives each insert batch (paper §3.4),
 asks the partitioner where every chunk belongs, and distributes the chunks
 over the cluster.  On scale-out it also executes the partitioner's
 rebalance plan by evicting chunks from donors and installing them on the
-new nodes.
+new nodes, and it retires expired chunks (:func:`execute_remove`) so
+churn-heavy retention workloads shrink instead of growing monotonically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.arrays.chunk import ChunkData
+from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.cluster.costs import CostParameters
 from repro.cluster.network import insert_time, rebalance_time
 from repro.cluster.node import Node
@@ -117,4 +118,62 @@ def execute_rebalance(
         bytes_moved=plan.total_bytes,
         elapsed_seconds=rebalance_time(plan, costs),
         touched_nodes=len(plan.touched_nodes()),
+    )
+
+
+@dataclass
+class RemoveReport:
+    """Outcome of retiring a batch of chunks (expiry / deletion)."""
+
+    chunk_count: int
+    bytes_freed: float
+    elapsed_seconds: float
+    touched_nodes: int
+
+
+def execute_remove(
+    nodes: Mapping[int, Node],
+    partitioner: ElasticPartitioner,
+    refs: Sequence[ChunkRef],
+    costs: CostParameters,
+) -> RemoveReport:
+    """Retire chunks: evict from their stores and drop from the ledger.
+
+    The elapsed time charges each holding node's local I/O for rewriting
+    its store (deletes are local; no network).  The ledger slots freed
+    here are what :meth:`ElasticPartitioner.compact_ledger` later
+    reclaims — the cluster wires that into its reorganization cycle.
+
+    The whole batch is validated (known refs, known nodes, no
+    duplicates) before the first eviction, so a bad ref raises without
+    leaving earlier chunks half-removed.
+    """
+    resolved = []
+    seen = set()
+    for ref in refs:
+        if ref in seen:
+            raise ClusterError(f"duplicate chunk {ref} in remove batch")
+        seen.add(ref)
+        node = partitioner.locate(ref)  # raises on unknown chunks
+        if node not in nodes:
+            raise ClusterError(
+                f"chunk {ref} mapped to unknown node {node}"
+            )
+        resolved.append((ref, node, partitioner.size_of(ref)))
+
+    freed_by_node: Dict[int, float] = {}
+    count = 0
+    for ref, node, size in resolved:
+        nodes[node].store.evict(ref)
+        partitioner.remove(ref)
+        freed_by_node[node] = freed_by_node.get(node, 0.0) + size
+        count += 1
+    elapsed = max(
+        (costs.io_time(b) for b in freed_by_node.values()), default=0.0
+    )
+    return RemoveReport(
+        chunk_count=count,
+        bytes_freed=float(sum(freed_by_node.values())),
+        elapsed_seconds=elapsed,
+        touched_nodes=len(freed_by_node),
     )

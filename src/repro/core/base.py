@@ -398,6 +398,27 @@ class ElasticPartitioner(ABC):
             )
         self._ledger.update_size(ref, delta_bytes)
 
+    def compact_ledger(self, min_dead_fraction: float = 0.0) -> bool:
+        """Reclaim dead ledger slots left by removed chunks.
+
+        Forwards to the backing ledger's ``compact``: the array ledger
+        re-interns live refs and shrinks its columns when at least
+        ``min_dead_fraction`` of the allocated slots are dead; the dict
+        ledger never fragments and returns ``False``.  Observable
+        partitioner state is unchanged either way.  The cluster calls
+        this from its reorganization cycle (see
+        :meth:`repro.cluster.cluster.ElasticCluster.scale_out`).
+
+        Returns:
+            Whether a compaction actually ran.
+        """
+        return self._ledger.compact(min_dead_fraction)
+
+    @property
+    def ledger_dead_fraction(self) -> float:
+        """Fraction of allocated ledger slots not holding a live chunk."""
+        return self._ledger.dead_slot_fraction
+
     # ------------------------------------------------------------------
     # subclass responsibilities
     # ------------------------------------------------------------------

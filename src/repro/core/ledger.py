@@ -19,6 +19,21 @@ module default comes from the ``REPRO_LEDGER`` environment variable
 (``array`` unless overridden), and :func:`ledger_mode` temporarily pins
 a mode for tests.
 
+Compaction
+----------
+Removed chunks leave their dense ids on a free list; under insert/expire
+churn the columns therefore hold more slots than live chunks.
+:meth:`ArrayChunkLedger.compact` re-interns the live refs into fresh,
+exactly-sized columns once the dead-slot ratio crosses a configurable
+threshold, bounding ledger memory over long churn-heavy runs — the
+cluster triggers it from its reorganization cycle
+(:meth:`repro.cluster.cluster.ElasticCluster.scale_out` /
+:meth:`~repro.cluster.cluster.ElasticCluster.remove_chunks`; the
+bounded-vs-unbounded behaviour is pinned by
+``tests/test_ledger_compaction.py``).  The dict ledger never fragments,
+so its :meth:`DictChunkLedger.compact` is a no-op with the same
+signature.
+
 Float semantics
 ---------------
 Per-chunk sizes are stored and merged in batch order, so they stay
@@ -97,45 +112,58 @@ class DictChunkLedger:
 
     # -- nodes ---------------------------------------------------------
     def add_node(self, node: NodeId) -> None:
+        """Register a node with zero load."""
         self._loads[int(node)] = 0.0
 
     def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` is registered."""
         return node in self._loads
 
     def load_of(self, node: NodeId) -> float:
+        """Bytes currently assigned to ``node``."""
         return self._loads[node]
 
     def node_loads(self) -> Dict[NodeId, float]:
+        """A copy of the ``node -> bytes`` load map."""
         return dict(self._loads)
 
     # -- reads ---------------------------------------------------------
     def contains(self, ref: ChunkRef) -> bool:
+        """Whether ``ref`` is currently placed."""
         return ref in self._assignment
 
     def get_node(self, ref: ChunkRef) -> Optional[NodeId]:
+        """Node holding ``ref``, or ``None`` when never placed."""
         return self._assignment.get(ref)
 
     def node_of(self, ref: ChunkRef) -> NodeId:
+        """Node holding ``ref`` (KeyError when never placed)."""
         return self._assignment[ref]
 
     def size_of(self, ref: ChunkRef) -> float:
+        """Recorded bytes of ``ref`` (KeyError when never placed)."""
         return self._sizes[ref]
 
     @property
     def chunk_count(self) -> int:
+        """Number of live chunks."""
         return len(self._assignment)
 
     @property
     def total_bytes(self) -> float:
+        """All live chunk bytes (O(1) running counter)."""
         return self._total
 
     def assignment(self) -> Dict[ChunkRef, NodeId]:
+        """A copy of the full chunk → node map."""
         return dict(self._assignment)
 
     def refs_on(self, node: NodeId) -> List[ChunkRef]:
+        """Refs assigned to one node (iteration order)."""
         return [r for r, n in self._assignment.items() if n == node]
 
     def sizes_of(self, refs: Sequence[ChunkRef]) -> np.ndarray:
+        """Bulk byte sizes of many placed refs."""
         sizes = self._sizes
         return np.fromiter(
             (sizes[r] for r in refs), dtype=np.float64, count=len(refs)
@@ -144,6 +172,7 @@ class DictChunkLedger:
     def key_column(
         self, refs: Sequence[ChunkRef], dim: int
     ) -> np.ndarray:
+        """Bulk chunk-key coordinates of many refs along one dimension."""
         return np.fromiter(
             (r.key[dim] for r in refs), dtype=np.int64, count=len(refs)
         )
@@ -162,12 +191,14 @@ class DictChunkLedger:
     def commit_new(
         self, ref: ChunkRef, size_bytes: float, node: NodeId
     ) -> None:
+        """Record a first-time placement of ``ref`` on ``node``."""
         self._assignment[ref] = node
         self._sizes[ref] = size_bytes
         self._loads[node] += size_bytes
         self._total += size_bytes
 
     def merge(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        """Add bytes to an already-placed chunk; returns its node."""
         node = self._assignment[ref]
         self._sizes[ref] += size_bytes
         self._loads[node] += size_bytes
@@ -175,6 +206,7 @@ class DictChunkLedger:
         return node
 
     def remove(self, ref: ChunkRef) -> Tuple[NodeId, float]:
+        """Drop a chunk; returns ``(node it held, its bytes)``."""
         node = self._assignment.pop(ref)
         size = self._sizes.pop(ref)
         self._loads[node] -= size
@@ -184,6 +216,7 @@ class DictChunkLedger:
     def relocate(
         self, ref: ChunkRef, dest: NodeId
     ) -> Tuple[NodeId, float]:
+        """Reassign a chunk to ``dest``; returns ``(source, bytes)``."""
         source = self._assignment[ref]
         size = self._sizes[ref]
         self._assignment[ref] = dest
@@ -192,11 +225,33 @@ class DictChunkLedger:
         return source, size
 
     def update_size(self, ref: ChunkRef, delta_bytes: float) -> NodeId:
+        """Grow/shrink a chunk's recorded bytes; returns its node."""
         node = self._assignment[ref]
         self._sizes[ref] += delta_bytes
         self._loads[node] += delta_bytes
         self._total += delta_bytes
         return node
+
+    # -- compaction (no-ops: dicts do not fragment) --------------------
+    @property
+    def column_capacity(self) -> int:
+        """Allocated per-chunk slots (== live chunks for a dict)."""
+        return len(self._assignment)
+
+    @property
+    def dead_slot_fraction(self) -> float:
+        """Fraction of allocated slots holding no live chunk (always 0)."""
+        return 0.0
+
+    def compact(self, min_dead_fraction: float = 0.0) -> bool:
+        """Dict storage never fragments; compaction is a no-op.
+
+        Returns
+        -------
+        bool
+            Always ``False`` (nothing to reclaim).
+        """
+        return False
 
     def commit_batch(
         self,
@@ -204,6 +259,7 @@ class DictChunkLedger:
         commit_nodes: Sequence[NodeId],
         merges: Sequence[Tuple[ChunkRef, float]],
     ) -> Dict[ChunkRef, NodeId]:
+        """Apply a partitioned batch with C-level dict updates."""
         assignment = self._assignment
         sizes = self._sizes
         loads = self._loads
@@ -419,18 +475,22 @@ class ArrayChunkLedger:
 
     # -- nodes ---------------------------------------------------------
     def add_node(self, node: NodeId) -> None:
+        """Intern a node id to the next load slot with zero load."""
         slot = len(self._slot_of)
         self._slot_of[int(node)] = slot
         self._node_list.append(int(node))
         self._load = np.concatenate([self._load, np.zeros(1)])
 
     def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` is registered."""
         return node in self._slot_of
 
     def load_of(self, node: NodeId) -> float:
+        """Bytes currently assigned to ``node``."""
         return float(self._load[self._slot_of[node]])
 
     def node_loads(self) -> Dict[NodeId, float]:
+        """A copy of the ``node -> bytes`` load map."""
         load = self._load
         return {
             n: float(load[slot]) for n, slot in self._slot_of.items()
@@ -447,27 +507,34 @@ class ArrayChunkLedger:
 
     # -- reads ---------------------------------------------------------
     def contains(self, ref: ChunkRef) -> bool:
+        """Whether ``ref`` is currently interned (placed)."""
         return ref in self._id_of
 
     def get_node(self, ref: ChunkRef) -> Optional[NodeId]:
+        """Node holding ``ref``, or ``None`` when never placed."""
         i = self._id_of.get(ref)
         return None if i is None else self._node_list[self._node[i]]
 
     def node_of(self, ref: ChunkRef) -> NodeId:
+        """Node holding ``ref`` (KeyError when never placed)."""
         return self._node_list[self._node[self._id_of[ref]]]
 
     def size_of(self, ref: ChunkRef) -> float:
+        """Recorded bytes of ``ref`` (KeyError when never placed)."""
         return float(self._size[self._id_of[ref]])
 
     @property
     def chunk_count(self) -> int:
+        """Number of live chunks."""
         return len(self._id_of)
 
     @property
     def total_bytes(self) -> float:
+        """All live chunk bytes (O(1) running counter)."""
         return self._total
 
     def assignment(self) -> Dict[ChunkRef, NodeId]:
+        """A copy of the full chunk → node map."""
         node = self._node
         node_list = self._node_list
         return {r: node_list[node[i]] for r, i in self._id_of.items()}
@@ -478,6 +545,7 @@ class ArrayChunkLedger:
         return np.nonzero(self._node[: self._hwm] == slot)[0]
 
     def refs_on(self, node: NodeId) -> List[ChunkRef]:
+        """Refs assigned to one node (column-scan order)."""
         return self._refs[self.ids_on(node)].tolist()
 
     def sizes_of(self, refs: Sequence[ChunkRef]) -> np.ndarray:
@@ -518,6 +586,7 @@ class ArrayChunkLedger:
     def commit_new(
         self, ref: ChunkRef, size_bytes: float, node: NodeId
     ) -> None:
+        """Intern ``ref`` to a fresh (or recycled) id on ``node``."""
         i = int(self._alloc(1)[0])
         slot = self._slot_of[node]
         self._id_of[ref] = i
@@ -529,6 +598,7 @@ class ArrayChunkLedger:
         self._total += size_bytes
 
     def merge(self, ref: ChunkRef, size_bytes: float) -> NodeId:
+        """Add bytes to an already-placed chunk; returns its node."""
         i = self._id_of[ref]
         slot = int(self._node[i])
         self._size[i] += size_bytes
@@ -537,6 +607,7 @@ class ArrayChunkLedger:
         return self._node_list[slot]
 
     def remove(self, ref: ChunkRef) -> Tuple[NodeId, float]:
+        """Drop a chunk; its id joins the free list for reuse."""
         i = self._id_of.pop(ref)
         slot = int(self._node[i])
         size = float(self._size[i])
@@ -551,6 +622,7 @@ class ArrayChunkLedger:
     def relocate(
         self, ref: ChunkRef, dest: NodeId
     ) -> Tuple[NodeId, float]:
+        """Reassign a chunk to ``dest``; returns ``(source, bytes)``."""
         i = self._id_of[ref]
         source_slot = int(self._node[i])
         dest_slot = self._slot_of[dest]
@@ -561,6 +633,7 @@ class ArrayChunkLedger:
         return self._node_list[source_slot], size
 
     def update_size(self, ref: ChunkRef, delta_bytes: float) -> NodeId:
+        """Grow/shrink a chunk's recorded bytes; returns its node."""
         i = self._id_of[ref]
         slot = int(self._node[i])
         self._size[i] += delta_bytes
@@ -622,3 +695,82 @@ class ArrayChunkLedger:
                 placements[ref] = node_list[slot]
         self._total += total_delta
         return placements
+
+    # -- compaction ----------------------------------------------------
+    @property
+    def column_capacity(self) -> int:
+        """Allocated per-chunk column slots (live + dead + headroom).
+
+        This is what the ledger's memory actually costs: every parallel
+        column (`refs`, bytes, owner slot, key coordinates) holds this
+        many entries regardless of how many are alive.
+        """
+        return len(self._size)
+
+    @property
+    def dead_slot_fraction(self) -> float:
+        """Fraction of :attr:`column_capacity` not holding a live chunk.
+
+        Dead slots are removed chunks parked on the free list plus the
+        grown-but-never-used tail.  Churn-heavy workloads (insert +
+        expire cycles) push this up; :meth:`compact` brings it back
+        down.
+        """
+        cap = len(self._size)
+        return 1.0 - len(self._id_of) / cap if cap else 0.0
+
+    def compact(self, min_dead_fraction: float = 0.0) -> bool:
+        """Re-intern live refs into dense ids and shrink the columns.
+
+        Drops every free-list slot and the unused capacity tail: live
+        entries are gathered (in id order, so relative recency is
+        preserved) into fresh columns sized ``max(live, initial
+        capacity)``, and the ref → id interning is rebuilt to match.
+        Observable state — assignment, sizes, key coordinates, per-node
+        loads, the running total — is unchanged (property-checked by
+        ``tests/test_ledger_compaction.py``).
+
+        Parameters
+        ----------
+        min_dead_fraction : float
+            Only compact when :attr:`dead_slot_fraction` is at least
+            this ratio (the coordinator passes its configured
+            threshold; 0.0 compacts whenever anything is reclaimable).
+
+        Returns
+        -------
+        bool
+            ``True`` when the columns were rebuilt, ``False`` when the
+            threshold was not met or nothing could shrink.
+        """
+        cap = len(self._size)
+        live = len(self._id_of)
+        if cap == 0 or self.dead_slot_fraction < min_dead_fraction:
+            return False
+        new_cap = max(self._INITIAL_CAPACITY, live)
+        if not self._free and cap <= new_cap:
+            return False  # already dense: nothing to reclaim
+        ids = np.fromiter(
+            self._id_of.values(), dtype=np.int64, count=live
+        )
+        ids.sort()
+        refs = self._refs[ids]
+        new_refs = np.empty(new_cap, dtype=object)
+        new_refs[:live] = refs
+        new_size = np.zeros(new_cap, dtype=np.float64)
+        new_size[:live] = self._size[ids]
+        new_node = np.full(new_cap, -1, dtype=np.int64)
+        new_node[:live] = self._node[ids]
+        if self._key is not None:
+            new_key = np.zeros(
+                (new_cap, self._key.shape[1]), dtype=np.int64
+            )
+            new_key[:live] = self._key[ids]
+            self._key = new_key
+        self._refs = new_refs
+        self._size = new_size
+        self._node = new_node
+        self._id_of = dict(zip(refs.tolist(), range(live)))
+        self._free = []
+        self._hwm = live
+        return True

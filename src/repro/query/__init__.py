@@ -6,11 +6,19 @@ shuffle NIC time, halo exchanges for spatial operators).
 """
 
 from repro.query.cost import (
+    CostAccumulator,
     add_network_work,
     add_scan_work,
+    charge_network,
+    charge_scan,
     colocation_shuffle_bytes,
+    cost_mode,
+    default_cost_mode,
     elapsed_time,
     halo_shuffle_bytes,
+    neighbor_pairs,
+    node_byte_sums,
+    scan_columns,
     spatial_neighbors,
 )
 from repro.query.executor import (
@@ -54,17 +62,25 @@ __all__ = [
     "ModisRollingAverage",
     "ModisSelection",
     "ModisWindowAggregate",
+    "CostAccumulator",
     "Query",
     "QueryResult",
     "add_network_work",
     "add_scan_work",
     "ais_suite",
+    "charge_network",
+    "charge_scan",
     "colocation_shuffle_bytes",
+    "cost_mode",
+    "default_cost_mode",
     "elapsed_time",
     "halo_shuffle_bytes",
     "map_chunks",
     "modis_suite",
+    "neighbor_pairs",
+    "node_byte_sums",
     "run_suite",
+    "scan_columns",
     "spatial_neighbors",
     "suite_for",
 ]

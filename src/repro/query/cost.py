@@ -1,4 +1,4 @@
-"""Placement-sensitive query cost model.
+"""Placement-sensitive query cost model, array-first.
 
 Query latency in a shared-nothing array database is dominated by three
 placement-dependent terms (paper §1, §6.2.2):
@@ -16,33 +16,388 @@ placement-dependent terms (paper §1, §6.2.2):
 
 All byte figures are the chunks' modeled sizes, so simulated latencies sit
 at paper scale regardless of how many real cells the test run generates.
+
+Batch cost accounting
+---------------------
+Mirroring the placement ledger (:mod:`repro.core.ledger`), the cost model
+is column-shaped: node ids are interned to dense slots in a
+:class:`CostAccumulator`, the touched chunks are lowered to parallel
+``(sizes, nodes)`` numpy columns by :func:`scan_columns`, and every charge
+is a ``np.bincount`` / ``np.add.at`` over slot indices instead of a
+per-chunk ``dict.get`` update.  Halo and co-location shuffles find
+cross-node chunk pairs with one packed-key ``searchsorted`` per stencil
+offset (:func:`neighbor_pairs`) rather than a Python dict probe per
+neighbour.
+
+Each batch kernel keeps its pre-vectorization implementation as a
+``*_scalar`` parity oracle, and the query-facing ``charge_*`` helpers
+dispatch between the two: the process-wide mode comes from the
+``REPRO_COST`` environment variable (``batch`` unless overridden) and
+:func:`cost_mode` temporarily pins a mode, so
+``tests/test_cost_parity.py`` can run the full benchmark suites through
+both paths and compare them to float tolerance.
+
+Float semantics: both paths charge the same bytes, but the batch path is
+free to reassociate additions (vectorized reductions) and to fold the
+vertical-partitioning attribute fraction into one multiply, so per-node
+busy-seconds agree with the scalar oracle only up to float ulps — the
+same contract ``place_batch`` and the array ledger already document.
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from itertools import product
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
 
 from repro.arrays.chunk import ChunkData, ChunkKey
-from repro.cluster.costs import CostParameters
+from repro.arrays.coords import pack_rows, row_packing
+from repro.arrays.schema import ArraySchema
+from repro.cluster.costs import GB, CostParameters
+from repro.errors import QueryError
+
+#: Cost-accounting modes accepted by ``REPRO_COST`` / :func:`cost_mode`.
+COST_MODES = ("batch", "scalar")
+
+_DEFAULT_MODE: Optional[str] = None
 
 
+def default_cost_mode() -> str:
+    """The process-wide cost mode.
+
+    Returns
+    -------
+    str
+        ``"batch"`` (vectorized kernels) unless the ``REPRO_COST``
+        environment variable or an enclosing :func:`cost_mode` block
+        selects ``"scalar"`` (the parity oracles).
+    """
+    if _DEFAULT_MODE is not None:
+        return _DEFAULT_MODE
+    mode = os.environ.get("REPRO_COST", "batch").strip().lower()
+    return mode if mode in COST_MODES else "batch"
+
+
+@contextmanager
+def cost_mode(mode: str) -> Iterator[None]:
+    """Temporarily pin the cost-accounting mode (parity tests).
+
+    Parameters
+    ----------
+    mode : str
+        One of :data:`COST_MODES`.
+
+    Raises
+    ------
+    QueryError
+        If ``mode`` is not a known cost mode.
+    """
+    if mode not in COST_MODES:
+        raise QueryError(
+            f"unknown cost mode {mode!r}; expected one of {COST_MODES}"
+        )
+    global _DEFAULT_MODE
+    previous = _DEFAULT_MODE
+    _DEFAULT_MODE = mode
+    try:
+        yield
+    finally:
+        _DEFAULT_MODE = previous
+
+
+class CostAccumulator:
+    """Per-node busy-seconds over interned node slots.
+
+    The array-shaped replacement for the ``Dict[int, float]`` the cost
+    functions used to mutate through ``dict.get`` defaulting: node ids
+    are interned once (sorted, so bulk lookups are one
+    ``np.searchsorted``) and every charge lands in a dense float column.
+
+    Parameters
+    ----------
+    nodes : sequence of int
+        The cluster's node ids.  Charging an unknown node raises
+        :class:`~repro.errors.QueryError` — the same contract the ledger
+        enforces for placements.
+
+    Notes
+    -----
+    :meth:`as_dict` drops zero entries so results keep the historical
+    "only touched nodes" shape of the dict-based accounting.
+    """
+
+    __slots__ = ("_node_ids", "_busy")
+
+    def __init__(self, nodes: Sequence[int]) -> None:
+        ids = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        self._node_ids = ids
+        self._busy = np.zeros(len(ids), dtype=np.float64)
+
+    # -- slot interning ------------------------------------------------
+    def slots_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Map an array of node ids to dense slots.
+
+        Parameters
+        ----------
+        nodes : numpy.ndarray of int64
+            Node ids to resolve.
+
+        Returns
+        -------
+        numpy.ndarray of int64
+            Slot index of each node.
+
+        Raises
+        ------
+        QueryError
+            If any id is not a cluster node.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        slots = np.searchsorted(self._node_ids, nodes)
+        slots_clipped = np.minimum(slots, len(self._node_ids) - 1)
+        if len(self._node_ids) == 0 or np.any(
+            self._node_ids[slots_clipped] != nodes
+        ):
+            known = self._node_ids.tolist()
+            raise QueryError(
+                f"cost charged to unknown node(s); cluster nodes {known}"
+            )
+        return slots_clipped
+
+    # -- charging ------------------------------------------------------
+    def add(self, nodes: np.ndarray, seconds: np.ndarray) -> None:
+        """Accumulate ``seconds[i]`` onto ``nodes[i]`` (unbuffered adds).
+
+        Duplicate nodes within one call accumulate all their entries
+        (``np.add.at`` semantics).
+        """
+        np.add.at(self._busy, self.slots_of(nodes), seconds)
+
+    def add_one(self, node: int, seconds: float) -> None:
+        """Accumulate seconds onto a single node (scalar-path helper)."""
+        self._busy[self.slots_of(np.asarray([node]))[0]] += seconds
+
+    def add_mapping(self, per_node: Mapping[int, float]) -> None:
+        """Fold a ``node -> seconds`` mapping into the column."""
+        for node, seconds in per_node.items():
+            self.add_one(node, seconds)
+
+    # -- reads ---------------------------------------------------------
+    def max_seconds(self) -> float:
+        """The slowest node's busy-seconds (0.0 with no nodes)."""
+        return float(self._busy.max()) if self._busy.size else 0.0
+
+    def as_dict(self) -> Dict[int, float]:
+        """``node -> busy seconds`` for every node with non-zero time."""
+        nz = np.nonzero(self._busy)[0]
+        return {
+            int(self._node_ids[i]): float(self._busy[i]) for i in nz
+        }
+
+
+#: Cost inputs accepted by :func:`elapsed_time`.
+PerNodeSeconds = Union[Mapping[int, float], CostAccumulator]
+
+
+# ----------------------------------------------------------------------
+# column extraction
+# ----------------------------------------------------------------------
+def attr_fraction(
+    schema: ArraySchema, attrs: Optional[Sequence[str]]
+) -> float:
+    """Fraction of a chunk's bytes occupied by the given attributes.
+
+    The vertical-partitioning byte shares of
+    :class:`~repro.arrays.chunk.ChunkData` are proportional to attribute
+    dtype widths, so the fraction is a schema constant — one multiply
+    replaces a per-chunk ``bytes_for`` dict walk.
+
+    Parameters
+    ----------
+    schema : ArraySchema
+        The touched array's schema.
+    attrs : sequence of str or None
+        Attributes the query reads; ``None`` means all (fraction 1.0).
+
+    Returns
+    -------
+    float
+        ``sum(width of attrs) / sum(all widths)``.
+
+    Raises
+    ------
+    QueryError
+        If an attribute is not in the schema.
+    """
+    if attrs is None:
+        return 1.0
+    widths = {a.name: a.itemsize for a in schema.attributes}
+    denom = sum(widths.values()) or 1
+    total = 0
+    for name in attrs:
+        if name not in widths:
+            raise QueryError(
+                f"array {schema.name} has no attribute {name!r}"
+            )
+        total += widths[name]
+    return total / denom
+
+
+def scan_columns(
+    chunks_nodes: Sequence[Tuple[ChunkData, int]],
+    attrs: Optional[Sequence[str]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lower (chunk, node) pairs to parallel ``(sizes, nodes)`` columns.
+
+    The entry point of the batch cost path: every downstream charge is a
+    vector operation over these columns.  All chunks must belong to one
+    array (every query touches one array per scan), so the
+    vertical-partitioning attribute fraction is applied as a single
+    multiply.
+
+    Parameters
+    ----------
+    chunks_nodes : sequence of (ChunkData, int)
+        The touched chunks and their hosting nodes.
+    attrs : sequence of str or None
+        Attributes read (``None`` = all); fewer attributes = less I/O,
+        the column-store benefit.
+
+    Returns
+    -------
+    sizes : numpy.ndarray of float64
+        Modeled bytes the query reads from each chunk.
+    nodes : numpy.ndarray of int64
+        Hosting node of each chunk.
+    """
+    n = len(chunks_nodes)
+    nodes = np.fromiter(
+        (node for _, node in chunks_nodes), dtype=np.int64, count=n
+    )
+    sizes = np.fromiter(
+        (chunk.size_bytes for chunk, _ in chunks_nodes),
+        dtype=np.float64,
+        count=n,
+    )
+    if attrs is not None and n:
+        sizes = sizes * attr_fraction(chunks_nodes[0][0].schema, attrs)
+    return sizes, nodes
+
+
+def node_byte_sums(
+    chunks_nodes: Sequence[Tuple[ChunkData, int]],
+    attrs: Optional[Sequence[str]] = None,
+    fraction: float = 1.0,
+) -> Dict[int, float]:
+    """Per-node byte totals of the touched chunks, as one bincount pass.
+
+    Queries use this for merge phases ("each node ships x % of its local
+    share"): the result feeds :func:`charge_network`.
+
+    Parameters
+    ----------
+    chunks_nodes : sequence of (ChunkData, int)
+        The touched chunks and their hosting nodes.
+    attrs : sequence of str or None
+        Attributes whose bytes count (``None`` = all).
+    fraction : float
+        Multiplier on every node's total (e.g. 0.01 for a 1 % partial
+        aggregate).
+
+    Returns
+    -------
+    dict of int to float
+        ``node -> bytes`` for nodes with a positive total.
+    """
+    sizes, nodes = scan_columns(chunks_nodes, attrs)
+    if sizes.size == 0:
+        return {}
+    uniq, inverse = np.unique(nodes, return_inverse=True)
+    sums = np.bincount(inverse, weights=sizes) * fraction
+    return {
+        int(n): float(s) for n, s in zip(uniq, sums) if s > 0
+    }
+
+
+# ----------------------------------------------------------------------
+# scan work
+# ----------------------------------------------------------------------
 def add_scan_work(
+    acc: CostAccumulator,
+    sizes: np.ndarray,
+    nodes: np.ndarray,
+    costs: CostParameters,
+    cpu_intensity: float,
+) -> float:
+    """Charge each node for scanning its chunks (batch kernel).
+
+    One fused multiply prices I/O plus compute for every chunk and one
+    ``np.add.at`` lands the seconds on the owning nodes.
+
+    Parameters
+    ----------
+    acc : CostAccumulator
+        Busy-seconds column to update.
+    sizes, nodes : numpy.ndarray
+        Columns from :func:`scan_columns`.
+    costs : CostParameters
+        Cost constants.
+    cpu_intensity : float
+        Multiplier on the per-GB compute rate.
+
+    Returns
+    -------
+    float
+        Total bytes scanned.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    rate = (
+        costs.io_seconds_per_gb
+        + costs.cpu_seconds_per_gb * cpu_intensity
+    ) / GB
+    acc.add(nodes, sizes * rate)
+    return float(sizes.sum())
+
+
+def add_scan_work_scalar(
     per_node: Dict[int, float],
     chunks_nodes: Iterable[Tuple[ChunkData, int]],
     attrs: Optional[Sequence[str]],
     costs: CostParameters,
     cpu_intensity: float,
 ) -> float:
-    """Charge each node for scanning its chunks; returns bytes scanned.
+    """Parity oracle: per-chunk dict updates (the pre-batch scan charge).
 
-    Args:
-        per_node: mutable node → busy-seconds map to update.
-        chunks_nodes: the (chunk, node) pairs the query touches.
-        attrs: attributes read (``None`` = all; fewer attributes = less
-            I/O, the column-store benefit).
-        costs: cost constants.
-        cpu_intensity: multiplier on the per-GB compute rate.
+    Parameters
+    ----------
+    per_node : dict of int to float
+        Mutable node → busy-seconds map to update.
+    chunks_nodes : iterable of (ChunkData, int)
+        The (chunk, node) pairs the query touches.
+    attrs : sequence of str or None
+        Attributes read (``None`` = all).
+    costs : CostParameters
+        Cost constants.
+    cpu_intensity : float
+        Multiplier on the per-GB compute rate.
+
+    Returns
+    -------
+    float
+        Total bytes scanned.
     """
     scanned = 0.0
     for chunk, node in chunks_nodes:
@@ -56,12 +411,73 @@ def add_scan_work(
     return scanned
 
 
+def charge_scan(
+    acc: CostAccumulator,
+    chunks_nodes: Sequence[Tuple[ChunkData, int]],
+    attrs: Optional[Sequence[str]],
+    costs: CostParameters,
+    cpu_intensity: float,
+) -> float:
+    """Charge scan work for the touched chunks (mode-dispatching).
+
+    The query-facing entry point: routes to :func:`add_scan_work` (batch
+    columns) or :func:`add_scan_work_scalar` (per-chunk oracle) per the
+    current cost mode; both land in ``acc``.
+
+    Returns
+    -------
+    float
+        Total bytes scanned.
+    """
+    if default_cost_mode() == "scalar":
+        per_node: Dict[int, float] = {}
+        scanned = add_scan_work_scalar(
+            per_node, chunks_nodes, attrs, costs, cpu_intensity
+        )
+        acc.add_mapping(per_node)
+        return scanned
+    sizes, nodes = scan_columns(chunks_nodes, attrs)
+    return add_scan_work(acc, sizes, nodes, costs, cpu_intensity)
+
+
+# ----------------------------------------------------------------------
+# network work
+# ----------------------------------------------------------------------
 def add_network_work(
+    acc: CostAccumulator,
+    bytes_by_node: Mapping[int, float],
+    costs: CostParameters,
+) -> float:
+    """Charge per-node NIC time for shuffled bytes (batch kernel).
+
+    Returns
+    -------
+    float
+        Total bytes on the wire (endpoint sum).
+    """
+    if not bytes_by_node:
+        return 0.0
+    n = len(bytes_by_node)
+    nodes = np.fromiter(bytes_by_node.keys(), dtype=np.int64, count=n)
+    sizes = np.fromiter(
+        bytes_by_node.values(), dtype=np.float64, count=n
+    )
+    acc.add(nodes, sizes * (costs.network_seconds_per_gb / GB))
+    return float(sizes.sum())
+
+
+def add_network_work_scalar(
     per_node: Dict[int, float],
     bytes_by_node: Mapping[int, float],
     costs: CostParameters,
 ) -> float:
-    """Charge per-node NIC time for shuffled bytes; returns total bytes."""
+    """Parity oracle: per-node dict updates for NIC time.
+
+    Returns
+    -------
+    float
+        Total bytes on the wire.
+    """
     total = 0.0
     for node, size in bytes_by_node.items():
         per_node[node] = per_node.get(node, 0.0) + costs.network_time(size)
@@ -69,8 +485,31 @@ def add_network_work(
     return total
 
 
+def charge_network(
+    acc: CostAccumulator,
+    bytes_by_node: Mapping[int, float],
+    costs: CostParameters,
+) -> float:
+    """Charge NIC time for a wire-bytes map (mode-dispatching).
+
+    Returns
+    -------
+    float
+        Total bytes on the wire.
+    """
+    if default_cost_mode() == "scalar":
+        per_node: Dict[int, float] = {}
+        total = add_network_work_scalar(per_node, bytes_by_node, costs)
+        acc.add_mapping(per_node)
+        return total
+    return add_network_work(acc, bytes_by_node, costs)
+
+
+# ----------------------------------------------------------------------
+# the elapsed-time reduction
+# ----------------------------------------------------------------------
 def elapsed_time(
-    per_node: Mapping[int, float],
+    per_node: PerNodeSeconds,
     costs: CostParameters,
     wire_bytes: float = 0.0,
 ) -> float:
@@ -81,8 +520,21 @@ def elapsed_time(
     concurrent-transfer capacity.  Scattered placements push entire
     neighbourhoods through the fabric and hit this bound; clustered
     placements barely register (§6.2.2's spatial-locality advantage).
+
+    Parameters
+    ----------
+    per_node : mapping or CostAccumulator
+        Per-node busy-seconds — either the dict shape of the scalar
+        oracles or a :class:`CostAccumulator`.
+    costs : CostParameters
+        Cost constants.
+    wire_bytes : float
+        Total bytes crossing the fabric (one direction).
     """
-    slowest = max(per_node.values()) if per_node else 0.0
+    if isinstance(per_node, CostAccumulator):
+        slowest = per_node.max_seconds()
+    else:
+        slowest = max(per_node.values()) if per_node else 0.0
     fabric = (
         costs.network_time(wire_bytes / costs.fabric_concurrency)
         if wire_bytes > 0 else 0.0
@@ -90,6 +542,9 @@ def elapsed_time(
     return max(slowest, fabric) + costs.query_overhead_seconds
 
 
+# ----------------------------------------------------------------------
+# spatial neighbourhoods
+# ----------------------------------------------------------------------
 def spatial_neighbors(
     key: ChunkKey,
     spatial_dims: Sequence[int],
@@ -114,6 +569,107 @@ def spatial_neighbors(
     return out
 
 
+def neighbor_pairs(
+    keys: np.ndarray,
+    spatial_dims: Sequence[int],
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """All (receiver, neighbour) index pairs among present chunk keys.
+
+    For every chunk ``i`` and every face-or-diagonal stencil offset along
+    ``spatial_dims``, emits ``(i, j)`` when the offset neighbour's key is
+    present at index ``j``.  One packed-key ``searchsorted`` per offset
+    replaces the per-chunk dict probes of the scalar halo accounting.
+
+    Parameters
+    ----------
+    keys : numpy.ndarray of int64, shape (n, ndim)
+        Chunk keys; must be unique rows (chunks of one array are).
+    spatial_dims : sequence of int
+        Dimensions along which neighbourhoods extend.
+
+    Returns
+    -------
+    (src, dst) : pair of numpy.ndarray, or None
+        Receiver and neighbour indices into ``keys``; ``None`` when the
+        key extent cannot be packed into int64 (callers fall back to the
+        scalar oracle).
+    """
+    n = keys.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    # pad=1: neighbour keys one step outside the observed extremes must
+    # still pack without overflow.
+    packing = row_packing(keys, pad=1)
+    if packing is None:
+        return None
+    lo, span = packing
+    packed = pack_rows(keys, lo, span)
+    order = np.argsort(packed)
+    packed_sorted = packed[order]
+    offsets = []
+    for d in range(keys.shape[1]):
+        offsets.append((-1, 0, 1) if d in spatial_dims else (0,))
+    src_parts: List[np.ndarray] = []
+    dst_parts: List[np.ndarray] = []
+    base = np.arange(n, dtype=np.int64)
+    for combo in product(*offsets):
+        if all(o == 0 for o in combo):
+            continue
+        target = pack_rows(
+            keys + np.asarray(combo, dtype=np.int64), lo, span
+        )
+        pos = np.searchsorted(packed_sorted, target)
+        pos_clipped = np.minimum(pos, n - 1)
+        found = packed_sorted[pos_clipped] == target
+        if found.any():
+            src_parts.append(base[found])
+            dst_parts.append(order[pos_clipped[found]])
+    if not src_parts:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(src_parts), np.concatenate(dst_parts)
+
+
+def sum_endpoint_bytes(
+    src_nodes: np.ndarray,
+    dst_nodes: np.ndarray,
+    sizes: np.ndarray,
+) -> Dict[int, float]:
+    """Per-node wire bytes of transfers where both endpoints pay.
+
+    Transfer ``i`` ships ``sizes[i]`` bytes from ``src_nodes[i]`` to
+    ``dst_nodes[i]``; sender and receiver NICs both carry the bytes
+    (the rebalance network convention), so each node's total counts
+    every transfer it participates in.  This is the single
+    implementation of that convention — the halo, co-location, and kNN
+    wire accounting all charge through it.
+
+    Parameters
+    ----------
+    src_nodes, dst_nodes : numpy.ndarray of int64
+        Endpoint node ids per transfer.
+    sizes : numpy.ndarray of float64
+        Bytes per transfer.
+
+    Returns
+    -------
+    dict of int to float
+        ``node -> bytes`` for nodes with a positive total.
+    """
+    if len(sizes) == 0:
+        return {}
+    endpoints = np.concatenate([src_nodes, dst_nodes])
+    uniq, inverse = np.unique(endpoints, return_inverse=True)
+    totals = np.bincount(
+        inverse, weights=np.concatenate([sizes, sizes])
+    )
+    return {
+        int(node): float(t) for node, t in zip(uniq, totals) if t > 0
+    }
+
+
+# ----------------------------------------------------------------------
+# halo (ghost-cell) exchange
+# ----------------------------------------------------------------------
 def halo_shuffle_bytes(
     chunks_nodes: Sequence[Tuple[ChunkData, int]],
     attrs: Optional[Sequence[str]],
@@ -126,8 +682,66 @@ def halo_shuffle_bytes(
     neighbours hosted on the *same* node are free.  Both endpoints pay NIC
     time (sender and receiver), mirroring the rebalance network model.
 
-    Returns:
-        node → bytes on the wire (in + out summed per node).
+    The batch path finds cross-node neighbour pairs with
+    :func:`neighbor_pairs` and accumulates both endpoints' bytes with two
+    ``np.add.at`` passes; the scalar oracle
+    (:func:`halo_shuffle_bytes_scalar`) runs instead under scalar cost
+    mode or when the key extent defeats packing.
+
+    Parameters
+    ----------
+    chunks_nodes : sequence of (ChunkData, int)
+        The touched chunks (unique keys) and their hosting nodes.
+    attrs : sequence of str or None
+        Attributes exchanged (``None`` = all).
+    spatial_dims : sequence of int
+        Dimensions along which halos extend.
+    halo_fraction : float
+        Fraction of each neighbour's bytes that crosses.
+
+    Returns
+    -------
+    dict of int to float
+        ``node -> bytes`` on the wire (in + out summed per node).
+    """
+    if default_cost_mode() == "scalar":
+        return halo_shuffle_bytes_scalar(
+            chunks_nodes, attrs, spatial_dims, halo_fraction
+        )
+    n = len(chunks_nodes)
+    if n == 0:
+        return {}
+    keys = np.array(
+        [chunk.key for chunk, _ in chunks_nodes], dtype=np.int64
+    )
+    pairs = neighbor_pairs(keys, spatial_dims)
+    if pairs is None:  # unpackable key extent: exact oracle fallback
+        return halo_shuffle_bytes_scalar(
+            chunks_nodes, attrs, spatial_dims, halo_fraction
+        )
+    src, dst = pairs
+    sizes, nodes = scan_columns(chunks_nodes, attrs)
+    cross = nodes[src] != nodes[dst]
+    src, dst = src[cross], dst[cross]
+    # Receiver pulls halo_fraction of each neighbour's bytes; sender
+    # and receiver both pay the wire.
+    return sum_endpoint_bytes(
+        nodes[src], nodes[dst], sizes[dst] * halo_fraction
+    )
+
+
+def halo_shuffle_bytes_scalar(
+    chunks_nodes: Sequence[Tuple[ChunkData, int]],
+    attrs: Optional[Sequence[str]],
+    spatial_dims: Sequence[int],
+    halo_fraction: float = 0.25,
+) -> Dict[int, float]:
+    """Parity oracle: per-chunk dict probes for the halo exchange.
+
+    Returns
+    -------
+    dict of int to float
+        ``node -> bytes`` on the wire (in + out summed per node).
     """
     by_key: Dict[ChunkKey, Tuple[ChunkData, int]] = {
         chunk.key: (chunk, node) for chunk, node in chunks_nodes
@@ -150,6 +764,9 @@ def halo_shuffle_bytes(
     return wire
 
 
+# ----------------------------------------------------------------------
+# co-location (dimension-aligned join) shuffle
+# ----------------------------------------------------------------------
 def colocation_shuffle_bytes(
     pairs: Sequence[Tuple[ChunkData, int, ChunkData, int]],
     attrs_small: Optional[Sequence[str]] = None,
@@ -158,14 +775,64 @@ def colocation_shuffle_bytes(
 
     For every chunk-key pair hosted on different nodes, the smaller side
     ships to the larger side's host; co-located pairs are free — the
-    pay-off of placing both arrays by chunk key alone.
+    pay-off of placing both arrays by chunk key alone.  The batch path
+    vectorizes the side selection and both endpoint charges; the scalar
+    oracle (:func:`colocation_shuffle_bytes_scalar`) runs under scalar
+    cost mode.
 
-    Args:
-        pairs: (chunk_a, node_a, chunk_b, node_b) per common key.
-        attrs_small: attributes of the shipped side actually needed.
+    Parameters
+    ----------
+    pairs : sequence of (ChunkData, int, ChunkData, int)
+        ``(chunk_a, node_a, chunk_b, node_b)`` per common key.
+    attrs_small : sequence of str or None
+        Attributes of the shipped side actually needed.
 
-    Returns:
-        node → bytes on the wire.
+    Returns
+    -------
+    dict of int to float
+        ``node -> bytes`` on the wire.
+    """
+    if default_cost_mode() == "scalar":
+        return colocation_shuffle_bytes_scalar(pairs, attrs_small)
+    n = len(pairs)
+    if n == 0:
+        return {}
+    sizes_a = np.fromiter(
+        (p[0].size_bytes for p in pairs), dtype=np.float64, count=n
+    )
+    nodes_a = np.fromiter(
+        (p[1] for p in pairs), dtype=np.int64, count=n
+    )
+    sizes_b = np.fromiter(
+        (p[2].size_bytes for p in pairs), dtype=np.float64, count=n
+    )
+    nodes_b = np.fromiter(
+        (p[3] for p in pairs), dtype=np.int64, count=n
+    )
+    cross = nodes_a != nodes_b
+    if not cross.any():
+        return {}
+    a_ships = sizes_a <= sizes_b
+    shipped = np.where(a_ships, sizes_a, sizes_b)
+    if attrs_small is not None:
+        frac_a = attr_fraction(pairs[0][0].schema, attrs_small)
+        frac_b = attr_fraction(pairs[0][2].schema, attrs_small)
+        shipped = shipped * np.where(a_ships, frac_a, frac_b)
+    src = np.where(a_ships, nodes_a, nodes_b)[cross]
+    dst = np.where(a_ships, nodes_b, nodes_a)[cross]
+    return sum_endpoint_bytes(src, dst, shipped[cross])
+
+
+def colocation_shuffle_bytes_scalar(
+    pairs: Sequence[Tuple[ChunkData, int, ChunkData, int]],
+    attrs_small: Optional[Sequence[str]] = None,
+) -> Dict[int, float]:
+    """Parity oracle: per-pair dict updates for the join shuffle.
+
+    Returns
+    -------
+    dict of int to float
+        ``node -> bytes`` on the wire.
     """
     wire: Dict[int, float] = {}
     for chunk_a, node_a, chunk_b, node_b in pairs:

@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arrays.chunk import ChunkData
-from repro.arrays.coords import Box
+from repro.arrays.coords import Box, pack_rows, row_packing
 from repro.errors import QueryError
 
 
@@ -211,49 +211,11 @@ def equi_join_lookup(
 # ----------------------------------------------------------------------
 # grid group-bys
 # ----------------------------------------------------------------------
-def _pack_rows(
-    rows: np.ndarray, lo: np.ndarray, span: np.ndarray
-) -> np.ndarray:
-    """Mixed-radix encode int64 rows into one scalar key column.
-
-    With per-column offsets ``lo`` and extents ``span``, the packing is
-    order-preserving: sorting the keys sorts the rows lexicographically,
-    so 1-d ``np.unique`` replaces the much slower ``axis=0`` variant.
-    Callers must ensure ``prod(span)`` fits int64 (see
-    :func:`_row_packing`).
-    """
-    keys = np.zeros(rows.shape[0], dtype=np.int64)
-    for d in range(rows.shape[1]):
-        keys *= span[d]
-        keys += rows[:, d] - lo[d]
-    return keys
-
-
-def _row_packing(
-    rows: np.ndarray, pad: int = 0
-) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-    """(lo, span) of a row table, or None when packing would overflow.
-
-    ``pad`` widens the admitted range on both sides (stencil kernels
-    pack neighbour rows one step outside the observed extremes).
-    """
-    if rows.shape[0] == 0 or rows.shape[1] == 0:
-        return None
-    # Exact Python ints: extreme coordinates can make a padded bound, a
-    # single span, or the span product overflow int64, which must
-    # disable packing, not wrap around into colliding keys.
-    los = [int(v) - pad for v in rows.min(axis=0)]
-    his = [int(v) + pad for v in rows.max(axis=0)]
-    spans = [h - l + 1 for l, h in zip(los, his)]
-    total = 1
-    for lo, s in zip(los, spans):
-        total *= s
-        if total > 2**62 or lo < -(2**63):
-            return None
-    return (
-        np.array(los, dtype=np.int64),
-        np.array(spans, dtype=np.int64),
-    )
+# The mixed-radix row packing lives in repro.arrays.coords (it is shared
+# with cell chunking and the cost model's neighbour lookups); these
+# aliases keep the operator kernels reading naturally.
+_pack_rows = pack_rows
+_row_packing = row_packing
 
 
 def _unique_rows(
@@ -306,6 +268,22 @@ def group_count_by_grid_arrays(
     ``np.unique`` over the bucket table, no per-bucket Python objects.
     Queries that only need aggregate shapes (bucket count, max) should
     use this and skip the dict entirely.
+
+    Parameters
+    ----------
+    coords : numpy.ndarray of int64, shape (cells, ndim)
+        Cell coordinates.
+    dims : sequence of int
+        Coordinate dimensions to bucket over.
+    cell_sizes : sequence of int
+        Bucket edge length per selected dimension.
+
+    Returns
+    -------
+    buckets : numpy.ndarray of int64, shape (k, len(dims))
+        Distinct buckets in lexicographic order.
+    counts : numpy.ndarray of int64, shape (k,)
+        Cells per bucket.
     """
     if coords.shape[0] == 0:
         return (
@@ -327,6 +305,24 @@ def group_mean_by_grid_arrays(
 
     ``np.unique`` + ``bincount`` — sums accumulate in row order, so the
     means match the scalar oracle bit-for-bit on exact inputs.
+
+    Parameters
+    ----------
+    coords : numpy.ndarray of int64, shape (cells, ndim)
+        Cell coordinates.
+    values : numpy.ndarray, shape (cells,)
+        Value to average per bucket.
+    dims : sequence of int
+        Coordinate dimensions to bucket over.
+    cell_sizes : sequence of int
+        Bucket edge length per selected dimension.
+
+    Returns
+    -------
+    buckets : numpy.ndarray of int64, shape (k, len(dims))
+        Distinct buckets in lexicographic order.
+    means : numpy.ndarray of float64, shape (k,)
+        Mean value per bucket.
     """
     if coords.shape[0] == 0:
         return (
@@ -424,6 +420,25 @@ def window_average_arrays(
     offsets: for each offset one vectorized validity test scatters the
     cells onto candidate buckets, and a single ``unique``/``bincount``
     pass reduces them.
+
+    Parameters
+    ----------
+    coords : numpy.ndarray of int64, shape (cells, ndim)
+        Cell coordinates.
+    values : numpy.ndarray, shape (cells,)
+        Value to smooth.
+    spatial_dims : sequence of int
+        Dimensions the windows extend over.
+    window : int
+        Bucket edge length; each bucket also samples cells within one
+        window of its center (hence the overlap).
+
+    Returns
+    -------
+    buckets : numpy.ndarray of int64, shape (k, len(spatial_dims))
+        Occupied buckets.
+    means : numpy.ndarray of float64, shape (k,)
+        Windowed mean per bucket.
     """
     ndim = len(list(spatial_dims))
     if coords.shape[0] == 0:
@@ -528,14 +543,32 @@ def kmeans(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Lloyd's k-means over row-vector points (batch kernel).
 
-    Returns ``(centroids, labels)``.  Deterministic given the seed; used
-    by the MODIS deforestation-modeling query.  Assignment runs as one
+    Deterministic given the seed; used by the MODIS
+    deforestation-modeling query.  Assignment runs as one
     ``|x|² - 2x·c + |c|²`` matmul expansion over the full point matrix
     and the centroid update as one ``bincount`` per dimension — no
     per-cluster Python loop.  Matches :func:`kmeans_scalar` exactly on
     integer-valued inputs; on continuous inputs the expansion may round
     differently than the oracle's explicit differences, so near-ties
     can flip (both results are then equally valid Lloyd steps).
+
+    Parameters
+    ----------
+    points : numpy.ndarray, shape (n, ndim)
+        Input points, one per row.
+    k : int
+        Cluster count (clamped to ``n``).
+    iterations : int
+        Lloyd sweeps to run.
+    seed : int
+        Seed for the centroid initialization draw.
+
+    Returns
+    -------
+    centroids : numpy.ndarray of float64, shape (k, ndim)
+        Final cluster centers.
+    labels : numpy.ndarray of int64, shape (n,)
+        Cluster index of every point.
     """
     if points.shape[0] == 0:
         raise QueryError("kmeans needs at least one point")
@@ -604,8 +637,23 @@ def knn_mean_distance(
 
     Brute force (the data sets are chunk neighbourhoods); excludes
     zero-distance self matches.  All query points run at once: one
-    distance matrix, one row-wise sort, and a cumulative-sum read of
-    each row's first ``k_i`` finite entries.
+    distance matrix, one row-wise partition, and a masked-sum read of
+    each row's k-smallest block.
+
+    Parameters
+    ----------
+    points : numpy.ndarray, shape (n, ndim)
+        Candidate neighbour set.
+    queries : numpy.ndarray, shape (q, ndim)
+        Query points (may be rows of ``points``).
+    k : int
+        Neighbours averaged per query (clamped to the usable count).
+
+    Returns
+    -------
+    numpy.ndarray of float64, shape (q,)
+        Mean k-NN distance per query; ``nan`` where no neighbour at a
+        positive distance exists.
     """
     if queries.shape[0] == 0:
         return np.empty(0)
@@ -695,6 +743,20 @@ def count_close_pairs(
     only pairs within the same segment count: the collision query
     concatenates every chunk's ships and passes the chunk index, so one
     call covers the whole fleet without inventing cross-chunk pairs.
+
+    Parameters
+    ----------
+    lon, lat : numpy.ndarray, shape (n,)
+        Point coordinates (degrees-as-planar).
+    radius : float
+        Pair distance threshold.
+    segments : numpy.ndarray of int64, shape (n,), optional
+        Segment key per point; pairs must share a segment to count.
+
+    Returns
+    -------
+    int
+        Number of qualifying unordered pairs.
     """
     n = lon.shape[0]
     if n < 2:

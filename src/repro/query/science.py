@@ -30,11 +30,16 @@ from repro.arrays.coords import Box
 from repro.cluster.cluster import ElasticCluster
 from repro.query import operators as ops
 from repro.query.cost import (
-    add_network_work,
-    add_scan_work,
+    CostAccumulator,
+    charge_network,
+    charge_scan,
+    default_cost_mode,
     elapsed_time,
     halo_shuffle_bytes,
+    neighbor_pairs,
+    node_byte_sums,
     spatial_neighbors,
+    sum_endpoint_bytes,
 )
 from repro.query.executor import CATEGORY_SCIENCE, Query
 from repro.query.result import QueryResult
@@ -65,19 +70,14 @@ class ModisRollingAverage(Query):
                 if chunk.schema.chunk_box(chunk.key).intersects(region):
                     touched.append((chunk, node))
                     seen.add(key)
-        per_node: Dict[int, float] = {}
-        scanned = add_scan_work(
-            per_node, touched, ["radiance"], cluster.costs,
+        acc = CostAccumulator(cluster.node_ids)
+        scanned = charge_scan(
+            acc, touched, ["radiance"], cluster.costs,
             cpu_intensity=1.2,
         )
         # Group-by merge: per-day partial aggregates are tiny; charge 1 %.
-        merge = {
-            node: sum(
-                c.bytes_for(["radiance"]) for c, n in touched if n == node
-            ) * 0.01
-            for node in {n for _, n in touched}
-        }
-        network = add_network_work(per_node, merge, cluster.costs)
+        merge = node_byte_sums(touched, ["radiance"], fraction=0.01)
+        network = charge_network(acc, merge, cluster.costs)
 
         daily: Dict[int, float] = {}
         for region in (north, south):
@@ -97,8 +97,8 @@ class ModisRollingAverage(Query):
             name=self.name,
             category=self.category,
             value={"daily_polar_radiance": daily},
-            elapsed_seconds=elapsed_time(per_node, cluster.costs),
-            per_node_seconds=per_node,
+            elapsed_seconds=elapsed_time(acc, cluster.costs),
+            per_node_seconds=acc.as_dict(),
             network_bytes=network,
             scanned_bytes=scanned,
         )
@@ -128,15 +128,15 @@ class ModisKMeans(Query):
             for c, n in cluster.chunks_of_array("band2")
             if c.schema.chunk_box(c.key).intersects(region)
         }
-        per_node: Dict[int, float] = {}
+        acc = CostAccumulator(cluster.node_ids)
         # Iterative clustering re-reads the working set each sweep; charge
         # one I/O pass plus per-iteration compute.
-        scanned = add_scan_work(
-            per_node, band1, ["radiance"], cluster.costs,
+        scanned = charge_scan(
+            acc, band1, ["radiance"], cluster.costs,
             cpu_intensity=0.5 * self.iterations,
         )
-        scanned += add_scan_work(
-            per_node, list(band2.values()), ["radiance"], cluster.costs,
+        scanned += charge_scan(
+            acc, list(band2.values()), ["radiance"], cluster.costs,
             cpu_intensity=0.5,
         )
         # Centroid broadcast per iteration: negligible bytes, but one
@@ -166,8 +166,8 @@ class ModisKMeans(Query):
             name=self.name,
             category=self.category,
             value=value,
-            elapsed_seconds=elapsed_time(per_node, cluster.costs) + barrier,
-            per_node_seconds=per_node,
+            elapsed_seconds=elapsed_time(acc, cluster.costs) + barrier,
+            per_node_seconds=acc.as_dict(),
             scanned_bytes=scanned,
         )
 
@@ -236,16 +236,16 @@ class ModisWindowAggregate(Query):
             (c, n) for c, n in cluster.chunks_of_array("band1")
             if c.key[0] == day
         ]
-        per_node: Dict[int, float] = {}
-        scanned = add_scan_work(
-            per_node, touched, ["radiance"], cluster.costs,
+        acc = CostAccumulator(cluster.node_ids)
+        scanned = charge_scan(
+            acc, touched, ["radiance"], cluster.costs,
             cpu_intensity=2.0,
         )
         halo = halo_shuffle_bytes(
             touched, ["radiance"], spatial_dims=(1, 2),
             halo_fraction=0.5,
         )
-        network = add_network_work(per_node, halo, cluster.costs)
+        network = charge_network(acc, halo, cluster.costs)
         wire = network / 2.0
 
         coords, values = ops.concat_chunk_payload(
@@ -262,9 +262,9 @@ class ModisWindowAggregate(Query):
             category=self.category,
             value={"windows": int(windows.shape[0])},
             elapsed_seconds=elapsed_time(
-                per_node, cluster.costs, wire_bytes=wire
+                acc, cluster.costs, wire_bytes=wire
             ),
-            per_node_seconds=per_node,
+            per_node_seconds=acc.as_dict(),
             network_bytes=network,
             scanned_bytes=scanned,
         )
@@ -284,18 +284,13 @@ class AisDensityMap(Query):
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         touched = cluster.chunks_of_array("broadcast")
-        per_node: Dict[int, float] = {}
-        scanned = add_scan_work(
-            per_node, touched, ["speed"], cluster.costs,
+        acc = CostAccumulator(cluster.node_ids)
+        scanned = charge_scan(
+            acc, touched, ["speed"], cluster.costs,
             cpu_intensity=1.2,
         )
-        merge = {
-            node: sum(
-                c.bytes_for(["speed"]) for c, n in touched if n == node
-            ) * 0.01
-            for node in {n for _, n in touched}
-        }
-        network = add_network_work(per_node, merge, cluster.costs)
+        merge = node_byte_sums(touched, ["speed"], fraction=0.01)
+        network = charge_network(acc, merge, cluster.costs)
 
         # Batch group-by: one mask + one unique/count pass over every
         # moving ship, replacing the per-chunk dict merges.
@@ -315,8 +310,8 @@ class AisDensityMap(Query):
                 "buckets": int(counts.shape[0]),
                 "busiest": int(counts.max()) if counts.size else 0,
             },
-            elapsed_seconds=elapsed_time(per_node, cluster.costs),
-            per_node_seconds=per_node,
+            elapsed_seconds=elapsed_time(acc, cluster.costs),
+            per_node_seconds=acc.as_dict(),
             network_bytes=network,
             scanned_bytes=scanned,
         )
@@ -372,29 +367,88 @@ class AisKnn(Query):
             p=weights, replace=True,
         )
 
+        # Cost accounting: every sample pays its fragment dispatch, as
+        # before, but the bookkeeping runs as one vectorized pass over
+        # the (center, neighbour) chunk pairs weighted by how often each
+        # center was sampled.  The per-sample loop survives as the
+        # scalar parity oracle.  The rng stream is drawn in sample
+        # order either way, so sampling stays deterministic; the
+        # distance math then runs once per distinct neighbourhood with
+        # all its query points batched.
+        acc = CostAccumulator(cluster.node_ids)
+        if default_cost_mode() == "scalar":
+            wire_map, queries_by_key, key_order = (
+                self._account_samples_scalar(
+                    acc, cluster, current, all_keys, sampled_keys, rng
+                )
+            )
+        else:
+            wire_map, queries_by_key, key_order = (
+                self._account_samples_batch(
+                    acc, cluster, current, all_keys, sampled_keys, rng
+                )
+            )
+
+        distances: List[float] = []
+        for center_key in key_order:
+            neighborhood = self._neighborhood(current, center_key)
+            pts = np.concatenate(
+                [c.coords[:, 1:3] for c, _ in neighborhood], axis=0
+            ).astype(np.float64)
+            qidx = np.asarray(queries_by_key[center_key])
+            d = ops.knn_mean_distance(pts, pts[qidx], self.k)
+            distances.extend(d[np.isfinite(d)].tolist())
+
+        network = charge_network(acc, wire_map, cluster.costs)
+        return QueryResult(
+            name=self.name,
+            category=self.category,
+            value={
+                "samples": len(sampled_keys),
+                "mean_knn_distance": (
+                    float(np.mean(distances)) if distances else None
+                ),
+            },
+            elapsed_seconds=elapsed_time(
+                acc, cluster.costs, wire_bytes=network / 2.0
+            ),
+            per_node_seconds=acc.as_dict(),
+            network_bytes=network,
+        )
+
+    @staticmethod
+    def _neighborhood(
+        current: Dict[Tuple[int, ...], Tuple[ChunkData, int]],
+        center_key: Tuple[int, ...],
+    ) -> List[Tuple[ChunkData, int]]:
+        """The center chunk plus its present 3x3 spatial neighbours."""
+        center_chunk, owner = current[center_key]
+        neighborhood = [(center_chunk, owner)]
+        for nkey in spatial_neighbors(center_key, spatial_dims=(1, 2)):
+            pair = current.get(nkey)
+            if pair is not None:
+                neighborhood.append(pair)
+        return neighborhood
+
+    def _account_samples_scalar(
+        self, acc, cluster, current, all_keys, sampled_keys, rng
+    ):
+        """Parity oracle: the pre-batch per-sample cost loop.
+
+        The owner reads its local chunks, pulls remote position columns,
+        and dispatches a partial-kNN fragment to every remote node
+        involved — the coordination cost clustered placement avoids (all
+        nine chunks on one host: zero fragments).
+        """
         per_node: Dict[int, float] = {}
         wire: Dict[int, float] = {}
-        # First pass: per-sample cost accounting (every sample pays its
-        # fragment dispatch, as before), while the query points group by
-        # neighbourhood.  The rng stream is drawn in sample order, so
-        # sampling stays deterministic; the distance math then runs once
-        # per distinct neighbourhood with all its query points batched.
-        pts_by_key: Dict[Tuple[int, ...], np.ndarray] = {}
+        pts_cells: Dict[Tuple[int, ...], int] = {}
         queries_by_key: Dict[Tuple[int, ...], List[int]] = {}
         key_order: List[Tuple[int, ...]] = []
         for key_idx in sampled_keys:
             center_key = all_keys[int(key_idx)]
-            center_chunk, owner = current[center_key]
-            neighborhood = [(center_chunk, owner)]
-            for nkey in spatial_neighbors(center_key, spatial_dims=(1, 2)):
-                pair = current.get(nkey)
-                if pair is not None:
-                    neighborhood.append(pair)
-            # The owner reads its local chunks, pulls remote position
-            # columns, and dispatches a partial-kNN fragment to every
-            # remote node involved — the coordination cost clustered
-            # placement avoids (all nine chunks on one host: zero
-            # fragments).
+            neighborhood = self._neighborhood(current, center_key)
+            owner = neighborhood[0][1]
             remote_nodes = set()
             for chunk, node in neighborhood:
                 # Position columns are ~15 % of a broadcast chunk.
@@ -414,41 +468,104 @@ class AisKnn(Query):
                 len(remote_nodes) * cluster.costs.task_dispatch_seconds
             )
 
-            pts = pts_by_key.get(center_key)
-            if pts is None:
-                pts = np.concatenate(
-                    [c.coords[:, 1:3] for c, _ in neighborhood], axis=0
-                ).astype(np.float64)
-                pts_by_key[center_key] = pts
+            if center_key not in queries_by_key:
+                pts_cells[center_key] = sum(
+                    c.cell_count for c, _ in neighborhood
+                )
                 queries_by_key[center_key] = []
                 key_order.append(center_key)
             queries_by_key[center_key].append(
-                int(rng.integers(0, pts.shape[0]))
+                int(rng.integers(0, pts_cells[center_key]))
+            )
+        acc.add_mapping(per_node)
+        return wire, queries_by_key, key_order
+
+    def _account_samples_batch(
+        self, acc, cluster, current, all_keys, sampled_keys, rng
+    ):
+        """Vectorized per-sample bookkeeping.
+
+        One :func:`repro.query.cost.neighbor_pairs` pass finds every
+        (center, neighbour) chunk pair; each cost term then lands as a
+        single weighted ``np.add.at`` with the per-center sample counts
+        as weights, instead of dict updates inside a per-sample loop.
+        """
+        costs = cluster.costs
+        n = len(all_keys)
+        keys_arr = np.array(all_keys, dtype=np.int64)
+        pairs = neighbor_pairs(keys_arr, (1, 2))
+        if pairs is None:  # unpackable key extent: exact oracle fallback
+            return self._account_samples_scalar(
+                acc, cluster, current, all_keys, sampled_keys, rng
+            )
+        nodes = np.fromiter(
+            (current[k][1] for k in all_keys), dtype=np.int64, count=n
+        )
+        sizes = np.fromiter(
+            (current[k][0].size_bytes for k in all_keys),
+            dtype=np.float64,
+            count=n,
+        ) * 0.15  # position columns are ~15 % of a broadcast chunk
+        cells = np.fromiter(
+            (current[k][0].cell_count for k in all_keys),
+            dtype=np.int64,
+            count=n,
+        )
+        # Each center's neighbourhood is itself plus its present
+        # spatial neighbours.
+        self_idx = np.arange(n, dtype=np.int64)
+        src = np.concatenate([self_idx, pairs[0]])
+        dst = np.concatenate([self_idx, pairs[1]])
+
+        # Neighbourhood cell totals drive the query-point draws.
+        nb_cells = np.zeros(n, dtype=np.int64)
+        np.add.at(nb_cells, src, cells[dst])
+
+        sample_idx = np.asarray(sampled_keys, dtype=np.int64)
+        counts = np.bincount(sample_idx, minlength=n).astype(np.float64)
+        hot = counts[src] > 0
+        src, dst = src[hot], dst[hot]
+        weight = counts[src]
+        owner = nodes[src]
+        nb_node = nodes[dst]
+        size = sizes[dst]
+        local = nb_node == owner
+
+        # Local reads: the owner's disk; compute: the owner prices every
+        # neighbourhood chunk.
+        acc.add(owner[local], weight[local] * costs.io_time(size[local]))
+        acc.add(owner, weight * costs.cpu_time(size, 2.5))
+
+        # Remote pulls: both endpoints pay wire bytes per sample.
+        remote = ~local
+        wire_map: Dict[int, float] = {}
+        if remote.any():
+            wire_map = sum_endpoint_bytes(
+                owner[remote], nb_node[remote],
+                weight[remote] * size[remote],
+            )
+            # Fragment dispatch: one per distinct remote *node* in the
+            # neighbourhood, per sample.
+            uniq_pairs = np.unique(
+                np.stack([src[remote], nb_node[remote]], axis=1), axis=0
+            )
+            centers = uniq_pairs[:, 0]
+            acc.add(
+                nodes[centers],
+                counts[centers] * costs.task_dispatch_seconds,
             )
 
-        distances: List[float] = []
-        for center_key in key_order:
-            pts = pts_by_key[center_key]
-            qidx = np.asarray(queries_by_key[center_key])
-            d = ops.knn_mean_distance(pts, pts[qidx], self.k)
-            distances.extend(d[np.isfinite(d)].tolist())
-
-        network = add_network_work(per_node, wire, cluster.costs)
-        return QueryResult(
-            name=self.name,
-            category=self.category,
-            value={
-                "samples": len(sampled_keys),
-                "mean_knn_distance": (
-                    float(np.mean(distances)) if distances else None
-                ),
-            },
-            elapsed_seconds=elapsed_time(
-                per_node, cluster.costs, wire_bytes=network / 2.0
-            ),
-            per_node_seconds=per_node,
-            network_bytes=network,
-        )
+        queries_by_key: Dict[Tuple[int, ...], List[int]] = {}
+        key_order: List[Tuple[int, ...]] = []
+        for key_idx in sample_idx:
+            center_key = all_keys[int(key_idx)]
+            if center_key not in queries_by_key:
+                queries_by_key[center_key] = []
+                key_order.append(center_key)
+            queries_by_key[center_key].append(
+                int(rng.integers(0, int(nb_cells[key_idx])))
+            )
+        return wire_map, queries_by_key, key_order
 
 
 class AisCollisionPrediction(Query):
@@ -473,16 +590,16 @@ class AisCollisionPrediction(Query):
             (c, n) for c, n in cluster.chunks_of_array("broadcast")
             if c.key[0] == latest
         ]
-        per_node: Dict[int, float] = {}
-        scanned = add_scan_work(
-            per_node, touched, ["speed", "course"], cluster.costs,
+        acc = CostAccumulator(cluster.node_ids)
+        scanned = charge_scan(
+            acc, touched, ["speed", "course"], cluster.costs,
             cpu_intensity=3.0,
         )
         halo = halo_shuffle_bytes(
             touched, ["speed", "course"], spatial_dims=(1, 2),
             halo_fraction=0.5,
         )
-        network = add_network_work(per_node, halo, cluster.costs)
+        network = charge_network(acc, halo, cluster.costs)
         wire = network / 2.0
 
         # Batch: dead-reckon every chunk's moving ships in one call and
@@ -514,9 +631,9 @@ class AisCollisionPrediction(Query):
             category=self.category,
             value={"predicted_close_pairs": int(collisions)},
             elapsed_seconds=elapsed_time(
-                per_node, cluster.costs, wire_bytes=wire
+                acc, cluster.costs, wire_bytes=wire
             ),
-            per_node_seconds=per_node,
+            per_node_seconds=acc.as_dict(),
             network_bytes=network,
             scanned_bytes=scanned,
         )

@@ -16,7 +16,7 @@ Six queries, three per workload:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,10 +25,12 @@ from repro.arrays.coords import Box
 from repro.cluster.cluster import ElasticCluster
 from repro.query import operators as ops
 from repro.query.cost import (
-    add_network_work,
-    add_scan_work,
+    CostAccumulator,
+    charge_network,
+    charge_scan,
     colocation_shuffle_bytes,
     elapsed_time,
+    node_byte_sums,
 )
 from repro.query.executor import CATEGORY_SPJ, Query
 from repro.query.result import QueryResult
@@ -59,9 +61,9 @@ class ModisSelection(Query):
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         region = self.workload.lower_left_sixteenth(cycle)
         touched = _chunks_in_region(cluster, "band1", region)
-        per_node: Dict[int, float] = {}
-        scanned = add_scan_work(
-            per_node, touched, None, cluster.costs, cpu_intensity=0.2
+        acc = CostAccumulator(cluster.node_ids)
+        scanned = charge_scan(
+            acc, touched, None, cluster.costs, cpu_intensity=0.2
         )
         coords, values = ops.filter_region(
             (c for c, _ in touched), region, ["radiance"]
@@ -76,8 +78,8 @@ class ModisSelection(Query):
                     if coords.shape[0] else float("nan")
                 ),
             },
-            elapsed_seconds=elapsed_time(per_node, cluster.costs),
-            per_node_seconds=per_node,
+            elapsed_seconds=elapsed_time(acc, cluster.costs),
+            per_node_seconds=acc.as_dict(),
             scanned_bytes=scanned,
         )
 
@@ -100,25 +102,17 @@ class ModisQuantileSort(Query):
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         touched = cluster.chunks_of_array("band1")
-        per_node: Dict[int, float] = {}
+        acc = CostAccumulator(cluster.node_ids)
         # Vertical partitioning: the sort only reads the radiance column.
-        scanned = add_scan_work(
-            per_node, touched, ["radiance"], cluster.costs,
+        scanned = charge_scan(
+            acc, touched, ["radiance"], cluster.costs,
             cpu_intensity=1.0,
         )
         # Merge phase: every node ships its sample to the coordinator.
-        sample_bytes = {
-            node: size * self.sample_fraction
-            for node, size in (
-                (n, sum(
-                    c.bytes_for(["radiance"])
-                    for c, nn in touched if nn == n
-                ))
-                for n in cluster.node_ids
-            )
-            if size > 0
-        }
-        add_network_work(per_node, sample_bytes, cluster.costs)
+        sample_bytes = node_byte_sums(
+            touched, ["radiance"], fraction=self.sample_fraction
+        )
+        charge_network(acc, sample_bytes, cluster.costs)
 
         values = np.concatenate(
             [c.values("radiance") for c, _ in touched]
@@ -135,8 +129,8 @@ class ModisQuantileSort(Query):
                     q: float(v) for q, v in zip(self.qs, quants)
                 }
             },
-            elapsed_seconds=elapsed_time(per_node, cluster.costs),
-            per_node_seconds=per_node,
+            elapsed_seconds=elapsed_time(acc, cluster.costs),
+            per_node_seconds=acc.as_dict(),
             network_bytes=sum(sample_bytes.values()),
             scanned_bytes=scanned,
         )
@@ -170,7 +164,7 @@ class ModisJoinNdvi(Query):
             if c.key[0] == day
         }
         common = sorted(set(band1) & set(band2))
-        per_node: Dict[int, float] = {}
+        acc = CostAccumulator(cluster.node_ids)
         attrs = ["radiance"]
         scanned = 0.0
         pairs = []
@@ -178,16 +172,16 @@ class ModisJoinNdvi(Query):
             c1, n1 = band1[key]
             c2, n2 = band2[key]
             pairs.append((c1, n1, c2, n2))
-        scanned += add_scan_work(
-            per_node, [(c, n) for c, n, _, _ in pairs], attrs,
+        scanned += charge_scan(
+            acc, [(c, n) for c, n, _, _ in pairs], attrs,
             cluster.costs, cpu_intensity=0.8,
         )
-        scanned += add_scan_work(
-            per_node, [(c2, n2) for _, _, c2, n2 in pairs], attrs,
+        scanned += charge_scan(
+            acc, [(c2, n2) for _, _, c2, n2 in pairs], attrs,
             cluster.costs, cpu_intensity=0.8,
         )
         shuffle = colocation_shuffle_bytes(pairs, attrs_small=attrs)
-        network = add_network_work(per_node, shuffle, cluster.costs)
+        network = charge_network(acc, shuffle, cluster.costs)
         wire = network / 2.0  # endpoint sums count each transfer twice
 
         # Batch join: concatenate each band's day slice and intersect
@@ -215,9 +209,9 @@ class ModisJoinNdvi(Query):
                 ),
             },
             elapsed_seconds=elapsed_time(
-                per_node, cluster.costs, wire_bytes=wire
+                acc, cluster.costs, wire_bytes=wire
             ),
-            per_node_seconds=per_node,
+            per_node_seconds=acc.as_dict(),
             network_bytes=network,
             scanned_bytes=scanned,
         )
@@ -235,9 +229,9 @@ class AisSelectionHouston(Query):
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         region = self.workload.houston_box(cycle)
         touched = _chunks_in_region(cluster, "broadcast", region)
-        per_node: Dict[int, float] = {}
-        scanned = add_scan_work(
-            per_node, touched, None, cluster.costs, cpu_intensity=0.2
+        acc = CostAccumulator(cluster.node_ids)
+        scanned = charge_scan(
+            acc, touched, None, cluster.costs, cpu_intensity=0.2
         )
         coords, values = ops.filter_region(
             (c for c, _ in touched), region, ["ship_id"]
@@ -247,8 +241,8 @@ class AisSelectionHouston(Query):
             name=self.name,
             category=self.category,
             value={"cells": int(coords.shape[0]), "ships": distinct},
-            elapsed_seconds=elapsed_time(per_node, cluster.costs),
-            per_node_seconds=per_node,
+            elapsed_seconds=elapsed_time(acc, cluster.costs),
+            per_node_seconds=acc.as_dict(),
             scanned_bytes=scanned,
         )
 
@@ -264,20 +258,15 @@ class AisDistinctShips(Query):
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         touched = cluster.chunks_of_array("broadcast")
-        per_node: Dict[int, float] = {}
-        scanned = add_scan_work(
-            per_node, touched, ["ship_id"], cluster.costs,
+        acc = CostAccumulator(cluster.node_ids)
+        scanned = charge_scan(
+            acc, touched, ["ship_id"], cluster.costs,
             cpu_intensity=1.0,
         )
         # Each node ships its local distinct set (tiny) — model as 1 % of
         # the scanned column per node.
-        merge_bytes = {}
-        for chunk, node in touched:
-            merge_bytes[node] = (
-                merge_bytes.get(node, 0.0)
-                + chunk.bytes_for(["ship_id"]) * 0.01
-            )
-        network = add_network_work(per_node, merge_bytes, cluster.costs)
+        merge_bytes = node_byte_sums(touched, ["ship_id"], fraction=0.01)
+        network = charge_network(acc, merge_bytes, cluster.costs)
 
         ids = [c.values("ship_id") for c, _ in touched]
         distinct = ops.sorted_distinct(
@@ -287,8 +276,8 @@ class AisDistinctShips(Query):
             name=self.name,
             category=self.category,
             value={"distinct_ships": int(distinct.size)},
-            elapsed_seconds=elapsed_time(per_node, cluster.costs),
-            per_node_seconds=per_node,
+            elapsed_seconds=elapsed_time(acc, cluster.costs),
+            per_node_seconds=acc.as_dict(),
             network_bytes=network,
             scanned_bytes=scanned,
         )
@@ -332,9 +321,9 @@ class AisVesselJoin(Query):
             (c, n) for c, n in cluster.chunks_of_array("broadcast")
             if c.key[0] in t_chunks
         ]
-        per_node: Dict[int, float] = {}
-        scanned = add_scan_work(
-            per_node, touched, ["ship_id", "speed"], cluster.costs,
+        acc = CostAccumulator(cluster.node_ids)
+        scanned = charge_scan(
+            acc, touched, ["ship_id", "speed"], cluster.costs,
             cpu_intensity=0.8,
         )
 
@@ -355,8 +344,8 @@ class AisVesselJoin(Query):
             name=self.name,
             category=self.category,
             value={"broadcasts_by_type": type_counts},
-            elapsed_seconds=elapsed_time(per_node, cluster.costs),
-            per_node_seconds=per_node,
+            elapsed_seconds=elapsed_time(acc, cluster.costs),
+            per_node_seconds=acc.as_dict(),
             scanned_bytes=scanned,
         )
 

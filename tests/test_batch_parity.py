@@ -291,3 +291,108 @@ class TestRunningTotalAndRemove:
             assert node in p.nodes
             assert p.size_of(ref) == 4.0
             assert p.total_bytes == pytest.approx(4.0)
+
+
+class TestChunkCellsParity:
+    """chunk_cells (packed-key sort) ≡ chunk_cells_scalar (dict of masks)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_matches_scalar(self, data):
+        from repro.arrays import parse_schema
+        from repro.arrays.array import chunk_cells, chunk_cells_scalar
+
+        schema = parse_schema(
+            "P<v:double, w:int32>[t=0:*,7, x=0:99,5, y=0:99,5]"
+        )
+        n = data.draw(st.integers(0, 120))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        coords = np.stack(
+            [
+                rng.integers(0, 500, n),
+                rng.integers(0, 100, n),
+                rng.integers(0, 100, n),
+            ],
+            axis=1,
+        )
+        attrs = {
+            "v": rng.random(n),
+            "w": rng.integers(0, 9, n).astype(np.int32),
+        }
+        inflate = data.draw(st.sampled_from([1.0, 3.5]))
+        batch = chunk_cells(schema, coords, attrs, inflate=inflate)
+        scalar = chunk_cells_scalar(schema, coords, attrs, inflate=inflate)
+        assert [c.key for c in batch] == [c.key for c in scalar]
+        for cb, cs in zip(batch, scalar):
+            assert np.array_equal(cb.coords, cs.coords)
+            assert cb.size_bytes == cs.size_bytes  # bit-identical
+            assert cb.attr_bytes == cs.attr_bytes
+            for name in schema.attribute_names:
+                assert np.array_equal(cb.values(name), cs.values(name))
+
+    def test_cells_keep_batch_order_within_chunk(self):
+        from repro.arrays import parse_schema
+        from repro.arrays.array import chunk_cells, chunk_cells_scalar
+
+        schema = parse_schema("Q<v:double>[x=0:9,5]")
+        coords = np.array([[1], [7], [0], [8], [3]])
+        attrs = {"v": np.array([10.0, 20.0, 30.0, 40.0, 50.0])}
+        for fn in (chunk_cells, chunk_cells_scalar):
+            chunks = fn(schema, coords, attrs)
+            assert [c.key for c in chunks] == [(0,), (1,)]
+            assert chunks[0].values("v").tolist() == [10.0, 30.0, 50.0]
+            assert chunks[1].values("v").tolist() == [20.0, 40.0]
+
+    def test_out_of_bounds_rejected_by_both(self):
+        from repro.arrays import parse_schema
+        from repro.arrays.array import chunk_cells, chunk_cells_scalar
+
+        schema = parse_schema("Q<v:double>[x=0:9,5]")
+        coords = np.array([[11]])
+        attrs = {"v": np.array([1.0])}
+        for fn in (chunk_cells, chunk_cells_scalar):
+            with pytest.raises(ChunkError):
+                fn(schema, coords, attrs)
+
+    def test_unpackable_extent_falls_back_to_lexsort(self):
+        from repro.arrays import parse_schema
+        from repro.arrays.array import chunk_cells, chunk_cells_scalar
+
+        # Key spans of ~2^31 per dimension overflow the packed int64
+        # space in 3-d; the batch path must fall back, not wrap.
+        schema = parse_schema("R<v:double>[t=0:*,1, x=0:*,1, y=0:*,1]")
+        big = 2**31
+        coords = np.array(
+            [[0, 0, 0], [big, big, big], [0, big, 0], [big, 0, 0],
+             [0, 0, 0]],
+            dtype=np.int64,
+        )
+        attrs = {"v": np.arange(5, dtype=np.float64)}
+        batch = chunk_cells(schema, coords, attrs)
+        scalar = chunk_cells_scalar(schema, coords, attrs)
+        assert [c.key for c in batch] == [c.key for c in scalar]
+        for cb, cs in zip(batch, scalar):
+            assert np.array_equal(cb.coords, cs.coords)
+            assert cb.size_bytes == cs.size_bytes
+
+    def test_int64_extreme_span_does_not_wrap(self):
+        from repro.arrays import parse_schema
+        from repro.arrays.array import chunk_cells, chunk_cells_scalar
+
+        # Regression: a single-dimension span of ~2^63 wrapped the
+        # numpy int64 span product before the overflow guard ran,
+        # producing out-of-order (potentially colliding) groups.  The
+        # exact-int row_packing must refuse and fall back to lexsort.
+        schema = parse_schema("S<v:double>[t=0:*,1, x=0:*,1]")
+        hi = 2**62  # span product (2^62+1)*2 wraps int64 if not guarded
+        coords = np.array(
+            [[hi, 0], [0, 1], [hi, 1], [0, 0]], dtype=np.int64
+        )
+        attrs = {"v": np.arange(4, dtype=np.float64)}
+        batch = chunk_cells(schema, coords, attrs)
+        scalar = chunk_cells_scalar(schema, coords, attrs)
+        keys = [c.key for c in batch]
+        assert keys == sorted(keys)  # the documented return contract
+        assert keys == [c.key for c in scalar]
+        for cb, cs in zip(batch, scalar):
+            assert np.array_equal(cb.coords, cs.coords)

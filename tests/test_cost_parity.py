@@ -1,0 +1,317 @@
+"""Scalar and batch cost paths must agree to float tolerance.
+
+The ISSUE-3 regression contract: the column-shaped cost model
+(:class:`CostAccumulator` + ``np.bincount``/``np.add.at`` kernels) must
+reproduce the per-chunk dict accounting it replaced — unit-level against
+each ``*_scalar`` oracle on randomized layouts, and end-to-end by running
+all six figure-benchmark queries of each workload under both cost modes
+and comparing per-node busy-seconds, elapsed times, byte totals, and the
+computed answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import ChunkData, parse_schema
+from repro.errors import QueryError
+from repro.harness.runner import ExperimentRunner, RunConfig
+from repro.query import ais_suite, modis_suite
+from repro.query.cost import (
+    CostAccumulator,
+    add_network_work,
+    add_network_work_scalar,
+    add_scan_work,
+    add_scan_work_scalar,
+    attr_fraction,
+    colocation_shuffle_bytes,
+    colocation_shuffle_bytes_scalar,
+    cost_mode,
+    default_cost_mode,
+    halo_shuffle_bytes,
+    halo_shuffle_bytes_scalar,
+    neighbor_pairs,
+    node_byte_sums,
+    scan_columns,
+    spatial_neighbors,
+)
+from repro.cluster.costs import CostParameters
+
+SCHEMA = parse_schema(
+    "G<a:double, b:int32, c:int64>[t=0:*,1, x=0:99,1, y=0:99,1]"
+)
+COSTS = CostParameters()
+
+
+def _layout(n, seed, nodes=4):
+    """Random (chunk, node) pairs with unique 3-d keys and skewed sizes."""
+    rng = np.random.default_rng(seed)
+    seen = set()
+    out = []
+    while len(out) < n:
+        key = (
+            int(rng.integers(0, 6)),
+            int(rng.integers(0, 8)),
+            int(rng.integers(0, 8)),
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        coords = np.array([[key[0], key[1], key[2]]], dtype=np.int64)
+        chunk = ChunkData(
+            SCHEMA, key, coords,
+            {
+                "a": np.array([1.0]),
+                "b": np.array([1], dtype=np.int32),
+                "c": np.array([1], dtype=np.int64),
+            },
+            size_bytes=float(rng.lognormal(18, 1.5)),
+        )
+        out.append((chunk, int(rng.integers(0, nodes))))
+    return out
+
+
+class TestCostAccumulator:
+    def test_unknown_node_rejected(self):
+        acc = CostAccumulator([0, 2, 5])
+        with pytest.raises(QueryError):
+            acc.add(np.array([0, 3]), np.array([1.0, 1.0]))
+        with pytest.raises(QueryError):
+            acc.add_one(1, 1.0)
+
+    def test_as_dict_drops_zero_nodes(self):
+        acc = CostAccumulator([0, 1, 2])
+        acc.add_one(1, 3.5)
+        assert acc.as_dict() == {1: 3.5}
+        assert acc.max_seconds() == 3.5
+
+    def test_duplicate_nodes_accumulate(self):
+        acc = CostAccumulator([7, 9])
+        acc.add(np.array([9, 9, 7]), np.array([1.0, 2.0, 4.0]))
+        assert acc.as_dict() == {7: 4.0, 9: 3.0}
+
+    def test_add_mapping_matches_add(self):
+        a = CostAccumulator([0, 1])
+        b = CostAccumulator([0, 1])
+        a.add(np.array([0, 1, 0]), np.array([1.0, 2.0, 3.0]))
+        b.add_mapping({0: 1.0})
+        b.add_mapping({1: 2.0, 0: 3.0})
+        assert a.as_dict() == pytest.approx(b.as_dict())
+
+    def test_empty_accumulator(self):
+        acc = CostAccumulator([])
+        assert acc.max_seconds() == 0.0
+        assert acc.as_dict() == {}
+
+
+class TestScanParity:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize(
+        "attrs", [None, ["a"], ["a", "c"], ["a", "b", "c"]]
+    )
+    def test_matches_scalar(self, seed, attrs):
+        layout = _layout(60, seed)
+        acc = CostAccumulator(range(4))
+        sizes, nodes = scan_columns(layout, attrs)
+        scanned = add_scan_work(acc, sizes, nodes, COSTS, 1.7)
+        per_node = {}
+        ref_scanned = add_scan_work_scalar(
+            per_node, layout, attrs, COSTS, 1.7
+        )
+        assert scanned == pytest.approx(ref_scanned, rel=1e-12)
+        assert acc.as_dict() == pytest.approx(per_node, rel=1e-12)
+
+    def test_attr_fraction_matches_bytes_for(self):
+        chunk, _ = _layout(1, 9)[0]
+        for attrs in (["a"], ["b", "c"], ["a", "b", "c"]):
+            assert chunk.size_bytes * attr_fraction(
+                SCHEMA, attrs
+            ) == pytest.approx(chunk.bytes_for(attrs), rel=1e-12)
+
+    def test_unknown_attr_rejected(self):
+        with pytest.raises(QueryError):
+            attr_fraction(SCHEMA, ["nope"])
+
+    def test_empty_layout(self):
+        acc = CostAccumulator(range(2))
+        sizes, nodes = scan_columns([], ["a"])
+        assert add_scan_work(acc, sizes, nodes, COSTS, 1.0) == 0.0
+        assert acc.as_dict() == {}
+
+
+class TestNetworkParity:
+    def test_matches_scalar(self):
+        wire = {0: 3e9, 2: 1.5e9, 3: 7e8}
+        acc = CostAccumulator(range(4))
+        total = add_network_work(acc, wire, COSTS)
+        per_node = {}
+        ref_total = add_network_work_scalar(per_node, wire, COSTS)
+        assert total == pytest.approx(ref_total, rel=1e-12)
+        assert acc.as_dict() == pytest.approx(per_node, rel=1e-12)
+
+    def test_node_byte_sums_matches_manual(self):
+        layout = _layout(40, 4)
+        sums = node_byte_sums(layout, ["a"], fraction=0.01)
+        manual = {}
+        for chunk, node in layout:
+            manual[node] = (
+                manual.get(node, 0.0) + chunk.bytes_for(["a"]) * 0.01
+            )
+        manual = {n: v for n, v in manual.items() if v > 0}
+        assert set(sums) == set(manual)
+        for node, v in manual.items():
+            assert sums[node] == pytest.approx(v, rel=1e-9)
+
+
+class TestNeighborPairs:
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_matches_spatial_neighbors(self, seed):
+        layout = _layout(50, seed)
+        keys = np.array([c.key for c, _ in layout], dtype=np.int64)
+        by_key = {tuple(k): i for i, k in enumerate(keys.tolist())}
+        src, dst = neighbor_pairs(keys, (1, 2))
+        got = set(zip(src.tolist(), dst.tolist()))
+        expected = set()
+        for i, (chunk, _) in enumerate(layout):
+            for nkey in spatial_neighbors(chunk.key, (1, 2)):
+                j = by_key.get(nkey)
+                if j is not None:
+                    expected.add((i, j))
+        assert got == expected
+
+    def test_empty(self):
+        src, dst = neighbor_pairs(np.empty((0, 3), dtype=np.int64), (1, 2))
+        assert src.size == 0 and dst.size == 0
+
+    def test_unpackable_extent_returns_none(self):
+        keys = np.array(
+            [[0, 0, 0], [2**40, 2**40, 2**40]], dtype=np.int64
+        )
+        assert neighbor_pairs(keys, (0, 1, 2)) is None
+
+
+class TestHaloParity:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    @pytest.mark.parametrize("attrs", [None, ["a", "b"]])
+    def test_matches_scalar(self, seed, attrs):
+        layout = _layout(70, seed)
+        wire = halo_shuffle_bytes(layout, attrs, (1, 2), 0.5)
+        ref = halo_shuffle_bytes_scalar(layout, attrs, (1, 2), 0.5)
+        assert set(wire) == set(ref)
+        for node, v in ref.items():
+            assert wire[node] == pytest.approx(v, rel=1e-9)
+
+    def test_co_located_is_free(self):
+        layout = [(c, 0) for c, _ in _layout(30, 14)]
+        assert halo_shuffle_bytes(layout, None, (1, 2)) == {}
+
+
+class TestColocationParity:
+    @pytest.mark.parametrize("seed", [21, 22])
+    @pytest.mark.parametrize("attrs", [None, ["a"]])
+    def test_matches_scalar(self, seed, attrs):
+        a = _layout(40, seed)
+        b = _layout(40, seed + 100)
+        pairs = [
+            (ca, na, cb, nb) for (ca, na), (cb, nb) in zip(a, b)
+        ]
+        wire = colocation_shuffle_bytes(pairs, attrs_small=attrs)
+        ref = colocation_shuffle_bytes_scalar(pairs, attrs_small=attrs)
+        assert set(wire) == set(ref)
+        for node, v in ref.items():
+            assert wire[node] == pytest.approx(v, rel=1e-9)
+
+    def test_co_located_pairs_free(self):
+        a = _layout(5, 30)
+        pairs = [(c, 1, c, 1) for c, _ in a]
+        assert colocation_shuffle_bytes(pairs) == {}
+
+
+class TestCostModeSwitch:
+    def test_default_is_batch(self):
+        assert default_cost_mode() == "batch"
+
+    def test_context_manager_restores(self):
+        before = default_cost_mode()
+        with cost_mode("scalar"):
+            assert default_cost_mode() == "scalar"
+        assert default_cost_mode() == before
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(QueryError):
+            with cost_mode("wat"):
+                pass
+
+
+# ----------------------------------------------------------------------
+# end-to-end: the six figure-benchmark queries of each workload
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def modis_cluster(small_modis):
+    runner = ExperimentRunner(
+        small_modis, RunConfig(partitioner="hilbert_curve",
+                               run_queries=False)
+    )
+    runner.run()
+    return runner.cluster
+
+
+@pytest.fixture(scope="module")
+def ais_cluster(small_ais):
+    runner = ExperimentRunner(
+        small_ais, RunConfig(partitioner="kd_tree", run_queries=False)
+    )
+    runner.run()
+    return runner.cluster
+
+
+def _assert_results_agree(batch, scalar, query_name):
+    assert set(batch.per_node_seconds) == set(scalar.per_node_seconds), (
+        query_name
+    )
+    for node, seconds in scalar.per_node_seconds.items():
+        assert batch.per_node_seconds[node] == pytest.approx(
+            seconds, rel=1e-9, abs=1e-12
+        ), (query_name, node)
+    assert batch.elapsed_seconds == pytest.approx(
+        scalar.elapsed_seconds, rel=1e-9
+    ), query_name
+    assert batch.network_bytes == pytest.approx(
+        scalar.network_bytes, rel=1e-9, abs=1e-6
+    ), query_name
+    assert batch.scanned_bytes == pytest.approx(
+        scalar.scanned_bytes, rel=1e-9, abs=1e-6
+    ), query_name
+
+
+class TestFigureBenchmarkParity:
+    """All six queries per workload agree between the two cost paths."""
+
+    def test_modis_suite(self, small_modis, modis_cluster):
+        cycle = small_modis.n_cycles
+        for query in modis_suite(small_modis):
+            batch = query.run(modis_cluster, cycle)
+            with cost_mode("scalar"):
+                scalar = query.run(modis_cluster, cycle)
+            _assert_results_agree(batch, scalar, query.name)
+
+    def test_ais_suite(self, small_ais, ais_cluster):
+        cycle = small_ais.n_cycles
+        for query in ais_suite(small_ais):
+            batch = query.run(ais_cluster, cycle)
+            with cost_mode("scalar"):
+                scalar = query.run(ais_cluster, cycle)
+            _assert_results_agree(batch, scalar, query.name)
+            # Deterministic sampling: the computed answers are identical
+            # (the rng stream must not depend on the cost mode).
+            assert batch.value == scalar.value, query.name
+
+    def test_knn_per_node_includes_dispatch(self, small_ais, ais_cluster):
+        # The kNN query's batch bookkeeping must charge the same owners
+        # the per-sample oracle charges, at every intermediate cycle.
+        query = ais_suite(small_ais)[4]
+        assert query.name == "knn"
+        for cycle in range(2, small_ais.n_cycles + 1):
+            batch = query.run(ais_cluster, cycle)
+            with cost_mode("scalar"):
+                scalar = query.run(ais_cluster, cycle)
+            _assert_results_agree(batch, scalar, f"knn@{cycle}")

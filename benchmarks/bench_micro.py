@@ -24,8 +24,15 @@ import pytest
 from repro.arrays import Box, ChunkData, ChunkRef, hilbert_index, parse_schema
 from repro.arrays.array import chunk_cells, chunk_cells_scalar
 from repro.arrays.sfc import RectangleHilbert, hilbert_index_batch
+from repro.cluster import (
+    ElasticCluster,
+    execute_rebalance,
+    execute_rebalance_scalar,
+)
 from repro.cluster.costs import CostParameters
 from repro.core import make_partitioner
+from repro.core.base import Move, RebalancePlan
+from repro.core.catalog import catalog_mode
 from repro.query import operators as ops
 from repro.query.cost import (
     CostAccumulator,
@@ -461,3 +468,159 @@ def test_halo_bytes_batch(benchmark):
     ref = halo_shuffle_bytes_scalar(layout, ["a"], (1, 2), 0.5)
     assert set(out) == set(ref)
     assert all(abs(out[n] - v) <= 1e-9 * v for n, v in ref.items())
+
+
+# ----------------------------------------------------------------------
+# collision-candidate pairing (scalar oracle vs searchsorted pairing)
+# ----------------------------------------------------------------------
+CLOSE_POINTS = max(500, int(8_000 * SCALE))
+
+
+def _close_pairs_inputs(n=CLOSE_POINTS):
+    rng = np.random.default_rng(11)
+    return (
+        rng.uniform(0.0, 100.0, n),
+        rng.uniform(0.0, 100.0, n),
+        0.5,
+    )
+
+
+def test_close_pairs_scalar(benchmark):
+    """Python bucket walk with per-pair distance tests."""
+    lon, lat, radius = _close_pairs_inputs()
+    benchmark.extra_info["items"] = lon.shape[0]
+
+    out = benchmark(ops.count_close_pairs_scalar, lon, lat, radius)
+    assert out >= 0
+
+
+def test_close_pairs_batch(benchmark):
+    """Sorted packed keys + one searchsorted per stencil offset."""
+    lon, lat, radius = _close_pairs_inputs()
+    benchmark.extra_info["items"] = lon.shape[0]
+
+    out = benchmark(ops.count_close_pairs, lon, lat, radius)
+    assert out == ops.count_close_pairs_scalar(lon, lat, radius)
+
+
+# ----------------------------------------------------------------------
+# catalog query routing (store-scan oracle vs columnar catalog)
+# ----------------------------------------------------------------------
+CATALOG_CHUNKS = max(1_000, int(20_000 * SCALE))
+CATALOG_NODES = 8
+_CATALOG_SCHEMA = parse_schema(
+    "Q<v:double>[t=0:*,1, x=0:199,1, y=0:199,1]"
+)
+
+
+def _routing_chunks(n=CATALOG_CHUNKS, seed=21):
+    rng = np.random.default_rng(seed)
+    sizes = rng.lognormal(18, 1.0, size=n)
+    chunks = []
+    for i in range(n):
+        key = (i // 40_000, (i // 200) % 200, i % 200)
+        chunks.append(
+            ChunkData.from_validated_cells(
+                _CATALOG_SCHEMA, key,
+                np.array([key], dtype=np.int64),
+                {"v": np.array([float(i)])},
+                size_bytes=float(sizes[i]),
+            )
+        )
+    return chunks
+
+
+def _routing_cluster():
+    p = make_partitioner(
+        "round_robin", list(range(CATALOG_NODES)),
+        grid=GRID, node_capacity_bytes=1e15,
+    )
+    cluster = ElasticCluster(p, 1e15)
+    cluster.ingest(_routing_chunks())
+    return cluster
+
+
+def _route_query(cluster):
+    """One query's storage reads: routed pairs + the payload gather."""
+    pairs = cluster.chunks_of_array("Q")
+    coords, _vals = cluster.array_payload("Q", ["v"], ndim=3)
+    return len(pairs), coords.shape[0]
+
+
+def test_query_route_scan(benchmark):
+    """The pre-catalog oracle: walk every store, re-sort, re-concat."""
+    cluster = _routing_cluster()
+    benchmark.extra_info["items"] = CATALOG_CHUNKS
+
+    def route():
+        with catalog_mode("scan"):
+            return _route_query(cluster)
+
+    pairs, cells = benchmark(route)
+    assert pairs == CATALOG_CHUNKS == cells
+
+
+def test_query_route_catalog(benchmark):
+    """Catalog-view gathers + the per-epoch payload cache."""
+    cluster = _routing_cluster()
+    benchmark.extra_info["items"] = CATALOG_CHUNKS
+
+    pairs, cells = benchmark(_route_query, cluster)
+    assert pairs == CATALOG_CHUNKS == cells
+    with catalog_mode("scan"):
+        ref_pairs, ref_cells = _route_query(cluster)
+    assert (pairs, cells) == (ref_pairs, ref_cells)
+
+
+# ----------------------------------------------------------------------
+# rebalance execution (per-move oracle vs grouped batch pass)
+# ----------------------------------------------------------------------
+def _rebalance_fixture():
+    """A loaded cluster plus forward/reverse plans over half its chunks.
+
+    Executing forward then reverse inside the timed loop restores the
+    starting state, so every round does identical work.
+    """
+    cluster = _routing_cluster()
+    donors = cluster.chunks_of_array("Q")[: CATALOG_CHUNKS // 2]
+    fwd, rev = [], []
+    for chunk, node in donors:
+        dest = (node + 1) % CATALOG_NODES
+        ref = chunk.ref()
+        fwd.append(Move(ref, node, dest, chunk.size_bytes))
+        rev.append(Move(ref, dest, node, chunk.size_bytes))
+    return cluster, RebalancePlan(moves=fwd), RebalancePlan(moves=rev)
+
+
+def test_rebalance_scalar(benchmark):
+    """One evict + one put per move (the pre-catalog executor)."""
+    cluster, fwd, rev = _rebalance_fixture()
+    costs = CostParameters()
+    benchmark.extra_info["items"] = fwd.chunk_count * 2
+
+    def pingpong():
+        execute_rebalance_scalar(
+            cluster.nodes, fwd, costs, cluster.catalog
+        )
+        return execute_rebalance_scalar(
+            cluster.nodes, rev, costs, cluster.catalog
+        )
+
+    report = benchmark(pingpong)
+    assert report.chunks_moved == fwd.chunk_count
+
+
+def test_rebalance_batch(benchmark):
+    """Whole-plan validation + grouped evict_many/put_many passes."""
+    cluster, fwd, rev = _rebalance_fixture()
+    costs = CostParameters()
+    benchmark.extra_info["items"] = fwd.chunk_count * 2
+
+    def pingpong():
+        execute_rebalance(cluster.nodes, fwd, costs, cluster.catalog)
+        return execute_rebalance(
+            cluster.nodes, rev, costs, cluster.catalog
+        )
+
+    report = benchmark(pingpong)
+    assert report.chunks_moved == fwd.chunk_count

@@ -45,6 +45,12 @@ SPEEDUP_PAIRS = [
      "test_grid_groupby_batch"),
     ("window_average", "test_window_average_scalar",
      "test_window_average_batch"),
+    ("close_pairs", "test_close_pairs_scalar",
+     "test_close_pairs_batch"),
+    ("catalog_route", "test_query_route_scan",
+     "test_query_route_catalog"),
+    ("rebalance_exec", "test_rebalance_scalar",
+     "test_rebalance_batch"),
 ] + [
     (f"placement:{name}", f"test_placement_throughput[{name}]",
      f"test_place_batch_throughput[{name}]")

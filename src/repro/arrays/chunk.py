@@ -91,7 +91,7 @@ class ChunkData:
     """
 
     __slots__ = ("schema", "key", "coords", "attributes", "size_bytes",
-                 "attr_bytes")
+                 "attr_bytes", "_ref")
 
     def __init__(
         self,
@@ -151,6 +151,7 @@ class ChunkData:
             raise ChunkError("size_bytes must be non-negative")
         self.size_bytes = float(size_bytes)
         self.attr_bytes = self._vertical_shares(self.size_bytes)
+        self._ref: Optional[ChunkRef] = None
 
     @classmethod
     def from_validated_cells(
@@ -198,6 +199,7 @@ class ChunkData:
         self.attributes = attributes
         self.size_bytes = float(size_bytes)
         self.attr_bytes = self._vertical_shares(self.size_bytes)
+        self._ref = None
         return self
 
     # ------------------------------------------------------------------
@@ -235,8 +237,17 @@ class ChunkData:
         return self.schema.ndim
 
     def ref(self) -> ChunkRef:
-        """This chunk's global identity."""
-        return ChunkRef(self.schema.name, self.key)
+        """This chunk's global identity (constructed once, then cached).
+
+        Every storage and catalog hot path keys dicts by the ref, so
+        rebuilding it — tuple conversion plus hashing — per call shows
+        up in grouped rebalances; the identity never changes, cache it.
+        """
+        ref = self._ref
+        if ref is None:
+            ref = ChunkRef(self.schema.name, self.key)
+            self._ref = ref
+        return ref
 
     def bytes_for(self, attrs: Sequence[str]) -> float:
         """Modeled bytes of the physical chunks for the given attributes."""

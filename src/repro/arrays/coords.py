@@ -84,6 +84,20 @@ def pack_rows(
     return keys
 
 
+def pack_rows_void(rows: np.ndarray) -> np.ndarray:
+    """View an (n, d) int64 row table as one lexicographic void column.
+
+    The extent-free sibling of :func:`pack_rows`: a reinterpreting view
+    (no copy when ``rows`` is already contiguous int64) whose scalar
+    comparisons order rows lexicographically, so ``sort`` /
+    ``searchsorted`` / ``intersect1d`` work on rows of any magnitude.
+    Prefer :func:`pack_rows` when the extent fits int64 — arithmetic
+    keys compare faster than structured voids.
+    """
+    r = np.ascontiguousarray(rows, dtype=np.int64)
+    return r.view([("", np.int64)] * r.shape[1]).reshape(-1)
+
+
 @dataclass(frozen=True)
 class Box:
     """A half-open n-dimensional box ``[lo[d], hi[d])`` per dimension.

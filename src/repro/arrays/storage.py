@@ -3,11 +3,19 @@
 Each simulated node owns a :class:`ChunkStore` holding the chunks assigned
 to it.  The store tracks modeled bytes so the cluster can evaluate capacity,
 storage skew (RSD), and rebalance plans without touching cell payloads.
+
+The deterministic ref ordering (:meth:`ChunkStore.refs`) is cached with a
+dirty bit: mutations that change the key set invalidate it, and the sort
+re-runs at most once per mutation instead of once per query.  The batch
+APIs (:meth:`ChunkStore.put_many` / :meth:`ChunkStore.evict_many`) are
+what the coordinator's grouped insert/rebalance/remove passes call — one
+validation sweep and one byte-accounting update per group instead of one
+per chunk.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.errors import StorageError
@@ -23,6 +31,7 @@ class ChunkStore:
     def __init__(self) -> None:
         self._chunks: Dict[ChunkRef, ChunkData] = {}
         self._bytes: float = 0.0
+        self._sorted: Optional[List[ChunkRef]] = None  # None = dirty
 
     # ------------------------------------------------------------------
     @property
@@ -35,8 +44,18 @@ class ChunkStore:
         return len(self._chunks)
 
     def refs(self) -> List[ChunkRef]:
-        """All chunk refs (sorted for determinism)."""
-        return sorted(self._chunks, key=lambda r: (r.array, r.key))
+        """All chunk refs, sorted for determinism.
+
+        The sorted list is cached and only rebuilt after a mutation
+        changed the key set (puts of new refs, evictions) — repeated
+        queries pay an O(1) check, not an O(n log n) sort.  Callers must
+        treat the returned list as read-only.
+        """
+        if self._sorted is None:
+            self._sorted = sorted(
+                self._chunks, key=lambda r: (r.array, r.key)
+            )
+        return self._sorted
 
     def __contains__(self, ref: object) -> bool:
         return isinstance(ref, ChunkRef) and ref in self._chunks
@@ -48,17 +67,52 @@ class ChunkStore:
         return iter(self.refs())
 
     # ------------------------------------------------------------------
-    def put(self, chunk: ChunkData) -> None:
-        """Store a chunk; merges payloads if the ref already exists."""
+    def put(self, chunk: ChunkData) -> ChunkData:
+        """Store a chunk; merges payloads if the ref already exists.
+
+        Returns the chunk object the store now holds — the input for a
+        first-time put, the merged :class:`ChunkData` otherwise (the
+        chunk catalog tracks exactly this object as the payload handle).
+        """
         ref = chunk.ref()
         existing = self._chunks.get(ref)
         if existing is None:
             self._chunks[ref] = chunk
             self._bytes += chunk.size_bytes
-        else:
-            merged = existing.merged_with(chunk)
-            self._bytes += merged.size_bytes - existing.size_bytes
-            self._chunks[ref] = merged
+            self._sorted = None
+            return chunk
+        merged = existing.merged_with(chunk)
+        self._bytes += merged.size_bytes - existing.size_bytes
+        self._chunks[ref] = merged
+        return merged
+
+    def put_many(self, chunks: Sequence[ChunkData]) -> List[ChunkData]:
+        """Store many chunks (in order); returns the stored objects.
+
+        Equivalent to calling :meth:`put` per chunk, with one sorted-ref
+        invalidation and one running-bytes update for the whole group.
+        """
+        stored: List[ChunkData] = []
+        delta = 0.0
+        dirty = False
+        table = self._chunks
+        for chunk in chunks:
+            ref = chunk.ref()
+            existing = table.get(ref)
+            if existing is None:
+                table[ref] = chunk
+                delta += chunk.size_bytes
+                dirty = True
+                stored.append(chunk)
+            else:
+                merged = existing.merged_with(chunk)
+                delta += merged.size_bytes - existing.size_bytes
+                table[ref] = merged
+                stored.append(merged)
+        self._bytes += delta
+        if dirty:
+            self._sorted = None
+        return stored
 
     def get(self, ref: ChunkRef) -> ChunkData:
         """Fetch a chunk by ref; raises :class:`StorageError` when absent."""
@@ -76,7 +130,32 @@ class ChunkStore:
         if chunk is None:
             raise StorageError(f"cannot evict missing chunk {ref}")
         self._bytes -= chunk.size_bytes
+        self._sorted = None
         return chunk
+
+    def evict_many(
+        self, refs: Sequence[ChunkRef]
+    ) -> List[ChunkData]:
+        """Remove and return many chunks, validating the whole batch first.
+
+        The batch is all-or-nothing: a missing or duplicate ref raises
+        :class:`StorageError` before any chunk leaves the store.
+        """
+        seen = set()
+        for ref in refs:
+            if ref not in self._chunks:
+                raise StorageError(f"cannot evict missing chunk {ref}")
+            if ref in seen:
+                raise StorageError(
+                    f"duplicate chunk {ref} in evict batch"
+                )
+            seen.add(ref)
+        pop = self._chunks.pop
+        evicted = [pop(ref) for ref in refs]
+        self._bytes -= sum(c.size_bytes for c in evicted)
+        if evicted:
+            self._sorted = None
+        return evicted
 
     def bytes_of(self, ref: ChunkRef) -> float:
         """Modeled bytes of one stored chunk."""
@@ -89,3 +168,4 @@ class ChunkStore:
     def clear(self) -> None:
         self._chunks.clear()
         self._bytes = 0.0
+        self._sorted = None

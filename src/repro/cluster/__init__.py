@@ -13,6 +13,7 @@ from repro.cluster.coordinator import (
     RemoveReport,
     execute_insert,
     execute_rebalance,
+    execute_rebalance_scalar,
     execute_remove,
 )
 from repro.cluster.costs import DEFAULT_COSTS, GB, CostParameters
@@ -34,6 +35,7 @@ __all__ = [
     "RunMetrics",
     "execute_insert",
     "execute_rebalance",
+    "execute_rebalance_scalar",
     "execute_remove",
     "insert_time",
     "nic_bytes",

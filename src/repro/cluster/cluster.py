@@ -8,13 +8,24 @@ ingest phase: provision if needed, redistribute preexisting chunks, insert
 the new ones.
 
 The query engine reads the cluster through the :class:`ClusterView`
-protocol (per-node chunk access plus placement lookups).
+protocol (per-node chunk access plus placement lookups).  Those reads are
+served by the cluster-wide columnar chunk catalog
+(:class:`repro.core.catalog.ChunkCatalog`), which every mutation keeps
+current — so :meth:`chunks_of_array` / :meth:`placement_of_array` are
+O(live-chunks-of-array) column gathers instead of per-node store walks,
+and :meth:`array_payload` serves concatenated cell tables cached per
+catalog epoch (repeated queries between reorganizations skip the
+re-concatenation).  ``REPRO_CATALOG=scan`` (or
+:func:`repro.core.catalog.catalog_mode`) restores the pre-catalog
+store-walk reads as a parity oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.cluster.coordinator import (
@@ -29,6 +40,11 @@ from repro.cluster.costs import DEFAULT_COSTS, CostParameters
 from repro.cluster.metrics import relative_std
 from repro.cluster.node import Node
 from repro.core.base import ElasticPartitioner
+from repro.core.catalog import (
+    ChunkCatalog,
+    concat_payload,
+    default_catalog_mode,
+)
 from repro.core.provisioner import LeadingStaircase
 from repro.errors import ClusterError
 
@@ -64,10 +80,10 @@ class ElasticCluster:
             absent, use :meth:`scale_out` to add nodes manually (the fixed
             +2-node schedule of §6.2 does this).
         ledger_compact_ratio: dead-slot ratio above which the
-            partitioner's chunk ledger is compacted during the
-            reorganization cycle (after rebalances and removals), so
-            churn-heavy retention workloads keep bounded ledger memory.
-            ``None`` disables compaction entirely.
+            partitioner's chunk ledger *and* the chunk catalog are
+            compacted during the reorganization cycle (after rebalances
+            and removals), so churn-heavy retention workloads keep
+            bounded index memory.  ``None`` disables compaction entirely.
 
     The partitioner's initial nodes define the cluster's initial nodes.
     """
@@ -99,6 +115,9 @@ class ElasticCluster:
         }
         self._next_node_id = max(self.nodes) + 1
         self.coordinator_id = min(self.nodes)
+        #: The cluster-wide columnar chunk index; maintained by every
+        #: mutation regardless of the read-path mode.
+        self.catalog = ChunkCatalog()
 
     # ------------------------------------------------------------------
     # state inspection (the query engine's ClusterView)
@@ -131,25 +150,73 @@ class ElasticCluster:
         return self.partitioner.locate(ref)
 
     def chunks_of_array(self, array: str) -> List[Tuple[ChunkData, int]]:
-        """All (chunk, node) pairs of one array, key-sorted."""
-        out: List[Tuple[ChunkData, int]] = []
-        for node_id in self.node_ids:
-            for chunk in self.nodes[node_id].store.chunks():
-                if chunk.schema.name == array:
-                    out.append((chunk, node_id))
-        out.sort(key=lambda pair: pair[0].key)
-        return out
+        """All (chunk, node) pairs of one array, key-sorted.
+
+        Served from the chunk catalog's per-array sorted view (one
+        object-column gather); under ``REPRO_CATALOG=scan`` the
+        pre-catalog oracle re-walks every node's store and re-sorts.
+        """
+        if default_catalog_mode() == "scan":
+            out: List[Tuple[ChunkData, int]] = []
+            for node_id in self.node_ids:
+                for chunk in self.nodes[node_id].store.chunks():
+                    if chunk.schema.name == array:
+                        out.append((chunk, node_id))
+            out.sort(key=lambda pair: pair[0].key)
+            return out
+        return self.catalog.pairs_of_array(array)
 
     def chunk_data(self, ref: ChunkRef) -> ChunkData:
         """Fetch one chunk's payload from whichever node holds it."""
-        return self.nodes[self.locate(ref)].store.get(ref)
+        if default_catalog_mode() == "scan":
+            return self.nodes[self.locate(ref)].store.get(ref)
+        try:
+            return self.catalog.payload_of(ref)
+        except KeyError:
+            return self.nodes[self.locate(ref)].store.get(ref)
 
     def placement_of_array(self, array: str) -> Dict[Tuple[int, ...], int]:
         """Chunk key → node map for one array."""
-        return {
-            chunk.key: node
-            for chunk, node in self.chunks_of_array(array)
-        }
+        if default_catalog_mode() == "scan":
+            return {
+                chunk.key: node
+                for chunk, node in self.chunks_of_array(array)
+            }
+        return self.catalog.placement_of_array(array)
+
+    def array_scan_columns(
+        self, array: str
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, Optional[object]]]:
+        """``(sizes, nodes, schema)`` columns of one array's chunks.
+
+        The cost model lowers whole-array scan charges from these
+        directly (:func:`repro.query.cost.array_scan_columns`), with no
+        (chunk, node) pair list in between.  Returns ``None`` under the
+        scan oracle so callers fall back to the pair-list lowering.
+        """
+        if default_catalog_mode() == "scan":
+            return None
+        return self.catalog.scan_columns_of(array)
+
+    def array_payload(
+        self,
+        array: str,
+        attrs: Sequence[str],
+        ndim: int = 0,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Concatenated cell table of one whole array, key-sorted.
+
+        In catalog mode the result is cached per ``(array, attrs,
+        catalog epoch)`` — repeated queries between reorganizations skip
+        the re-concatenation, and any mutation invalidates the entry via
+        the epoch bump.  The scan oracle re-concatenates every call.
+        Callers must treat the returned arrays as read-only.
+        """
+        if default_catalog_mode() == "scan":
+            return concat_payload(
+                [c for c, _ in self.chunks_of_array(array)], attrs, ndim
+            )
+        return self.catalog.payload_of_array(array, attrs, ndim)
 
     # ------------------------------------------------------------------
     # growth
@@ -157,10 +224,10 @@ class ElasticCluster:
     def scale_out(self, count: int) -> RebalanceReport:
         """Add ``count`` nodes and execute the partitioner's rebalance.
 
-        The reorganization cycle is also when the chunk ledger reclaims
-        slots freed by earlier removals (see :meth:`remove_chunks`): a
-        compaction pass runs when the dead-slot ratio exceeds
-        ``ledger_compact_ratio``.
+        The reorganization cycle is also when the chunk ledger and the
+        catalog reclaim slots freed by earlier removals (see
+        :meth:`remove_chunks`): a compaction pass runs when the
+        dead-slot ratio exceeds ``ledger_compact_ratio``.
         """
         if count < 1:
             raise ClusterError(f"scale_out needs count >= 1, got {count}")
@@ -171,33 +238,36 @@ class ElasticCluster:
             self.nodes[node_id] = Node(node_id, self.node_capacity_bytes)
             new_ids.append(node_id)
         plan = self.partitioner.scale_out(new_ids)
-        report = execute_rebalance(self.nodes, plan, self.costs)
-        self._maybe_compact_ledger()
+        report = execute_rebalance(
+            self.nodes, plan, self.costs, self.catalog
+        )
+        self._maybe_compact_indexes()
         return report
 
     def remove_chunks(self, refs: Sequence[ChunkRef]) -> RemoveReport:
         """Retire chunks (expiry / deletion) from stores and the ledger.
 
         A retention-windowed workload calls this each cycle to drop data
-        that aged out; the freed ledger slots are compacted away once
-        their ratio crosses ``ledger_compact_ratio``, keeping ledger
-        memory bounded under insert/expire churn
-        (``tests/test_ledger_compaction.py`` drives a staircase run both
-        ways).  The shipped paper workloads are append-only and never
-        call this — a figure-level retention benchmark is on the
-        roadmap.
+        that aged out; the freed ledger and catalog slots are compacted
+        away once their ratio crosses ``ledger_compact_ratio``, keeping
+        index memory bounded under insert/expire churn
+        (``benchmarks/bench_fig8_retention.py`` drives the figure-scale
+        staircase; ``tests/test_ledger_compaction.py`` pins the bound).
         """
         report = execute_remove(
-            self.nodes, self.partitioner, refs, self.costs
+            self.nodes, self.partitioner, refs, self.costs, self.catalog
         )
-        self._maybe_compact_ledger()
+        self._maybe_compact_indexes()
         return report
 
-    def _maybe_compact_ledger(self) -> bool:
-        """Compact the partitioner's ledger past the dead-slot threshold."""
+    def _maybe_compact_indexes(self) -> bool:
+        """Compact ledger + catalog past the dead-slot threshold."""
         if self.ledger_compact_ratio is None:
             return False
-        return self.partitioner.compact_ledger(self.ledger_compact_ratio)
+        compacted = self.partitioner.compact_ledger(
+            self.ledger_compact_ratio
+        )
+        return self.catalog.compact(self.ledger_compact_ratio) or compacted
 
     def ingest(self, chunks: Sequence[ChunkData]) -> IngestReport:
         """Run one §3.4 ingest phase.
@@ -228,6 +298,7 @@ class ElasticCluster:
             chunks,
             self.costs,
             self.coordinator_id,
+            self.catalog,
         )
         return IngestReport(
             insert=insert_report,
@@ -238,12 +309,14 @@ class ElasticCluster:
 
     # ------------------------------------------------------------------
     def check_consistency(self) -> None:
-        """Verify stores and the partitioner ledger agree (tests, debug).
+        """Verify stores, the partitioner ledger, and the catalog agree.
 
         Raises:
             ClusterError: on any disagreement between physical chunk
-                placement and the partitioning table.
+                placement, the partitioning table, and the chunk
+                catalog's columns.
         """
+        catalogued = 0
         for node_id, node in self.nodes.items():
             for ref in node.store.refs():
                 table_node = self.partitioner.locate(ref)
@@ -252,6 +325,25 @@ class ElasticCluster:
                         f"chunk {ref} stored on node {node_id} but table "
                         f"says {table_node}"
                     )
+                if not self.catalog.contains(ref):
+                    raise ClusterError(
+                        f"chunk {ref} stored but missing from catalog"
+                    )
+                if self.catalog.node_of(ref) != node_id:
+                    raise ClusterError(
+                        f"chunk {ref} stored on node {node_id} but "
+                        f"catalog says {self.catalog.node_of(ref)}"
+                    )
+                if self.catalog.payload_of(ref) is not node.store.get(ref):
+                    raise ClusterError(
+                        f"catalog holds a stale payload handle for {ref}"
+                    )
+                catalogued += 1
+        if self.catalog.chunk_count != catalogued:
+            raise ClusterError(
+                f"catalog tracks {self.catalog.chunk_count} chunks but "
+                f"stores hold {catalogued}"
+            )
         table_total = self.partitioner.total_bytes
         stored_total = self.total_bytes
         if abs(table_total - stored_total) > max(

@@ -3,15 +3,22 @@
 The coordinator is the node that receives each insert batch (paper §3.4),
 asks the partitioner where every chunk belongs, and distributes the chunks
 over the cluster.  On scale-out it also executes the partitioner's
-rebalance plan by evicting chunks from donors and installing them on the
-new nodes, and it retires expired chunks (:func:`execute_remove`) so
+rebalance plan, and it retires expired chunks (:func:`execute_remove`) so
 churn-heavy retention workloads shrink instead of growing monotonically.
+
+Every mutation keeps the cluster's columnar chunk catalog
+(:class:`repro.core.catalog.ChunkCatalog`) current, so the query read
+path never re-scans node stores.  The rebalance executor runs as one
+grouped pass — whole-plan validation, per-source bulk evictions,
+per-destination bulk installs, one catalog relocation — with the
+original per-move evict/put loop preserved as the parity oracle behind
+``REPRO_CATALOG=scan`` (:func:`execute_rebalance_scalar`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +27,7 @@ from repro.cluster.costs import CostParameters
 from repro.cluster.network import insert_time, rebalance_time
 from repro.cluster.node import Node
 from repro.core.base import ElasticPartitioner, RebalancePlan
+from repro.core.catalog import ChunkCatalog, default_catalog_mode
 from repro.errors import ClusterError
 
 
@@ -49,13 +57,16 @@ def execute_insert(
     chunks: Iterable[ChunkData],
     costs: CostParameters,
     coordinator_id: int,
+    catalog: Optional[ChunkCatalog] = None,
 ) -> InsertReport:
     """Place and store a batch of chunks; price it per Eq. 6 semantics.
 
     Every chunk is routed through the partitioner (which also updates its
-    byte ledger) and physically stored on the chosen node.  The elapsed
-    time charges the coordinator's local I/O for its own share and its NIC
-    for everything shipped elsewhere.
+    byte ledger) and physically stored on the chosen node — grouped per
+    destination so each store pays one bulk install.  The stored payload
+    objects (merges produce new ones) are recorded in the catalog in
+    batch order.  The elapsed time charges the coordinator's local I/O
+    for its own share and its NIC for everything shipped elsewhere.
     """
     if coordinator_id not in nodes:
         raise ClusterError(f"unknown coordinator node {coordinator_id}")
@@ -76,8 +87,7 @@ def execute_insert(
         dtype=np.float64,
         count=count,
     )
-    # Per-node byte totals as one unique/bincount pass; physical stores
-    # still receive each chunk (object-level put).
+    # Per-node byte totals as one unique/bincount pass.
     uniq_targets, inverse = np.unique(targets, return_inverse=True)
     unknown = [int(t) for t in uniq_targets.tolist() if t not in nodes]
     if unknown:
@@ -89,8 +99,20 @@ def execute_insert(
         int(t): float(b)
         for t, b in zip(uniq_targets.tolist(), node_bytes.tolist())
     }
-    for chunk, target in zip(chunks, targets.tolist()):
-        nodes[target].store.put(chunk)
+    # Physical install, grouped per destination store (batch order is
+    # preserved within a group, so same-ref merges replay identically).
+    target_list = targets.tolist()
+    by_target: Dict[int, List[int]] = {}
+    for i, t in enumerate(target_list):
+        by_target.setdefault(t, []).append(i)
+    stored: List[Optional[ChunkData]] = [None] * count
+    for t, idxs in by_target.items():
+        for i, chunk in zip(
+            idxs, nodes[t].store.put_many([chunks[i] for i in idxs])
+        ):
+            stored[i] = chunk
+    if catalog is not None:
+        catalog.put_batch(stored, target_list)
     elapsed = insert_time(bytes_by_node, coordinator_id, costs)
     return InsertReport(
         chunk_count=count,
@@ -104,8 +126,95 @@ def execute_rebalance(
     nodes: Mapping[int, Node],
     plan: RebalancePlan,
     costs: CostParameters,
+    catalog: Optional[ChunkCatalog] = None,
 ) -> RebalanceReport:
-    """Physically move chunks between stores per a rebalance plan."""
+    """Physically move chunks between stores per a rebalance plan.
+
+    The batch executor validates the whole plan up front (known nodes,
+    every first source actually holding its chunk), collapses per-ref
+    move chains to ``first source → final destination``, then runs one
+    bulk eviction per donor and one bulk install per receiver, followed
+    by a single catalog relocation pass.  Under ``REPRO_CATALOG=scan``
+    the original per-move evict/put loop
+    (:func:`execute_rebalance_scalar`) runs instead — the parity oracle
+    ``tests/test_catalog.py`` compares against.
+    """
+    if default_catalog_mode() == "scan":
+        return execute_rebalance_scalar(nodes, plan, costs, catalog)
+    moves = plan.moves
+    if not moves:
+        return RebalanceReport(
+            chunks_moved=0,
+            bytes_moved=0.0,
+            elapsed_seconds=rebalance_time(plan, costs),
+            touched_nodes=0,
+        )
+    # Whole-plan validation before the first eviction.
+    for move in moves:
+        if move.source not in nodes or move.dest not in nodes:
+            raise ClusterError(
+                f"rebalance references unknown node: {move}"
+            )
+    # Collapse chains: a chunk moved twice within one plan (sequential
+    # splits) leaves its first source once and lands on its final
+    # destination once — the same end state as replaying the moves.
+    # Chains must be continuous (each hop starts where the previous one
+    # ended), exactly as the per-move oracle enforces physically.
+    first_source: Dict[ChunkRef, int] = {}
+    final_dest: Dict[ChunkRef, int] = {}
+    order: List[ChunkRef] = []
+    for move in moves:
+        if move.ref not in first_source:
+            first_source[move.ref] = move.source
+            order.append(move.ref)
+        elif move.source != final_dest[move.ref]:
+            raise ClusterError(
+                f"discontinuous move chain for {move.ref}: hop from "
+                f"{move.source} but the chunk is on "
+                f"{final_dest[move.ref]}"
+            )
+        final_dest[move.ref] = move.dest
+    # Every chained chunk must exist at its first source — including
+    # cyclic chains that net out to no movement, which the per-move
+    # oracle would still try (and fail) to evict.
+    for ref in order:
+        if ref not in nodes[first_source[ref]].store:
+            raise ClusterError(
+                f"rebalance source {first_source[ref]} does not "
+                f"hold {ref}"
+            )
+    net = [r for r in order if first_source[r] != final_dest[r]]
+    by_source: Dict[int, List[ChunkRef]] = {}
+    for ref in net:
+        by_source.setdefault(first_source[ref], []).append(ref)
+    # Grouped physical movement: bulk evictions, then bulk installs.
+    payload: Dict[ChunkRef, ChunkData] = {}
+    for source, refs in by_source.items():
+        payload.update(
+            zip(refs, nodes[source].store.evict_many(refs))
+        )
+    by_dest: Dict[int, List[ChunkRef]] = {}
+    for ref in net:
+        by_dest.setdefault(final_dest[ref], []).append(ref)
+    for dest, refs in by_dest.items():
+        nodes[dest].store.put_many([payload[r] for r in refs])
+    if catalog is not None:
+        catalog.relocate_batch(net, [final_dest[r] for r in net])
+    return RebalanceReport(
+        chunks_moved=plan.chunk_count,
+        bytes_moved=plan.total_bytes,
+        elapsed_seconds=rebalance_time(plan, costs),
+        touched_nodes=len(plan.touched_nodes()),
+    )
+
+
+def execute_rebalance_scalar(
+    nodes: Mapping[int, Node],
+    plan: RebalancePlan,
+    costs: CostParameters,
+    catalog: Optional[ChunkCatalog] = None,
+) -> RebalanceReport:
+    """Parity oracle: the pre-catalog per-move evict/put loop."""
     for move in plan.moves:
         if move.source not in nodes or move.dest not in nodes:
             raise ClusterError(
@@ -113,6 +222,8 @@ def execute_rebalance(
             )
         chunk = nodes[move.source].store.evict(move.ref)
         nodes[move.dest].store.put(chunk)
+        if catalog is not None:
+            catalog.relocate_batch([move.ref], [move.dest])
     return RebalanceReport(
         chunks_moved=plan.chunk_count,
         bytes_moved=plan.total_bytes,
@@ -136,6 +247,7 @@ def execute_remove(
     partitioner: ElasticPartitioner,
     refs: Sequence[ChunkRef],
     costs: CostParameters,
+    catalog: Optional[ChunkCatalog] = None,
 ) -> RemoveReport:
     """Retire chunks: evict from their stores and drop from the ledger.
 
@@ -146,9 +258,10 @@ def execute_remove(
 
     The whole batch is validated (known refs, known nodes, no
     duplicates) before the first eviction, so a bad ref raises without
-    leaving earlier chunks half-removed.
+    leaving earlier chunks half-removed; the evictions then run as one
+    bulk pass per holding node.
     """
-    resolved = []
+    resolved: List[Tuple[ChunkRef, int, float]] = []
     seen = set()
     for ref in refs:
         if ref in seen:
@@ -161,18 +274,22 @@ def execute_remove(
             )
         resolved.append((ref, node, partitioner.size_of(ref)))
 
+    by_node: Dict[int, List[ChunkRef]] = {}
     freed_by_node: Dict[int, float] = {}
-    count = 0
     for ref, node, size in resolved:
-        nodes[node].store.evict(ref)
-        partitioner.remove(ref)
+        by_node.setdefault(node, []).append(ref)
         freed_by_node[node] = freed_by_node.get(node, 0.0) + size
-        count += 1
+    for node, node_refs in by_node.items():
+        nodes[node].store.evict_many(node_refs)
+    for ref, _node, _size in resolved:
+        partitioner.remove(ref)
+    if catalog is not None:
+        catalog.remove_batch([ref for ref, _, _ in resolved])
     elapsed = max(
         (costs.io_time(b) for b in freed_by_node.values()), default=0.0
     )
     return RemoveReport(
-        chunk_count=count,
+        chunk_count=len(resolved),
         bytes_freed=float(sum(freed_by_node.values())),
         elapsed_seconds=elapsed,
         touched_nodes=len(freed_by_node),

@@ -419,6 +419,16 @@ class ElasticPartitioner(ABC):
         """Fraction of allocated ledger slots not holding a live chunk."""
         return self._ledger.dead_slot_fraction
 
+    @property
+    def ledger_column_capacity(self) -> int:
+        """Allocated per-chunk ledger slots (live + dead + headroom).
+
+        The memory-telemetry twin of :attr:`ledger_dead_fraction` —
+        churn harnesses track it to prove compaction bounds index
+        memory, without reaching into the ledger internals.
+        """
+        return self._ledger.column_capacity
+
     # ------------------------------------------------------------------
     # subclass responsibilities
     # ------------------------------------------------------------------

@@ -1,0 +1,535 @@
+"""The cluster-wide columnar chunk catalog.
+
+:class:`ChunkCatalog` is the single authoritative, incrementally
+maintained index of every chunk physically stored in the cluster:
+``(array, chunk key, owner node, bytes, payload handle)``, held as
+interned dense ids over parallel numpy columns in the style of the
+placement ledger (:mod:`repro.core.ledger`).  The coordinator updates it
+in place on every mutation — inserts, rebalances, removals, scale-outs —
+so the query read path (:meth:`pairs_of_array`,
+:meth:`placement_of_array`, :meth:`scan_columns_of`) is an
+O(live-chunks-of-array) column gather with **no per-node store walk and
+no per-query re-sort**.
+
+Per-array sorted views
+----------------------
+For each array the catalog keeps its live chunk ids sorted by chunk key
+(the order ``ElasticCluster.chunks_of_array`` has always returned).
+The views are maintained incrementally: a batch of inserts merges its
+(pre-sorted) new ids into the existing view with one ``searchsorted`` +
+``insert``; removals mask ids out; relocations touch only the owner
+column and leave the order alone.  Nothing is rebuilt per query.
+
+Epochs and the payload cache
+----------------------------
+Every mutation that touches an array bumps that array's **epoch** (and
+the global one); mutations that change cell contents — inserts, merges,
+removals — additionally bump its **payload epoch**.
+:meth:`payload_of_array` concatenates the array's cell coordinates and
+value columns in catalog order and caches the result keyed by
+``(array, attrs, payload epoch)`` — repeated queries skip
+re-concatenation entirely, a content mutation invalidates the cache by
+construction (the entry is dropped eagerly, and a stale one could never
+be served because its recorded epoch no longer matches), and pure
+relocations keep it valid (ownership is not part of a payload, so even
+rebalances don't force a re-concatenation).  Compaction
+(:meth:`compact`) re-interns ids but preserves every observable,
+including live cache entries and epochs.
+
+Parity oracle
+-------------
+Mirroring ``REPRO_LEDGER`` / ``REPRO_COST``, the ``REPRO_CATALOG``
+environment variable (and the :func:`catalog_mode` context manager)
+selects between ``catalog`` routing and the pre-catalog ``scan`` oracle:
+under ``scan`` the cluster re-walks every node's store per query and the
+coordinator executes rebalances one evict/put at a time, exactly as
+before.  The catalog is maintained in both modes, so
+``tests/test_catalog.py`` can compare the two read paths on one cluster.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.chunk import ChunkData, ChunkKey, ChunkRef
+from repro.arrays.coords import pack_rows_void
+from repro.errors import ClusterError
+
+NodeId = int
+
+#: Catalog modes accepted by ``REPRO_CATALOG`` / :func:`catalog_mode`.
+CATALOG_MODES = ("catalog", "scan")
+
+_DEFAULT_MODE: Optional[str] = None
+
+
+def default_catalog_mode() -> str:
+    """The process-wide catalog mode.
+
+    Returns
+    -------
+    str
+        ``"catalog"`` (columnar routing) unless the ``REPRO_CATALOG``
+        environment variable or an enclosing :func:`catalog_mode` block
+        selects ``"scan"`` (the per-node store-walk oracle).
+    """
+    if _DEFAULT_MODE is not None:
+        return _DEFAULT_MODE
+    mode = os.environ.get("REPRO_CATALOG", "catalog").strip().lower()
+    return mode if mode in CATALOG_MODES else "catalog"
+
+
+@contextmanager
+def catalog_mode(mode: str) -> Iterator[None]:
+    """Temporarily pin the catalog mode (parity tests).
+
+    Parameters
+    ----------
+    mode : str
+        One of :data:`CATALOG_MODES`.
+
+    Raises
+    ------
+    ClusterError
+        If ``mode`` is not a known catalog mode.
+    """
+    if mode not in CATALOG_MODES:
+        raise ClusterError(
+            f"unknown catalog mode {mode!r}; expected one of "
+            f"{CATALOG_MODES}"
+        )
+    global _DEFAULT_MODE
+    previous = _DEFAULT_MODE
+    _DEFAULT_MODE = mode
+    try:
+        yield
+    finally:
+        _DEFAULT_MODE = previous
+
+
+def concat_payload(
+    chunks: Sequence[ChunkData],
+    attrs: Sequence[str],
+    ndim: int = 0,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Concatenate chunks' cells into one coordinate/value table.
+
+    The catalog-internal twin of
+    :func:`repro.query.operators.concat_chunk_payload` (kept separate so
+    the cluster layer never imports the query package).  ``ndim`` shapes
+    the empty coordinate table when ``chunks`` is empty.
+    """
+    if not chunks:
+        return (
+            np.empty((0, ndim), dtype=np.int64),
+            {a: np.empty(0) for a in attrs},
+        )
+    coords = np.concatenate([c.coords for c in chunks], axis=0)
+    values = {
+        a: np.concatenate([c.values(a) for c in chunks]) for a in attrs
+    }
+    return coords, values
+
+
+#: Chunk keys sort by their lexicographic void view (shared helper —
+#: :func:`repro.query.operators.pack_coords` is the same packing).
+_pack_keys = pack_rows_void
+
+
+class _ArrayView:
+    """One array's live chunk ids, kept sorted by chunk key.
+
+    ``epoch`` advances on *any* mutation touching the array;
+    ``payload_epoch`` only on mutations that change cell contents
+    (inserts, merges, removals) — pure relocations move ownership, not
+    payloads, so the concatenation cache keys on the latter and
+    survives rebalances.
+    """
+
+    __slots__ = ("ids", "keys", "epoch", "payload_epoch", "width")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.ids = np.empty(0, dtype=np.int64)
+        self.keys = _pack_keys(np.empty((0, width), dtype=np.int64))
+        self.epoch = 0
+        self.payload_epoch = 0
+
+    def insert(self, new_ids: np.ndarray, new_keys: np.ndarray) -> None:
+        """Merge pre-validated new ids into the sorted view."""
+        packed = _pack_keys(new_keys)
+        order = np.argsort(packed)
+        packed = packed[order]
+        positions = np.searchsorted(self.keys, packed)
+        self.ids = np.insert(self.ids, positions, new_ids[order])
+        self.keys = np.insert(self.keys, positions, packed)
+
+    def drop(self, dead_ids: np.ndarray) -> None:
+        """Remove ids from the view (order of survivors unchanged)."""
+        keep = ~np.isin(self.ids, dead_ids)
+        self.ids = self.ids[keep]
+        self.keys = self.keys[keep]
+
+
+class ChunkCatalog:
+    """Columnar cluster-wide chunk index (see module docstring).
+
+    The per-chunk state lives in parallel columns indexed by a dense
+    interned id: the owning :class:`~repro.arrays.chunk.ChunkRef`, the
+    payload handle (the exact :class:`~repro.arrays.chunk.ChunkData`
+    object the owning node's store holds), modeled bytes, and the owner
+    node id.  Removed ids go on a free list for reuse; :meth:`compact`
+    re-interns past a dead-slot threshold, like the placement ledger.
+    """
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self) -> None:
+        cap = self._INITIAL_CAPACITY
+        self._id_of: Dict[ChunkRef, int] = {}
+        self._refs = np.empty(cap, dtype=object)
+        self._chunks = np.empty(cap, dtype=object)
+        self._size = np.zeros(cap, dtype=np.float64)
+        self._node = np.full(cap, -1, dtype=np.int64)
+        self._free: List[int] = []
+        self._hwm = 0
+        self._views: Dict[str, _ArrayView] = {}
+        self._schema_of: Dict[str, object] = {}
+        self._epoch = 0
+        # payload cache: (array, attrs, ndim) -> (epoch, coords, values)
+        self._payload_cache: Dict[
+            Tuple[str, Tuple[str, ...], int],
+            Tuple[int, np.ndarray, Dict[str, np.ndarray]],
+        ] = {}
+        #: Cache telemetry (the retention benchmark reports these).
+        self.payload_hits = 0
+        self.payload_misses = 0
+
+    # -- capacity ------------------------------------------------------
+    def _grow(self, need: int) -> None:
+        cap = len(self._size)
+        if need <= cap:
+            return
+        new_cap = max(need, cap * 2)
+        extra = new_cap - cap
+        self._refs = np.concatenate(
+            [self._refs, np.empty(extra, dtype=object)]
+        )
+        self._chunks = np.concatenate(
+            [self._chunks, np.empty(extra, dtype=object)]
+        )
+        self._size = np.concatenate(
+            [self._size, np.zeros(extra, dtype=np.float64)]
+        )
+        self._node = np.concatenate(
+            [self._node, np.full(extra, -1, dtype=np.int64)]
+        )
+
+    def _alloc(self, count: int) -> np.ndarray:
+        reuse = min(count, len(self._free))
+        ids = np.empty(count, dtype=np.int64)
+        if reuse:
+            ids[:reuse] = self._free[len(self._free) - reuse:]
+            del self._free[len(self._free) - reuse:]
+        fresh = count - reuse
+        if fresh:
+            self._grow(self._hwm + fresh)
+            ids[reuse:] = np.arange(
+                self._hwm, self._hwm + fresh, dtype=np.int64
+            )
+            self._hwm += fresh
+        return ids
+
+    # -- reads ---------------------------------------------------------
+    @property
+    def chunk_count(self) -> int:
+        """Number of live chunks across all arrays."""
+        return len(self._id_of)
+
+    @property
+    def epoch(self) -> int:
+        """Global mutation counter (bumps on any catalog mutation)."""
+        return self._epoch
+
+    def epoch_of(self, array: str) -> int:
+        """One array's mutation counter (0 when the array is unknown)."""
+        view = self._views.get(array)
+        return view.epoch if view is not None else 0
+
+    def payload_epoch_of(self, array: str) -> int:
+        """One array's *content* mutation counter.
+
+        Advances with inserts, merges, and removals but not with pure
+        relocations — the payload cache keys on this, so rebalances
+        leave cached concatenations valid (ownership is not part of a
+        payload).
+        """
+        view = self._views.get(array)
+        return view.payload_epoch if view is not None else 0
+
+    def arrays(self) -> List[str]:
+        """Names of arrays with at least one live chunk, sorted."""
+        return sorted(
+            a for a, v in self._views.items() if len(v.ids)
+        )
+
+    def contains(self, ref: ChunkRef) -> bool:
+        """Whether ``ref`` is currently catalogued."""
+        return ref in self._id_of
+
+    def node_of(self, ref: ChunkRef) -> NodeId:
+        """Node holding ``ref`` (KeyError when not catalogued)."""
+        return int(self._node[self._id_of[ref]])
+
+    def payload_of(self, ref: ChunkRef) -> ChunkData:
+        """The stored payload handle of ``ref`` (KeyError when absent)."""
+        return self._chunks[self._id_of[ref]]
+
+    def _ids_of_array(self, array: str) -> np.ndarray:
+        view = self._views.get(array)
+        if view is None:
+            return np.empty(0, dtype=np.int64)
+        return view.ids
+
+    def pairs_of_array(
+        self, array: str
+    ) -> List[Tuple[ChunkData, NodeId]]:
+        """All (payload, node) pairs of one array, key-sorted.
+
+        One object-column gather in view order — the catalog-mode
+        implementation of ``ElasticCluster.chunks_of_array``.
+        """
+        ids = self._ids_of_array(array)
+        return list(
+            zip(self._chunks[ids].tolist(), self._node[ids].tolist())
+        )
+
+    def placement_of_array(self, array: str) -> Dict[ChunkKey, NodeId]:
+        """Chunk key → node map of one array, from the catalog columns."""
+        ids = self._ids_of_array(array)
+        return {
+            ref.key: node
+            for ref, node in zip(
+                self._refs[ids].tolist(), self._node[ids].tolist()
+            )
+        }
+
+    def scan_columns_of(
+        self, array: str
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[object]]:
+        """``(sizes, nodes, schema)`` columns of one array's live chunks.
+
+        The cost model lowers whole-array scans from these directly
+        (:func:`repro.query.cost.array_scan_columns`) instead of
+        materializing a (chunk, node) pair list first.  The returned
+        arrays are fresh copies (fancy-indexed gathers) in view order.
+        """
+        ids = self._ids_of_array(array)
+        return (
+            self._size[ids],
+            self._node[ids],
+            self._schema_of.get(array),
+        )
+
+    def payload_of_array(
+        self,
+        array: str,
+        attrs: Sequence[str],
+        ndim: int = 0,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Concatenated cells of one array, cached per payload epoch.
+
+        Returns ``(coords, {attr: values})`` over the array's chunks in
+        catalog (key-sorted) order.  The result is cached keyed by
+        ``(array, attrs, ndim)`` and the array's current payload epoch;
+        any content mutation bumps that epoch and drops the entry, so a
+        stale concatenation can never be served, while pure relocations
+        (rebalances) keep the cache warm.  Callers must treat the
+        returned arrays as read-only.
+        """
+        key = (array, tuple(attrs), int(ndim))
+        epoch = self.payload_epoch_of(array)
+        cached = self._payload_cache.get(key)
+        if cached is not None and cached[0] == epoch:
+            self.payload_hits += 1
+            return cached[1], cached[2]
+        self.payload_misses += 1
+        ids = self._ids_of_array(array)
+        coords, values = concat_payload(
+            self._chunks[ids].tolist(), attrs, ndim
+        )
+        self._payload_cache[key] = (epoch, coords, values)
+        return coords, values
+
+    # -- mutation ------------------------------------------------------
+    def _touch(self, arrays, contents: bool = True) -> None:
+        """Bump the global epoch and every touched array's epoch.
+
+        With ``contents`` (inserts, merges, removals) the arrays'
+        payload epochs advance too and their cached payloads are dropped
+        immediately — the epoch check alone would keep a stale
+        concatenation pinned in memory until the same (array, attrs)
+        combination is queried again, which for expired arrays is
+        never.  Pure relocations pass ``contents=False``: ownership is
+        not part of a payload, so the cache stays valid.
+        """
+        self._epoch += 1
+        touched = set()
+        for array in arrays:
+            touched.add(array)
+            view = self._views.get(array)
+            if view is not None:
+                view.epoch = self._epoch
+                if contents:
+                    view.payload_epoch = self._epoch
+        if contents:
+            for key in [
+                k for k in self._payload_cache if k[0] in touched
+            ]:
+                del self._payload_cache[key]
+
+    def put_batch(
+        self,
+        chunks: Sequence[ChunkData],
+        nodes: Sequence[NodeId],
+    ) -> None:
+        """Record stored chunks (insert or merge), in batch order.
+
+        ``chunks`` must be the objects the node stores actually hold
+        after the physical put — for a merge the store replaces its
+        payload with a new merged :class:`ChunkData`, and the catalog
+        handle follows it.  New refs are interned and merged into their
+        array's sorted view; known refs refresh their payload handle and
+        bytes in place (their node must not change — merges never
+        relocate).
+        """
+        if not chunks:
+            return
+        id_of = self._id_of
+        new_by_array: Dict[str, Tuple[List[int], List[ChunkKey]]] = {}
+        touched = set()
+        for chunk, node in zip(chunks, nodes):
+            ref = chunk.ref()
+            array = ref.array
+            touched.add(array)
+            i = id_of.get(ref)
+            if i is None:
+                i = int(self._alloc(1)[0])
+                id_of[ref] = i
+                self._refs[i] = ref
+                self._node[i] = node
+                if array not in self._schema_of:
+                    self._schema_of[array] = chunk.schema
+                new_ids, new_keys = new_by_array.setdefault(
+                    array, ([], [])
+                )
+                new_ids.append(i)
+                new_keys.append(ref.key)
+            self._chunks[i] = chunk
+            self._size[i] = chunk.size_bytes
+        for array, (new_ids, new_keys) in new_by_array.items():
+            view = self._views.get(array)
+            if view is None:
+                view = _ArrayView(len(new_keys[0]))
+                self._views[array] = view
+            view.insert(
+                np.asarray(new_ids, dtype=np.int64),
+                np.asarray(new_keys, dtype=np.int64),
+            )
+        self._touch(touched)
+
+    def relocate_batch(
+        self,
+        refs: Sequence[ChunkRef],
+        dests: Sequence[NodeId],
+    ) -> None:
+        """Reassign many chunks' owner nodes (sorted views unchanged)."""
+        if not refs:
+            return
+        id_of = self._id_of
+        ids = np.fromiter(
+            (id_of[r] for r in refs), dtype=np.int64, count=len(refs)
+        )
+        self._node[ids] = np.asarray(dests, dtype=np.int64)
+        self._touch({r.array for r in refs}, contents=False)
+
+    def remove_batch(self, refs: Sequence[ChunkRef]) -> None:
+        """Drop chunks from the catalog; their ids join the free list."""
+        if not refs:
+            return
+        by_array: Dict[str, List[int]] = {}
+        for ref in refs:
+            i = self._id_of.pop(ref)
+            self._refs[i] = None
+            self._chunks[i] = None
+            self._size[i] = 0.0
+            self._node[i] = -1
+            self._free.append(i)
+            by_array.setdefault(ref.array, []).append(i)
+        for array, dead in by_array.items():
+            self._views[array].drop(np.asarray(dead, dtype=np.int64))
+        self._touch(by_array)
+
+    # -- compaction ----------------------------------------------------
+    @property
+    def column_capacity(self) -> int:
+        """Allocated per-chunk column slots (live + dead + headroom)."""
+        return len(self._size)
+
+    @property
+    def dead_slot_fraction(self) -> float:
+        """Fraction of :attr:`column_capacity` not holding a live chunk."""
+        cap = len(self._size)
+        return 1.0 - len(self._id_of) / cap if cap else 0.0
+
+    def compact(self, min_dead_fraction: float = 0.0) -> bool:
+        """Re-intern live ids into dense slots and shrink the columns.
+
+        Observable state — pairs, placements, scan columns, epochs, and
+        live payload-cache entries — is unchanged; only the internal id
+        space is rewritten (the per-array views are remapped in place,
+        preserving their sort order).  Mirrors
+        :meth:`repro.core.ledger.ArrayChunkLedger.compact`.
+
+        Returns
+        -------
+        bool
+            ``True`` when the columns were rebuilt.
+        """
+        cap = len(self._size)
+        live = len(self._id_of)
+        if cap == 0 or self.dead_slot_fraction < min_dead_fraction:
+            return False
+        new_cap = max(self._INITIAL_CAPACITY, live)
+        if not self._free and cap <= new_cap:
+            return False
+        old_ids = np.fromiter(
+            self._id_of.values(), dtype=np.int64, count=live
+        )
+        old_ids.sort()
+        mapping = np.full(cap, -1, dtype=np.int64)
+        mapping[old_ids] = np.arange(live, dtype=np.int64)
+        refs = self._refs[old_ids]
+        new_refs = np.empty(new_cap, dtype=object)
+        new_refs[:live] = refs
+        new_chunks = np.empty(new_cap, dtype=object)
+        new_chunks[:live] = self._chunks[old_ids]
+        new_size = np.zeros(new_cap, dtype=np.float64)
+        new_size[:live] = self._size[old_ids]
+        new_node = np.full(new_cap, -1, dtype=np.int64)
+        new_node[:live] = self._node[old_ids]
+        self._refs = new_refs
+        self._chunks = new_chunks
+        self._size = new_size
+        self._node = new_node
+        self._id_of = dict(zip(refs.tolist(), range(live)))
+        self._free = []
+        self._hwm = live
+        for view in self._views.values():
+            if len(view.ids):
+                view.ids = mapping[view.ids]
+        return True

@@ -15,8 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.costs import DEFAULT_COSTS, GB
-from repro.core.registry import PARTITIONER_CLASSES
+import numpy as np
+
+from repro.arrays.chunk import ChunkData
+from repro.arrays.coords import Box
+from repro.arrays.schema import parse_schema
+from repro.cluster.cluster import ElasticCluster
+from repro.cluster.costs import DEFAULT_COSTS, GB, CostParameters
+from repro.core.registry import PARTITIONER_CLASSES, make_partitioner
 from repro.core.traits import DISPLAY_NAMES, PAPER_ORDER, PAPER_TAXONOMY, TRAIT_COLUMNS
 from repro.core.tuning import (
     ScaleOutCostModel,
@@ -505,6 +511,156 @@ def table3_cost_model(
         best_estimated=best_planning_cycles(estimates),
         best_measured=best_planning_cycles(measured),
     )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 companion — a sliding retention window under churn
+# ----------------------------------------------------------------------
+#: Chunk-grid space of the retention workload (time is unbounded).
+_RETENTION_GRID = Box((0, 0, 0), (10_000, 64, 64))
+_RETENTION_SCHEMA = parse_schema(
+    "R<v:double>[t=0:*,1, x=0:63,1, y=0:63,1]"
+)
+
+
+@dataclass
+class RetentionResult:
+    """The retention-window staircase: live bytes, index memory, epochs.
+
+    Where Figure 8 grows monotonically, this run expires data beyond a
+    sliding retention window each cycle, so the storage curve is a
+    staircase up, a plateau, and steady churn — the regime where ledger
+    and catalog compaction, incremental reorganization, and the
+    per-epoch payload cache all interact.
+    """
+
+    retention_cycles: int
+    #: per-cycle series (one entry per completed cycle)
+    live_gb: List[float]
+    ingested_gb: List[float]
+    nodes: List[int]
+    live_chunks: List[int]
+    ledger_capacity: List[int]
+    catalog_capacity: List[int]
+    catalog_epochs: List[int]
+    storage_rsd: List[float]
+    #: payload-cache telemetry over the whole run
+    payload_cache_hits: int
+    payload_cache_misses: int
+
+    def render(self) -> str:
+        table = format_series_table(
+            {
+                "Live (GB)": self.live_gb,
+                "Ingested (GB)": self.ingested_gb,
+                "Nodes": [float(n) for n in self.nodes],
+                "Live chunks": [float(c) for c in self.live_chunks],
+                "Ledger slots": [
+                    float(c) for c in self.ledger_capacity
+                ],
+                "Catalog slots": [
+                    float(c) for c in self.catalog_capacity
+                ],
+                "Catalog epoch": [
+                    float(e) for e in self.catalog_epochs
+                ],
+            },
+            title=(
+                "Figure 8 companion: sliding retention window "
+                f"(window = {self.retention_cycles} cycles)"
+            ),
+            fmt="{:.1f}",
+        )
+        return table + (
+            f"\npayload cache: {self.payload_cache_hits} hits / "
+            f"{self.payload_cache_misses} misses"
+        )
+
+
+def figure8_retention(
+    cycles: int = 20,
+    retention_cycles: int = 4,
+    ramp_cycles: int = 4,
+    ramp_chunks: int = 120,
+    steady_chunks: int = 30,
+    node_capacity_gb: float = 100.0,
+    queries_per_cycle: int = 3,
+    seed: int = 11,
+) -> RetentionResult:
+    """Drive a staircase-up / plateau / churn run with expiring data.
+
+    Each cycle ingests a batch of paper-scale chunks (a heavy ramp for
+    the first ``ramp_cycles`` cycles, then steady state), expires every
+    chunk older than ``retention_cycles`` cycles via
+    :meth:`ElasticCluster.remove_chunks`, scales out +2 nodes whenever
+    demand crosses 85 % of capacity (the fixed §6.2 schedule), and runs
+    ``queries_per_cycle`` repeated whole-array payload gathers — the
+    repeats are served from the catalog's per-epoch cache until the next
+    mutation bumps the epoch.
+    """
+    rng = np.random.default_rng(seed)
+    partitioner = make_partitioner(
+        "hilbert_curve", [0, 1], grid=_RETENTION_GRID,
+        node_capacity_bytes=node_capacity_gb * GB,
+    )
+    cluster = ElasticCluster(
+        partitioner,
+        node_capacity_bytes=node_capacity_gb * GB,
+        costs=CostParameters(),
+        ledger_compact_ratio=0.3,
+    )
+    result = RetentionResult(
+        retention_cycles=retention_cycles,
+        live_gb=[], ingested_gb=[], nodes=[], live_chunks=[],
+        ledger_capacity=[], catalog_capacity=[], catalog_epochs=[],
+        storage_rsd=[], payload_cache_hits=0, payload_cache_misses=0,
+    )
+    window: List[List] = []
+    ingested = 0.0
+    for cycle in range(cycles):
+        per_cycle = ramp_chunks if cycle < ramp_cycles else steady_chunks
+        by_key = {}
+        for _ in range(per_cycle):
+            key = (
+                cycle,
+                int(rng.integers(0, 64)),
+                int(rng.integers(0, 64)),
+            )
+            by_key[key] = ChunkData(
+                _RETENTION_SCHEMA, key,
+                np.array([key], dtype=np.int64),
+                {"v": np.array([1.0])},
+                size_bytes=float(rng.lognormal(np.log(0.5 * GB), 0.6)),
+            )
+        batch = list(by_key.values())
+        ingested += sum(c.size_bytes for c in batch)
+        demand = cluster.total_bytes + sum(c.size_bytes for c in batch)
+        if demand > 0.85 * cluster.capacity_bytes:
+            cluster.scale_out(2)
+        cluster.ingest(batch)
+        window.append([c.ref() for c in batch])
+        if len(window) > retention_cycles:
+            cluster.remove_chunks(window.pop(0))
+        # Repeated whole-array reads between reorganizations: the first
+        # pays the concatenation, the rest hit the per-epoch cache.
+        for _ in range(queries_per_cycle):
+            cluster.array_payload("R", ["v"], ndim=3)
+        cluster.check_consistency()
+        result.live_gb.append(cluster.total_bytes / GB)
+        result.ingested_gb.append(ingested / GB)
+        result.nodes.append(cluster.node_count)
+        result.live_chunks.append(cluster.partitioner.chunk_count)
+        result.ledger_capacity.append(
+            cluster.partitioner.ledger_column_capacity
+        )
+        result.catalog_capacity.append(
+            cluster.catalog.column_capacity
+        )
+        result.catalog_epochs.append(cluster.catalog.epoch)
+        result.storage_rsd.append(cluster.storage_rsd())
+    result.payload_cache_hits = cluster.catalog.payload_hits
+    result.payload_cache_misses = cluster.catalog.payload_misses
+    return result
 
 
 # ----------------------------------------------------------------------

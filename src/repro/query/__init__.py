@@ -9,8 +9,10 @@ from repro.query.cost import (
     CostAccumulator,
     add_network_work,
     add_scan_work,
+    array_scan_columns,
     charge_network,
     charge_scan,
+    charge_scan_array,
     colocation_shuffle_bytes,
     cost_mode,
     default_cost_mode,
@@ -18,6 +20,7 @@ from repro.query.cost import (
     halo_shuffle_bytes,
     neighbor_pairs,
     node_byte_sums,
+    node_byte_sums_array,
     scan_columns,
     spatial_neighbors,
 )
@@ -68,8 +71,10 @@ __all__ = [
     "add_network_work",
     "add_scan_work",
     "ais_suite",
+    "array_scan_columns",
     "charge_network",
     "charge_scan",
+    "charge_scan_array",
     "colocation_shuffle_bytes",
     "cost_mode",
     "default_cost_mode",
@@ -79,6 +84,7 @@ __all__ = [
     "modis_suite",
     "neighbor_pairs",
     "node_byte_sums",
+    "node_byte_sums_array",
     "run_suite",
     "scan_columns",
     "spatial_neighbors",

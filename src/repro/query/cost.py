@@ -297,6 +297,19 @@ def scan_columns(
     return sizes, nodes
 
 
+def _byte_sums_from_columns(
+    sizes: np.ndarray, nodes: np.ndarray, fraction: float
+) -> Dict[int, float]:
+    """One unique/bincount pass from byte/owner columns to a node map."""
+    if sizes.size == 0:
+        return {}
+    uniq, inverse = np.unique(nodes, return_inverse=True)
+    sums = np.bincount(inverse, weights=sizes) * fraction
+    return {
+        int(n): float(s) for n, s in zip(uniq, sums) if s > 0
+    }
+
+
 def node_byte_sums(
     chunks_nodes: Sequence[Tuple[ChunkData, int]],
     attrs: Optional[Sequence[str]] = None,
@@ -323,13 +336,101 @@ def node_byte_sums(
         ``node -> bytes`` for nodes with a positive total.
     """
     sizes, nodes = scan_columns(chunks_nodes, attrs)
-    if sizes.size == 0:
-        return {}
-    uniq, inverse = np.unique(nodes, return_inverse=True)
-    sums = np.bincount(inverse, weights=sizes) * fraction
-    return {
-        int(n): float(s) for n, s in zip(uniq, sums) if s > 0
-    }
+    return _byte_sums_from_columns(sizes, nodes, fraction)
+
+
+# ----------------------------------------------------------------------
+# whole-array lowering from the chunk catalog
+# ----------------------------------------------------------------------
+def array_scan_columns(
+    cluster,
+    array: str,
+    attrs: Optional[Sequence[str]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lower one whole array to ``(sizes, nodes)`` columns.
+
+    The catalog-era entry point for queries that touch every chunk of an
+    array: the byte and owner columns come straight from the cluster's
+    chunk catalog (:meth:`ElasticCluster.array_scan_columns`) with no
+    (chunk, node) pair list materialized in between.  Under the
+    ``REPRO_CATALOG=scan`` oracle the cluster returns no columns and the
+    lowering falls back to :func:`scan_columns` over
+    ``chunks_of_array`` — byte-identical output either way.
+
+    Parameters
+    ----------
+    cluster : ElasticCluster
+        The cluster being queried.
+    array : str
+        Array name.
+    attrs : sequence of str or None
+        Attributes read (``None`` = all); applied as one
+        vertical-partitioning multiply.
+
+    Returns
+    -------
+    sizes : numpy.ndarray of float64
+        Modeled bytes the query reads from each chunk.
+    nodes : numpy.ndarray of int64
+        Hosting node of each chunk.
+    """
+    cols = cluster.array_scan_columns(array)
+    if cols is None:  # scan oracle: pair-list lowering
+        return scan_columns(cluster.chunks_of_array(array), attrs)
+    sizes, nodes, schema = cols
+    if attrs is not None and schema is not None and sizes.size:
+        sizes = sizes * attr_fraction(schema, attrs)
+    return sizes, nodes
+
+
+def charge_scan_array(
+    acc: CostAccumulator,
+    cluster,
+    array: str,
+    attrs: Optional[Sequence[str]],
+    costs: CostParameters,
+    cpu_intensity: float,
+) -> float:
+    """Charge scan work for every chunk of one array (mode-dispatching).
+
+    Batch cost mode lowers the catalog columns directly
+    (:func:`array_scan_columns` → :func:`add_scan_work`, zero per-chunk
+    Python); scalar cost mode replays the per-chunk dict oracle over the
+    materialized ``chunks_of_array`` pairs.
+
+    Returns
+    -------
+    float
+        Total bytes scanned.
+    """
+    if default_cost_mode() == "scalar":
+        return charge_scan(
+            acc, cluster.chunks_of_array(array), attrs, costs,
+            cpu_intensity,
+        )
+    sizes, nodes = array_scan_columns(cluster, array, attrs)
+    return add_scan_work(acc, sizes, nodes, costs, cpu_intensity)
+
+
+def node_byte_sums_array(
+    cluster,
+    array: str,
+    attrs: Optional[Sequence[str]] = None,
+    fraction: float = 1.0,
+) -> Dict[int, float]:
+    """Per-node byte totals of one whole array, from catalog columns.
+
+    The whole-array counterpart of :func:`node_byte_sums`: merge phases
+    of full-array queries price themselves without materializing the
+    (chunk, node) pair list.
+
+    Returns
+    -------
+    dict of int to float
+        ``node -> bytes`` for nodes with a positive total.
+    """
+    sizes, nodes = array_scan_columns(cluster, array, attrs)
+    return _byte_sums_from_columns(sizes, nodes, fraction)
 
 
 # ----------------------------------------------------------------------

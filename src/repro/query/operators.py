@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arrays.chunk import ChunkData
-from repro.arrays.coords import Box, pack_rows, row_packing
+from repro.arrays.coords import Box, pack_rows, pack_rows_void, row_packing
 from repro.errors import QueryError
 
 
@@ -134,8 +134,7 @@ def pack_coords(coords: np.ndarray) -> np.ndarray:
     coordinate table repeatedly should pack once and pass the keys
     through ``position_join(..., keys_a=..., keys_b=...)``.
     """
-    c = np.ascontiguousarray(coords, dtype=np.int64)
-    return c.view([("", np.int64)] * c.shape[1]).reshape(-1)
+    return pack_rows_void(coords)
 
 
 def position_join(
@@ -737,12 +736,17 @@ def count_close_pairs(
     """Number of point pairs within ``radius`` (collision candidates).
 
     Grid-hashing keeps this near-linear: points are bucketed at the
-    radius scale and only neighbouring buckets are compared — but the
-    bucket membership and the pair distance tests are all vectorized
-    (the scalar oracle walks every pair in Python).  With ``segments``,
-    only pairs within the same segment count: the collision query
-    concatenates every chunk's ships and passes the chunk index, so one
-    call covers the whole fleet without inventing cross-chunk pairs.
+    radius scale and only neighbouring buckets are compared.  The bucket
+    pairing itself is vectorized — points sort once by their packed
+    ``(segment, gx, gy)`` key, and for each of the nine stencil offsets
+    a single ``searchsorted`` finds every point's neighbour-bucket run,
+    which expands to candidate pairs with ``repeat`` arithmetic (no
+    per-bucket Python walk; the scalar oracle
+    :func:`count_close_pairs_scalar` still walks every pair).  With
+    ``segments``, only pairs within the same segment count: the
+    collision query concatenates every chunk's ships and passes the
+    chunk index, so one call covers the whole fleet without inventing
+    cross-chunk pairs.
 
     Parameters
     ----------
@@ -768,6 +772,63 @@ def count_close_pairs(
     else:
         seg = np.asarray(segments, dtype=np.int64)
     key = np.stack([seg, gx, gy], axis=1)
+    # pad=1: stencil offsets reach one bucket outside the extremes.
+    packing = _row_packing(key, pad=1)
+    if packing is None:  # unpackable extent: exact bucket-walk fallback
+        return _count_close_pairs_buckets(lon, lat, radius, key)
+    packed = _pack_rows(key, *packing)
+    order = np.argsort(packed, kind="stable")
+    sorted_keys = packed[order]
+    lon_s = lon[order]
+    lat_s = lat[order]
+    key_s = key[order]
+    count = 0
+    r2 = radius * radius
+    offset = np.empty(3, dtype=np.int64)
+    offset[0] = 0
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            offset[1] = dx
+            offset[2] = dy
+            target = _pack_rows(key_s + offset, *packing)
+            starts = np.searchsorted(sorted_keys, target, side="left")
+            ends = np.searchsorted(sorted_keys, target, side="right")
+            lens = ends - starts
+            total = int(lens.sum())
+            if total == 0:
+                continue
+            # Expand each point's neighbour-bucket run [start, end) to
+            # (src, dst) sorted-position pairs.
+            src = np.repeat(np.arange(n, dtype=np.int64), lens)
+            run_base = np.repeat(
+                np.cumsum(lens) - lens, lens
+            )
+            dst = (
+                np.arange(total, dtype=np.int64)
+                - run_base
+                + np.repeat(starts, lens)
+            )
+            # Each unordered pair is generated in both directions (via
+            # opposite offsets, or twice within the (0, 0) bucket);
+            # keeping the strictly later sorted position counts it once.
+            keep = dst > src
+            if not keep.any():
+                continue
+            src = src[keep]
+            dst = dst[keep]
+            d2 = (lon_s[src] - lon_s[dst]) ** 2
+            d2 += (lat_s[src] - lat_s[dst]) ** 2
+            count += int((d2 <= r2).sum())
+    return count
+
+
+def _count_close_pairs_buckets(
+    lon: np.ndarray,
+    lat: np.ndarray,
+    radius: float,
+    key: np.ndarray,
+) -> int:
+    """Per-bucket fallback for key extents that defeat int64 packing."""
     uniq, inverse = np.unique(key, axis=0, return_inverse=True)
     order = np.argsort(inverse, kind="stable")
     ends = np.cumsum(np.bincount(inverse))

@@ -33,11 +33,13 @@ from repro.query.cost import (
     CostAccumulator,
     charge_network,
     charge_scan,
+    charge_scan_array,
     default_cost_mode,
     elapsed_time,
     halo_shuffle_bytes,
     neighbor_pairs,
     node_byte_sums,
+    node_byte_sums_array,
     spatial_neighbors,
     sum_endpoint_bytes,
 )
@@ -283,19 +285,24 @@ class AisDensityMap(Query):
         self.coarse_degrees = coarse_degrees
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
-        touched = cluster.chunks_of_array("broadcast")
+        # Whole-array query: catalog-column cost lowering, and the
+        # (coords, speed) concatenation comes from the per-epoch payload
+        # cache — repeated density maps between reorganizations skip the
+        # re-concatenation entirely.
         acc = CostAccumulator(cluster.node_ids)
-        scanned = charge_scan(
-            acc, touched, ["speed"], cluster.costs,
+        scanned = charge_scan_array(
+            acc, cluster, "broadcast", ["speed"], cluster.costs,
             cpu_intensity=1.2,
         )
-        merge = node_byte_sums(touched, ["speed"], fraction=0.01)
+        merge = node_byte_sums_array(
+            cluster, "broadcast", ["speed"], fraction=0.01
+        )
         network = charge_network(acc, merge, cluster.costs)
 
         # Batch group-by: one mask + one unique/count pass over every
         # moving ship, replacing the per-chunk dict merges.
-        coords, values = ops.concat_chunk_payload(
-            (c for c, _ in touched), ["speed"], ndim=3
+        coords, values = cluster.array_payload(
+            "broadcast", ["speed"], ndim=3
         )
         moving = values["speed"] > 0
         _buckets, counts = ops.group_count_by_grid_arrays(

@@ -28,9 +28,10 @@ from repro.query.cost import (
     CostAccumulator,
     charge_network,
     charge_scan,
+    charge_scan_array,
     colocation_shuffle_bytes,
     elapsed_time,
-    node_byte_sums,
+    node_byte_sums_array,
 )
 from repro.query.executor import CATEGORY_SPJ, Query
 from repro.query.result import QueryResult
@@ -101,22 +102,27 @@ class ModisQuantileSort(Query):
         self.qs = tuple(qs)
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
-        touched = cluster.chunks_of_array("band1")
+        # Whole-array query: cost lowers straight from the catalog's
+        # byte/owner columns, and the radiance concatenation is served
+        # from the per-epoch payload cache (no pair list, no re-concat
+        # between reorganizations).
         acc = CostAccumulator(cluster.node_ids)
         # Vertical partitioning: the sort only reads the radiance column.
-        scanned = charge_scan(
-            acc, touched, ["radiance"], cluster.costs,
+        scanned = charge_scan_array(
+            acc, cluster, "band1", ["radiance"], cluster.costs,
             cpu_intensity=1.0,
         )
         # Merge phase: every node ships its sample to the coordinator.
-        sample_bytes = node_byte_sums(
-            touched, ["radiance"], fraction=self.sample_fraction
+        sample_bytes = node_byte_sums_array(
+            cluster, "band1", ["radiance"],
+            fraction=self.sample_fraction,
         )
         charge_network(acc, sample_bytes, cluster.costs)
 
-        values = np.concatenate(
-            [c.values("radiance") for c, _ in touched]
-        ) if touched else np.empty(0)
+        _coords, vals = cluster.array_payload(
+            "band1", ["radiance"], ndim=3
+        )
+        values = vals["radiance"]
         sample = ops.uniform_sample(
             values, self.sample_fraction, seed=cycle
         )
@@ -257,21 +263,24 @@ class AisDistinctShips(Query):
         self.workload = workload
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
-        touched = cluster.chunks_of_array("broadcast")
+        # Whole-array query: catalog-column cost lowering + cached
+        # ship-id concatenation (see ModisQuantileSort).
         acc = CostAccumulator(cluster.node_ids)
-        scanned = charge_scan(
-            acc, touched, ["ship_id"], cluster.costs,
+        scanned = charge_scan_array(
+            acc, cluster, "broadcast", ["ship_id"], cluster.costs,
             cpu_intensity=1.0,
         )
         # Each node ships its local distinct set (tiny) — model as 1 % of
         # the scanned column per node.
-        merge_bytes = node_byte_sums(touched, ["ship_id"], fraction=0.01)
+        merge_bytes = node_byte_sums_array(
+            cluster, "broadcast", ["ship_id"], fraction=0.01
+        )
         network = charge_network(acc, merge_bytes, cluster.costs)
 
-        ids = [c.values("ship_id") for c, _ in touched]
-        distinct = ops.sorted_distinct(
-            np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+        _coords, vals = cluster.array_payload(
+            "broadcast", ["ship_id"], ndim=3
         )
+        distinct = ops.sorted_distinct(vals["ship_id"])
         return QueryResult(
             name=self.name,
             category=self.category,

@@ -1,0 +1,522 @@
+"""The cluster-wide chunk catalog: parity, epochs, cache invalidation.
+
+Covers the ISSUE-4 catalog contract:
+
+* property test — hypothesis interleavings of insert / rebalance /
+  remove / scale-out across all registered partitioning schemes assert
+  that the catalog read path (``chunks_of_array``,
+  ``placement_of_array``, ``array_payload``) returns exactly what the
+  pre-catalog store-scan oracle (``REPRO_CATALOG=scan``) returns —
+  same payload objects, same order — and that a stale payload cache is
+  never served after an epoch bump;
+* the grouped rebalance executor is physically equivalent to the
+  per-move oracle, including chained moves;
+* :class:`ChunkStore`'s batch APIs and the dirty-bit sorted-ref cache;
+* catalog compaction preserves every observable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import Box, ChunkData, ChunkRef, parse_schema
+from repro.arrays.storage import ChunkStore
+from repro.cluster import (
+    CostParameters,
+    ElasticCluster,
+    GB,
+    execute_rebalance,
+    execute_rebalance_scalar,
+)
+from repro.cluster.node import Node
+from repro.core import ALL_PARTITIONERS, make_partitioner
+from repro.core.base import Move, RebalancePlan
+from repro.core.catalog import (
+    ChunkCatalog,
+    catalog_mode,
+    concat_payload,
+    default_catalog_mode,
+)
+from repro.errors import ClusterError, StorageError
+
+GRID = Box((0, 0, 0), (10_000, 16, 16))
+SCHEMAS = {
+    "A": parse_schema("A<v:double>[t=0:*,1, x=0:15,1, y=0:15,1]"),
+    "B": parse_schema("B<v:double>[t=0:*,1, x=0:15,1, y=0:15,1]"),
+}
+
+
+def _chunk(array, t, x, y, size, value=1.0):
+    return ChunkData(
+        SCHEMAS[array], (t, x, y),
+        np.array([[t, x, y]], dtype=np.int64),
+        {"v": np.array([float(value)])},
+        size_bytes=float(size),
+    )
+
+
+def _make_cluster(name, nodes=2):
+    partitioner = make_partitioner(
+        name, list(range(nodes)), grid=GRID,
+        node_capacity_bytes=1000 * GB,
+    )
+    return ElasticCluster(
+        partitioner, 1000 * GB, costs=CostParameters(),
+        ledger_compact_ratio=0.3,
+    )
+
+
+def _assert_catalog_matches_scan(cluster):
+    """Catalog reads ≡ store-scan oracle reads, on one cluster."""
+    for array in SCHEMAS:
+        with catalog_mode("scan"):
+            oracle_pairs = cluster.chunks_of_array(array)
+            oracle_place = cluster.placement_of_array(array)
+            oracle_payload = cluster.array_payload(array, ["v"], ndim=3)
+        pairs = cluster.chunks_of_array(array)
+        # Same payload *objects* (the handles track the stores), same
+        # owners, same key-sorted order.
+        assert [(id(c), n) for c, n in pairs] == [
+            (id(c), n) for c, n in oracle_pairs
+        ]
+        assert cluster.placement_of_array(array) == oracle_place
+        coords, values = cluster.array_payload(array, ["v"], ndim=3)
+        assert np.array_equal(coords, oracle_payload[0])
+        assert np.array_equal(values["v"], oracle_payload[1]["v"])
+
+
+class TestCatalogParityProperty:
+    """Random mutation interleavings keep catalog ≡ scan oracle."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(ALL_PARTITIONERS),
+        seed=st.integers(0, 2**31),
+        script=st.lists(
+            st.sampled_from(
+                ["ingest", "ingest_dup", "grow", "expire", "query",
+                 "compact"]
+            ),
+            min_size=4,
+            max_size=12,
+        ),
+    )
+    def test_interleaved_ops(self, name, seed, script):
+        rng = np.random.default_rng(seed)
+        cluster = _make_cluster(name)
+        window = []
+        t = 0
+        for op in script:
+            epochs_before = {
+                a: cluster.catalog.epoch_of(a) for a in SCHEMAS
+            }
+            if op in ("ingest", "ingest_dup"):
+                t += 1
+                batch = []
+                arrays = set()
+                for _ in range(int(rng.integers(3, 20))):
+                    array = "AB"[int(rng.integers(0, 2))]
+                    arrays.add(array)
+                    batch.append(_chunk(
+                        array, t,
+                        int(rng.integers(0, 16)),
+                        int(rng.integers(0, 16)),
+                        float(rng.lognormal(2, 1)),
+                    ))
+                if op == "ingest_dup" and batch:
+                    # Same-ref duplicates within one batch merge; the
+                    # catalog handle must follow the merged payload.
+                    batch.append(batch[0])
+                    batch.append(batch[-2])
+                cluster.ingest(batch)
+                window.append(
+                    sorted({c.ref() for c in batch},
+                           key=lambda r: (r.array, r.key))
+                )
+                # the touched arrays' epochs must have bumped
+                for a in arrays:
+                    assert (
+                        cluster.catalog.epoch_of(a) > epochs_before[a]
+                    )
+            elif op == "grow":
+                # (schemes like hilbert_curve cannot split an empty
+                # table — real flows always ingest before scaling out)
+                if cluster.partitioner.chunk_count:
+                    cluster.scale_out(1)
+            elif op == "expire":
+                if len(window) > 2:
+                    cluster.remove_chunks(window.pop(0))
+            elif op == "compact":
+                cluster.catalog.compact(0.0)
+            else:  # query: repeats between mutations hit the cache
+                for array in SCHEMAS:
+                    first = cluster.array_payload(array, ["v"], ndim=3)
+                    again = cluster.array_payload(array, ["v"], ndim=3)
+                    assert first[0] is again[0]
+                    assert first[1]["v"] is again[1]["v"]
+            _assert_catalog_matches_scan(cluster)
+            cluster.check_consistency()
+
+
+class TestAllSchemesParity:
+    """Deterministic ingest/grow/expire cycle, every registered scheme."""
+
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    def test_fixed_lifecycle(self, name):
+        rng = np.random.default_rng(3)
+        cluster = _make_cluster(name)
+        window = []
+        for cycle in range(5):
+            batch = {}
+            for _ in range(12):
+                array = "AB"[int(rng.integers(0, 2))]
+                key = (
+                    cycle,
+                    int(rng.integers(0, 16)),
+                    int(rng.integers(0, 16)),
+                )
+                batch[(array, key)] = _chunk(
+                    array, *key, float(rng.lognormal(2, 1))
+                )
+            cluster.ingest(list(batch.values()))
+            window.append([c.ref() for c in batch.values()])
+            if cycle == 1:
+                cluster.scale_out(1)
+            if len(window) > 2:
+                cluster.remove_chunks(window.pop(0))
+            _assert_catalog_matches_scan(cluster)
+            cluster.check_consistency()
+
+
+class TestPayloadCache:
+    def test_cache_hit_between_mutations(self):
+        cluster = _make_cluster("round_robin")
+        cluster.ingest([_chunk("A", 0, x, 0, 10.0) for x in range(8)])
+        hits = cluster.catalog.payload_hits
+        first = cluster.array_payload("A", ["v"], ndim=3)
+        again = cluster.array_payload("A", ["v"], ndim=3)
+        assert again[0] is first[0]
+        assert cluster.catalog.payload_hits == hits + 1
+
+    @pytest.mark.parametrize(
+        "mutate",
+        ["ingest", "scale_out", "remove", "merge"],
+    )
+    def test_every_mutation_invalidates(self, mutate):
+        cluster = _make_cluster("round_robin")
+        chunks = [_chunk("A", 0, x, 0, 10.0) for x in range(8)]
+        cluster.ingest(chunks)
+        stale = cluster.array_payload("A", ["v"], ndim=3)
+        epoch = cluster.catalog.epoch_of("A")
+        if mutate == "ingest":
+            cluster.ingest([_chunk("A", 1, 0, 0, 5.0)])
+        elif mutate == "scale_out":
+            cluster.scale_out(1)
+        elif mutate == "remove":
+            cluster.remove_chunks([chunks[0].ref()])
+        else:  # merge into an existing chunk
+            cluster.ingest([_chunk("A", 0, 0, 0, 5.0, value=9.0)])
+        assert cluster.catalog.epoch_of("A") > epoch
+        fresh = cluster.array_payload("A", ["v"], ndim=3)
+        with catalog_mode("scan"):
+            oracle = cluster.array_payload("A", ["v"], ndim=3)
+        assert np.array_equal(fresh[0], oracle[0])
+        assert np.array_equal(fresh[1]["v"], oracle[1]["v"])
+        if mutate != "scale_out":
+            # the stale concatenation is genuinely different data
+            assert not (
+                stale[0].shape == fresh[0].shape
+                and np.array_equal(stale[0], fresh[0])
+                and np.array_equal(stale[1]["v"], fresh[1]["v"])
+            )
+
+    def test_relocation_preserves_cache(self):
+        # A rebalance moves ownership, not cell contents: the epoch
+        # advances (placement views are new) but the payload epoch and
+        # the cached concatenation survive untouched.
+        cluster = _make_cluster("round_robin")
+        cluster.ingest([_chunk("A", 0, x, 0, 10.0) for x in range(12)])
+        before = cluster.array_payload("A", ["v"], ndim=3)
+        epoch = cluster.catalog.epoch_of("A")
+        payload_epoch = cluster.catalog.payload_epoch_of("A")
+        report = cluster.scale_out(1)
+        assert report.chunks_moved > 0
+        assert cluster.catalog.epoch_of("A") > epoch
+        assert cluster.catalog.payload_epoch_of("A") == payload_epoch
+        after = cluster.array_payload("A", ["v"], ndim=3)
+        assert after[0] is before[0]
+
+    def test_stale_entries_freed_on_epoch_bump(self):
+        # A mutation must drop the touched array's cached payloads
+        # immediately — not leave them pinned until the same query
+        # recurs (which for an expired array is never).
+        cluster = _make_cluster("round_robin")
+        chunks = [_chunk("A", 0, x, 0, 10.0) for x in range(8)]
+        cluster.ingest(chunks)
+        cluster.array_payload("A", ["v"], ndim=3)
+        assert cluster.catalog._payload_cache
+        cluster.remove_chunks([c.ref() for c in chunks])
+        assert not cluster.catalog._payload_cache
+
+    def test_scan_mode_never_caches(self):
+        cluster = _make_cluster("round_robin")
+        cluster.ingest([_chunk("A", 0, x, 0, 10.0) for x in range(4)])
+        with catalog_mode("scan"):
+            first = cluster.array_payload("A", ["v"], ndim=3)
+            again = cluster.array_payload("A", ["v"], ndim=3)
+        assert first[0] is not again[0]
+        assert np.array_equal(first[0], again[0])
+
+    def test_empty_array_payload_shape(self):
+        cluster = _make_cluster("round_robin")
+        coords, values = cluster.array_payload("A", ["v"], ndim=3)
+        assert coords.shape == (0, 3)
+        assert values["v"].shape == (0,)
+
+
+class TestGroupedRebalance:
+    """The grouped executor ≡ the per-move oracle."""
+
+    def _twin_clusters(self, name="consistent_hash", n=40):
+        chunks = [
+            _chunk("A", t, t % 16, (3 * t) % 16, 50.0 + t)
+            for t in range(n)
+        ]
+        a = _make_cluster(name)
+        b = _make_cluster(name)
+        a.ingest(chunks)
+        b.ingest([
+            _chunk("A", t, t % 16, (3 * t) % 16, 50.0 + t)
+            for t in range(n)
+        ])
+        return a, b
+
+    def test_scale_out_matches_scalar_oracle(self):
+        batched, oracle = self._twin_clusters()
+        report_b = batched.scale_out(2)
+        with catalog_mode("scan"):
+            report_o = oracle.scale_out(2)
+        assert report_b.chunks_moved == report_o.chunks_moved
+        assert report_b.bytes_moved == pytest.approx(
+            report_o.bytes_moved
+        )
+        assert report_b.elapsed_seconds == pytest.approx(
+            report_o.elapsed_seconds
+        )
+        assert report_b.touched_nodes == report_o.touched_nodes
+        for node_id in batched.node_ids:
+            assert (
+                batched.nodes[node_id].store.refs()
+                == oracle.nodes[node_id].store.refs()
+            )
+        batched.check_consistency()
+        oracle.check_consistency()
+
+    def _nodes_with_chunks(self):
+        nodes = {i: Node(i, 1e12) for i in range(3)}
+        catalog = ChunkCatalog()
+        chunks = [_chunk("A", t, 0, 0, 10.0 + t) for t in range(4)]
+        for c in chunks:
+            nodes[0].store.put(c)
+        catalog.put_batch(chunks, [0, 0, 0, 0])
+        return nodes, catalog, chunks
+
+    def test_chained_moves_collapse(self):
+        # A chunk moved 0 -> 1 -> 2 within one plan must end on 2, with
+        # node 1 never actually holding it (grouped path) — and the
+        # oracle replaying each hop lands in the same end state.
+        for executor in (execute_rebalance, execute_rebalance_scalar):
+            nodes, catalog, chunks = self._nodes_with_chunks()
+            ref = chunks[0].ref()
+            plan = RebalancePlan(moves=[
+                Move(ref, 0, 1, chunks[0].size_bytes),
+                Move(ref, 1, 2, chunks[0].size_bytes),
+            ])
+            report = executor(nodes, plan, CostParameters(), catalog)
+            assert report.chunks_moved == 2
+            assert ref not in nodes[0].store
+            assert ref not in nodes[1].store
+            assert nodes[2].store.get(ref) is chunks[0]
+            assert catalog.node_of(ref) == 2
+
+    def test_phantom_cycle_chain_rejected(self):
+        # A cyclic chain over a chunk no store holds nets out to zero
+        # movement, but the oracle would fail its first eviction — the
+        # grouped pass must reject it too, not report success.
+        nodes, catalog, chunks = self._nodes_with_chunks()
+        ghost = ChunkRef("A", (123, 0, 0))
+        plan = RebalancePlan(moves=[
+            Move(ghost, 0, 1, 1.0),
+            Move(ghost, 1, 0, 1.0),
+        ])
+        with pytest.raises(ClusterError):
+            execute_rebalance(nodes, plan, CostParameters(), catalog)
+
+    def test_cycle_chain_is_noop(self):
+        nodes, catalog, chunks = self._nodes_with_chunks()
+        ref = chunks[1].ref()
+        plan = RebalancePlan(moves=[
+            Move(ref, 0, 1, chunks[1].size_bytes),
+            Move(ref, 1, 0, chunks[1].size_bytes),
+        ])
+        execute_rebalance(nodes, plan, CostParameters(), catalog)
+        assert nodes[0].store.get(ref) is chunks[1]
+        assert catalog.node_of(ref) == 0
+
+    def test_discontinuous_chain_rejected(self):
+        # A hop that does not start where the previous one ended is a
+        # malformed plan; the oracle would fail to evict mid-replay, so
+        # the grouped executor must refuse it up front.
+        nodes, catalog, chunks = self._nodes_with_chunks()
+        ref = chunks[0].ref()
+        plan = RebalancePlan(moves=[
+            Move(ref, 0, 1, chunks[0].size_bytes),
+            Move(ref, 2, 1, chunks[0].size_bytes),  # chunk is on 1
+        ])
+        with pytest.raises(ClusterError):
+            execute_rebalance(nodes, plan, CostParameters(), catalog)
+        assert nodes[0].store.get(ref) is chunks[0]  # nothing moved
+        assert catalog.node_of(ref) == 0
+
+    def test_whole_plan_validated_before_moving(self):
+        nodes, catalog, chunks = self._nodes_with_chunks()
+        good = chunks[0].ref()
+        missing = ChunkRef("A", (99, 0, 0))
+        plan = RebalancePlan(moves=[
+            Move(good, 0, 1, chunks[0].size_bytes),
+            Move(missing, 0, 2, 1.0),
+        ])
+        with pytest.raises(ClusterError):
+            execute_rebalance(nodes, plan, CostParameters(), catalog)
+        # nothing moved: the bad move was caught during validation
+        assert nodes[0].store.get(good) is chunks[0]
+        assert catalog.node_of(good) == 0
+
+    def test_unknown_node_rejected(self):
+        nodes, catalog, chunks = self._nodes_with_chunks()
+        plan = RebalancePlan(moves=[
+            Move(chunks[0].ref(), 0, 77, chunks[0].size_bytes),
+        ])
+        with pytest.raises(ClusterError):
+            execute_rebalance(nodes, plan, CostParameters(), catalog)
+
+
+class TestChunkStoreBatchApis:
+    def test_put_returns_stored_object(self):
+        store = ChunkStore()
+        c1 = _chunk("A", 0, 0, 0, 10.0)
+        assert store.put(c1) is c1
+        merged = store.put(_chunk("A", 0, 0, 0, 5.0))
+        assert merged is not c1
+        assert merged.size_bytes == pytest.approx(15.0)
+        assert store.get(c1.ref()) is merged
+
+    def test_put_many_matches_sequential(self):
+        chunks = [
+            _chunk("A", t % 3, 0, 0, 10.0) for t in range(7)
+        ]
+        seq = ChunkStore()
+        for c in chunks:
+            seq.put(c)
+        bat = ChunkStore()
+        stored = bat.put_many(chunks)
+        assert bat.refs() == seq.refs()
+        assert bat.used_bytes == pytest.approx(seq.used_bytes)
+        assert stored[-1] is bat.get(chunks[-1].ref())
+
+    def test_evict_many_all_or_nothing(self):
+        store = ChunkStore()
+        chunks = [_chunk("A", t, 0, 0, 10.0) for t in range(4)]
+        store.put_many(chunks)
+        with pytest.raises(StorageError):
+            store.evict_many(
+                [chunks[0].ref(), ChunkRef("A", (99, 0, 0))]
+            )
+        with pytest.raises(StorageError):
+            store.evict_many([chunks[0].ref(), chunks[0].ref()])
+        assert store.chunk_count == 4  # untouched
+        out = store.evict_many([c.ref() for c in chunks[:2]])
+        assert [c.ref() for c in out] == [c.ref() for c in chunks[:2]]
+        assert store.chunk_count == 2
+        assert store.used_bytes == pytest.approx(
+            sum(c.size_bytes for c in chunks[2:])
+        )
+
+    def test_refs_cache_tracks_mutations(self):
+        store = ChunkStore()
+        store.put(_chunk("A", 1, 0, 0, 1.0))
+        store.put(_chunk("B", 0, 0, 0, 1.0))
+        first = store.refs()
+        assert first == sorted(first, key=lambda r: (r.array, r.key))
+        assert store.refs() is first  # cached between mutations
+        store.put(_chunk("A", 0, 0, 0, 1.0))
+        second = store.refs()
+        assert second is not first
+        assert second == sorted(second, key=lambda r: (r.array, r.key))
+        assert len(second) == 3
+        store.evict(second[0])
+        assert len(store.refs()) == 2
+        # merges do not change the key set: cache survives
+        third = store.refs()
+        store.put(_chunk("B", 0, 0, 0, 1.0))
+        assert store.refs() is third
+
+
+class TestCatalogInternals:
+    def _populated(self, n=200):
+        catalog = ChunkCatalog()
+        chunks = [
+            _chunk("AB"[t % 2], t, t % 16, 0, 10.0 + t)
+            for t in range(n)
+        ]
+        catalog.put_batch(chunks, [t % 3 for t in range(n)])
+        return catalog, chunks
+
+    def test_compact_preserves_observables(self):
+        catalog, chunks = self._populated()
+        catalog.remove_batch([c.ref() for c in chunks[::2]])
+        payload_before = catalog.payload_of_array("A", ["v"], ndim=3)
+        pairs_before = catalog.pairs_of_array("A")
+        place_before = catalog.placement_of_array("B")
+        epoch_before = catalog.epoch_of("A")
+        cap_before = catalog.column_capacity
+        assert catalog.dead_slot_fraction > 0.3
+        assert catalog.compact(0.3) is True
+        assert catalog.column_capacity < cap_before
+        assert catalog.epoch_of("A") == epoch_before
+        assert catalog.pairs_of_array("A") == pairs_before
+        assert catalog.placement_of_array("B") == place_before
+        # live cache entries survive compaction (no epoch bump)
+        after = catalog.payload_of_array("A", ["v"], ndim=3)
+        assert after[0] is payload_before[0]
+
+    def test_compact_threshold(self):
+        catalog, chunks = self._populated()
+        catalog.remove_batch([chunks[0].ref()])
+        assert catalog.compact(0.9) is False
+        assert catalog.compact(0.0) is True
+
+    def test_scan_columns_match_pairs(self):
+        catalog, _ = self._populated()
+        sizes, nodes, schema = catalog.scan_columns_of("A")
+        pairs = catalog.pairs_of_array("A")
+        assert sizes.tolist() == [c.size_bytes for c, _ in pairs]
+        assert nodes.tolist() == [n for _, n in pairs]
+        assert schema is SCHEMAS["A"]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ClusterError):
+            with catalog_mode("nonsense"):
+                pass
+
+    def test_mode_default_and_pin(self):
+        assert default_catalog_mode() == "catalog"
+        with catalog_mode("scan"):
+            assert default_catalog_mode() == "scan"
+        assert default_catalog_mode() == "catalog"
+
+    def test_concat_payload_empty(self):
+        coords, values = concat_payload([], ["v"], ndim=3)
+        assert coords.shape == (0, 3)
+        assert values["v"].shape == (0,)

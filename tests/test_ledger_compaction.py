@@ -273,7 +273,7 @@ def _run_churn(cluster, cycles=24, retention=2):
         if cycle % 8 == 7:
             cluster.scale_out(1)
         cluster.check_consistency()
-    return cluster.partitioner._ledger.column_capacity
+    return cluster.partitioner.ledger_column_capacity
 
 
 class TestClusterChurn:

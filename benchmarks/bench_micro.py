@@ -36,8 +36,10 @@ from repro.core.catalog import catalog_mode
 from repro.query import operators as ops
 from repro.query.cost import (
     CostAccumulator,
+    accumulator_for,
     add_scan_work,
     add_scan_work_scalar,
+    charge_scan_region,
     halo_shuffle_bytes,
     halo_shuffle_bytes_scalar,
     scan_columns,
@@ -545,6 +547,78 @@ def _route_query(cluster):
     pairs = cluster.chunks_of_array("Q")
     coords, _vals = cluster.array_payload("Q", ["v"], ndim=3)
     return len(pairs), coords.shape[0]
+
+
+#: Region-scoped selection over the 20k-chunk routing cluster: the
+#: t=0 slice's x < 60, y < 120 corner (~7 200 of 20 000 chunks).
+REGION = Box((0, 0, 0), (1, 60, 120))
+
+
+def test_region_route_scan(benchmark):
+    """The pre-routing oracle: one chunk_box().intersects() per chunk."""
+    cluster = _routing_cluster()
+    benchmark.extra_info["items"] = CATALOG_CHUNKS
+
+    def route():
+        with catalog_mode("scan"):
+            return cluster.chunks_in_region("Q", REGION)
+
+    touched = benchmark(route)
+    assert 0 < len(touched) < CATALOG_CHUNKS
+
+
+def test_region_route_catalog(benchmark):
+    """One vectorized key-interval test over the catalog's key matrix."""
+    cluster = _routing_cluster()
+    benchmark.extra_info["items"] = CATALOG_CHUNKS
+
+    touched = benchmark(cluster.chunks_in_region, "Q", REGION)
+    with catalog_mode("scan"):
+        ref = cluster.chunks_in_region("Q", REGION)
+    assert [(id(c), n) for c, n in touched] == [
+        (id(c), n) for c, n in ref
+    ]
+
+
+def test_region_cost_scalar(benchmark):
+    """Pre-routing region charge: box walk + per-chunk dict accounting."""
+    cluster = _routing_cluster()
+    costs = CostParameters()
+    benchmark.extra_info["items"] = CATALOG_CHUNKS
+
+    def charge():
+        with catalog_mode("scan"):
+            touched = cluster.chunks_in_region("Q", REGION)
+        per_node = {}
+        add_scan_work_scalar(per_node, touched, ["v"], costs, 1.0)
+        return per_node
+
+    out = benchmark(charge)
+    assert len(out) == CATALOG_NODES
+
+
+def test_region_cost_batch(benchmark):
+    """Catalog key-interval routing + region column gather + np.add.at."""
+    cluster = _routing_cluster()
+    costs = CostParameters()
+    benchmark.extra_info["items"] = CATALOG_CHUNKS
+
+    def charge():
+        acc = accumulator_for(cluster)
+        charge_scan_region(
+            acc, cluster, "Q", REGION, ["v"], costs, 1.0
+        )
+        return acc
+
+    acc = benchmark(charge)
+    with catalog_mode("scan"):
+        touched = cluster.chunks_in_region("Q", REGION)
+    per_node = {}
+    add_scan_work_scalar(per_node, touched, ["v"], costs, 1.0)
+    got = acc.as_dict()
+    assert all(
+        abs(got[n] - s) <= 1e-9 * s for n, s in per_node.items()
+    )
 
 
 def test_query_route_scan(benchmark):

@@ -49,6 +49,10 @@ SPEEDUP_PAIRS = [
      "test_close_pairs_batch"),
     ("catalog_route", "test_query_route_scan",
      "test_query_route_catalog"),
+    ("region_route", "test_region_route_scan",
+     "test_region_route_catalog"),
+    ("region_cost", "test_region_cost_scalar",
+     "test_region_cost_batch"),
     ("rebalance_exec", "test_rebalance_scalar",
      "test_rebalance_batch"),
 ] + [

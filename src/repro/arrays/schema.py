@@ -157,6 +157,30 @@ class DimensionSpec:
         """Inclusive lowest cell coordinate of chunk ``chunk_coord``."""
         return self.start + chunk_coord * self.chunk_interval
 
+    def chunk_range(self, lo: int, hi: int) -> Optional[Tuple[int, int]]:
+        """Inclusive chunk-coordinate interval meeting cell range ``[lo, hi)``.
+
+        The inverse of the :meth:`chunk_low` / :meth:`chunk_high` box
+        math: a chunk coordinate ``c`` intersects the half-open cell
+        interval exactly when ``chunk_range(lo, hi)[0] <= c <=
+        chunk_range(lo, hi)[1]``.  Returns ``None`` when no chunk can
+        intersect — the interval is empty, lies entirely below
+        ``start``, or entirely above a bounded dimension's ``end`` (the
+        end clamp matters: the last chunk's box stops at ``end`` even
+        though its unclamped stride would reach further).
+        """
+        if hi <= lo or hi <= self.start:
+            return None
+        if self.end is not None and lo > self.end:
+            return None
+        c_lo = max(0, (lo - self.start) // self.chunk_interval)
+        c_hi = (hi - 1 - self.start) // self.chunk_interval
+        if self.chunk_count is not None:
+            c_hi = min(c_hi, self.chunk_count - 1)
+        if c_hi < c_lo:
+            return None
+        return c_lo, c_hi
+
     def chunk_high(self, chunk_coord: int) -> int:
         """Inclusive highest cell coordinate of chunk ``chunk_coord``."""
         high = self.chunk_low(chunk_coord) + self.chunk_interval - 1
@@ -267,6 +291,39 @@ class ArraySchema:
             d.chunk_high(int(c)) + 1 for d, c in zip(self.dimensions, chunk)
         )
         return Box(lo, hi)
+
+    def chunk_intervals_of(
+        self, region: Box
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Per-dimension chunk-coordinate intervals intersecting a region.
+
+        The vectorized inverse of :meth:`chunk_box`: a chunk key ``k``
+        satisfies ``chunk_box(k).intersects(region)`` exactly when
+        ``lo[d] <= k[d] <= hi[d]`` for every dimension ``d`` of the
+        returned ``(lo, hi)`` int64 arrays.  Region routing
+        (:meth:`repro.core.catalog.ChunkCatalog.ids_in_region`) turns a
+        query box into these intervals once and selects live chunks
+        with one comparison over the catalog's key matrix — no per-chunk
+        ``Box`` objects.
+
+        Returns ``None`` when no chunk can intersect the region (empty
+        box, or a box entirely outside the declared domain).
+
+        Raises:
+            SchemaError: if the region's arity differs from the array's.
+        """
+        if region.ndim != self.ndim:
+            raise SchemaError(
+                f"region arity {region.ndim} != array arity {self.ndim}"
+            )
+        lows = np.empty(self.ndim, dtype=np.int64)
+        highs = np.empty(self.ndim, dtype=np.int64)
+        for d, dim in enumerate(self.dimensions):
+            interval = dim.chunk_range(region.lo[d], region.hi[d])
+            if interval is None:
+                return None
+            lows[d], highs[d] = interval
+        return lows, highs
 
     def grid_extent(self, observed: Optional[Iterable[Coordinate]] = None
                     ) -> Coordinate:

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arrays.chunk import ChunkData, ChunkRef
+from repro.arrays.coords import Box
 from repro.cluster.coordinator import (
     InsertReport,
     RebalanceReport,
@@ -165,6 +166,69 @@ class ElasticCluster:
             out.sort(key=lambda pair: pair[0].key)
             return out
         return self.catalog.pairs_of_array(array)
+
+    def chunks_in_region(
+        self, array: str, region: Box
+    ) -> List[Tuple[ChunkData, int]]:
+        """Region-touched (chunk, node) pairs of one array, key-sorted.
+
+        The region-scoped query entry point: the catalog converts the
+        query box into per-dimension chunk-coordinate intervals (the
+        inverse of ``schema.chunk_box``) and selects live chunks with
+        one vectorized comparison over its key matrix — no per-chunk
+        ``Box`` construction.  Under ``REPRO_CATALOG=scan`` the
+        pre-catalog oracle walks every chunk of the array and tests
+        ``chunk_box().intersects(region)`` one at a time; both paths
+        return the same pairs in the same key-sorted order.
+
+        Unknown arrays yield an empty list.  In catalog mode a region
+        whose arity differs from the array's raises
+        :class:`~repro.errors.SchemaError` (the oracle raises
+        :class:`~repro.errors.ChunkError` from the box test).
+        """
+        if default_catalog_mode() == "scan":
+            return [
+                (chunk, node)
+                for chunk, node in self.chunks_of_array(array)
+                if chunk.schema.chunk_box(chunk.key).intersects(region)
+            ]
+        return self.catalog.pairs_in_region(array, region)
+
+    def region_scan_columns(
+        self, array: str, region: Box
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, Optional[object]]]:
+        """``(sizes, nodes, schema)`` columns of a region's chunks.
+
+        The region-scoped sibling of :meth:`array_scan_columns`: the
+        cost model lowers region-touched scan charges straight from
+        these catalog gathers
+        (:func:`repro.query.cost.region_scan_columns`).  Returns
+        ``None`` under the scan oracle so callers fall back to the
+        pair-list lowering over :meth:`chunks_in_region`.
+        """
+        if default_catalog_mode() == "scan":
+            return None
+        return self.catalog.region_scan_columns(array, region)
+
+    def region_read(
+        self, array: str, region: Box
+    ) -> Tuple[
+        List[Tuple[ChunkData, int]],
+        Optional[Tuple[np.ndarray, np.ndarray, Optional[object]]],
+    ]:
+        """Region-touched pairs plus scan columns, from one routing pass.
+
+        The combined read for queries that materialize the touched
+        chunks *and* charge the scan: one :meth:`chunks_in_region`-style
+        selection feeds both (the catalog gathers pairs and byte/owner
+        columns from the same id set).  Under the scan oracle the pairs
+        come from the per-chunk ``intersects`` walk and the columns are
+        ``None`` — :func:`repro.query.cost.charge_scan_routed` then
+        falls back to the pair-list lowering.
+        """
+        if default_catalog_mode() == "scan":
+            return self.chunks_in_region(array, region), None
+        return self.catalog.region_read(array, region)
 
     def chunk_data(self, ref: ChunkRef) -> ChunkData:
         """Fetch one chunk's payload from whichever node holds it."""

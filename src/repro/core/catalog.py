@@ -27,12 +27,14 @@ the global one); mutations that change cell contents — inserts, merges,
 removals — additionally bump its **payload epoch**.
 :meth:`payload_of_array` concatenates the array's cell coordinates and
 value columns in catalog order and caches the result keyed by
-``(array, attrs, payload epoch)`` — repeated queries skip
-re-concatenation entirely, a content mutation invalidates the cache by
-construction (the entry is dropped eagerly, and a stale one could never
-be served because its recorded epoch no longer matches), and pure
-relocations keep it valid (ownership is not part of a payload, so even
-rebalances don't force a re-concatenation).  Compaction
+``(array, normalized attrs, payload epoch)`` — repeated queries (in any
+attr order) skip re-concatenation entirely, a content mutation
+invalidates the cache by construction (the entry is dropped eagerly,
+and a stale one could never be served because its recorded epoch no
+longer matches), pure relocations keep it valid (ownership is not part
+of a payload, so even rebalances don't force a re-concatenation), and a
+small LRU bound (:attr:`ChunkCatalog.PAYLOAD_CACHE_MAX`) ages out attr
+subsets that stop being queried.  Compaction
 (:meth:`compact`) re-interns ids but preserves every observable,
 including live cache entries and epochs.
 
@@ -50,13 +52,14 @@ before.  The catalog is maintained in both modes, so
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.arrays.chunk import ChunkData, ChunkKey, ChunkRef
-from repro.arrays.coords import pack_rows_void
+from repro.arrays.coords import Box, pack_rows_void
 from repro.errors import ClusterError
 
 NodeId = int
@@ -143,6 +146,13 @@ _pack_keys = pack_rows_void
 class _ArrayView:
     """One array's live chunk ids, kept sorted by chunk key.
 
+    Alongside the packed void keys (scalar comparisons for the
+    ``searchsorted`` merge), the view keeps the same keys as an
+    ``(n, ndim)`` int64 matrix — region routing selects chunks with one
+    vectorized per-dimension interval comparison over it
+    (:meth:`ChunkCatalog.ids_in_region`), never touching ``Box``
+    objects or per-chunk Python.
+
     ``epoch`` advances on *any* mutation touching the array;
     ``payload_epoch`` only on mutations that change cell contents
     (inserts, merges, removals) — pure relocations move ownership, not
@@ -150,12 +160,13 @@ class _ArrayView:
     survives rebalances.
     """
 
-    __slots__ = ("ids", "keys", "epoch", "payload_epoch", "width")
+    __slots__ = ("ids", "keys", "rows", "epoch", "payload_epoch", "width")
 
     def __init__(self, width: int) -> None:
         self.width = width
         self.ids = np.empty(0, dtype=np.int64)
         self.keys = _pack_keys(np.empty((0, width), dtype=np.int64))
+        self.rows = np.empty((0, width), dtype=np.int64)
         self.epoch = 0
         self.payload_epoch = 0
 
@@ -167,12 +178,14 @@ class _ArrayView:
         positions = np.searchsorted(self.keys, packed)
         self.ids = np.insert(self.ids, positions, new_ids[order])
         self.keys = np.insert(self.keys, positions, packed)
+        self.rows = np.insert(self.rows, positions, new_keys[order], axis=0)
 
     def drop(self, dead_ids: np.ndarray) -> None:
         """Remove ids from the view (order of survivors unchanged)."""
         keep = ~np.isin(self.ids, dead_ids)
         self.ids = self.ids[keep]
         self.keys = self.keys[keep]
+        self.rows = self.rows[keep]
 
 
 class ChunkCatalog:
@@ -188,6 +201,14 @@ class ChunkCatalog:
 
     _INITIAL_CAPACITY = 64
 
+    #: Upper bound on live payload-cache entries (LRU eviction beyond
+    #: it).  Every distinct ``(array, attr subset)`` a workload queries
+    #: costs one concatenated copy of that array's cells, so an
+    #: unbounded cache would grow with the *query* population, not the
+    #: data; a small LRU keeps the steady-state working set (a handful
+    #: of attr subsets per array) while bounding one-off queries.
+    PAYLOAD_CACHE_MAX = 32
+
     def __init__(self) -> None:
         cap = self._INITIAL_CAPACITY
         self._id_of: Dict[ChunkRef, int] = {}
@@ -200,11 +221,12 @@ class ChunkCatalog:
         self._views: Dict[str, _ArrayView] = {}
         self._schema_of: Dict[str, object] = {}
         self._epoch = 0
-        # payload cache: (array, attrs, ndim) -> (epoch, coords, values)
-        self._payload_cache: Dict[
+        # payload LRU: (array, normalized attrs, ndim) -> (epoch,
+        # coords, values); most recently used at the end.
+        self._payload_cache: OrderedDict[
             Tuple[str, Tuple[str, ...], int],
             Tuple[int, np.ndarray, Dict[str, np.ndarray]],
-        ] = {}
+        ] = OrderedDict()
         #: Cache telemetry (the retention benchmark reports these).
         self.payload_hits = 0
         self.payload_misses = 0
@@ -295,6 +317,24 @@ class ChunkCatalog:
             return np.empty(0, dtype=np.int64)
         return view.ids
 
+    def _gather_pairs(
+        self, ids: np.ndarray
+    ) -> List[Tuple[ChunkData, NodeId]]:
+        """(payload, node) pairs of the given ids, in id order."""
+        return list(
+            zip(self._chunks[ids].tolist(), self._node[ids].tolist())
+        )
+
+    def _gather_columns(
+        self, array: str, ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[object]]:
+        """(sizes, nodes, schema) columns of the given ids, in id order."""
+        return (
+            self._size[ids],
+            self._node[ids],
+            self._schema_of.get(array),
+        )
+
     def pairs_of_array(
         self, array: str
     ) -> List[Tuple[ChunkData, NodeId]]:
@@ -303,10 +343,7 @@ class ChunkCatalog:
         One object-column gather in view order — the catalog-mode
         implementation of ``ElasticCluster.chunks_of_array``.
         """
-        ids = self._ids_of_array(array)
-        return list(
-            zip(self._chunks[ids].tolist(), self._node[ids].tolist())
-        )
+        return self._gather_pairs(self._ids_of_array(array))
 
     def placement_of_array(self, array: str) -> Dict[ChunkKey, NodeId]:
         """Chunk key → node map of one array, from the catalog columns."""
@@ -328,11 +365,80 @@ class ChunkCatalog:
         materializing a (chunk, node) pair list first.  The returned
         arrays are fresh copies (fancy-indexed gathers) in view order.
         """
-        ids = self._ids_of_array(array)
+        return self._gather_columns(array, self._ids_of_array(array))
+
+    # -- region routing ------------------------------------------------
+    def ids_in_region(self, array: str, region: Box) -> np.ndarray:
+        """Live chunk ids of one array whose boxes intersect ``region``.
+
+        The query box is converted into per-dimension chunk-coordinate
+        intervals once
+        (:meth:`repro.arrays.schema.ArraySchema.chunk_intervals_of`, the
+        inverse of ``chunk_box``) and the selection is a single
+        vectorized comparison over the view's ``(n, ndim)`` key matrix —
+        no per-chunk ``Box`` construction, no Python loop.  The result
+        preserves the view's key-sorted order, exactly the order the
+        per-chunk ``intersects`` oracle walks.
+
+        Unknown arrays yield an empty selection.  Raises
+        :class:`~repro.errors.SchemaError` when the region's arity does
+        not match the array's.
+        """
+        view = self._views.get(array)
+        if view is None or not len(view.ids):
+            return np.empty(0, dtype=np.int64)
+        schema = self._schema_of[array]
+        intervals = schema.chunk_intervals_of(region)
+        if intervals is None:
+            return np.empty(0, dtype=np.int64)
+        lows, highs = intervals
+        rows = view.rows
+        mask = ((rows >= lows) & (rows <= highs)).all(axis=1)
+        return view.ids[mask]
+
+    def pairs_in_region(
+        self, array: str, region: Box
+    ) -> List[Tuple[ChunkData, NodeId]]:
+        """Region-touched (payload, node) pairs, key-sorted.
+
+        The region-scoped sibling of :meth:`pairs_of_array` — the
+        catalog-mode implementation of
+        ``ElasticCluster.chunks_in_region``.
+        """
+        return self._gather_pairs(self.ids_in_region(array, region))
+
+    def region_scan_columns(
+        self, array: str, region: Box
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[object]]:
+        """``(sizes, nodes, schema)`` columns of a region's live chunks.
+
+        The region-scoped sibling of :meth:`scan_columns_of`: the cost
+        model charges region-touched scans straight from these gathers
+        (:func:`repro.query.cost.region_scan_columns`) without
+        materializing the (chunk, node) pair list.
+        """
+        return self._gather_columns(
+            array, self.ids_in_region(array, region)
+        )
+
+    def region_read(
+        self, array: str, region: Box
+    ) -> Tuple[
+        List[Tuple[ChunkData, NodeId]],
+        Tuple[np.ndarray, np.ndarray, Optional[object]],
+    ]:
+        """Pairs *and* scan columns of a region, from one routing pass.
+
+        Queries that both read the touched chunks and charge the scan
+        (selections, the k-means working set) need the pair list and
+        the byte/owner columns together; this runs
+        :meth:`ids_in_region` once and gathers both from the same ids,
+        instead of routing the region twice.
+        """
+        ids = self.ids_in_region(array, region)
         return (
-            self._size[ids],
-            self._node[ids],
-            self._schema_of.get(array),
+            self._gather_pairs(ids),
+            self._gather_columns(array, ids),
         )
 
     def payload_of_array(
@@ -345,17 +451,23 @@ class ChunkCatalog:
 
         Returns ``(coords, {attr: values})`` over the array's chunks in
         catalog (key-sorted) order.  The result is cached keyed by
-        ``(array, attrs, ndim)`` and the array's current payload epoch;
-        any content mutation bumps that epoch and drops the entry, so a
-        stale concatenation can never be served, while pure relocations
-        (rebalances) keep the cache warm.  Callers must treat the
-        returned arrays as read-only.
+        ``(array, attrs, ndim)`` — with ``attrs`` normalized (sorted,
+        deduplicated), so permutations of one attr subset share a single
+        entry — and the array's current payload epoch; any content
+        mutation bumps that epoch and drops the entry, so a stale
+        concatenation can never be served, while pure relocations
+        (rebalances) keep the cache warm.  The cache is a small LRU
+        bounded at :attr:`PAYLOAD_CACHE_MAX` entries, so attr subsets
+        that stop being queried age out instead of pinning their
+        concatenations forever.  Callers must treat the returned arrays
+        as read-only.
         """
-        key = (array, tuple(attrs), int(ndim))
+        key = (array, tuple(sorted(set(attrs))), int(ndim))
         epoch = self.payload_epoch_of(array)
         cached = self._payload_cache.get(key)
         if cached is not None and cached[0] == epoch:
             self.payload_hits += 1
+            self._payload_cache.move_to_end(key)
             return cached[1], cached[2]
         self.payload_misses += 1
         ids = self._ids_of_array(array)
@@ -363,6 +475,9 @@ class ChunkCatalog:
             self._chunks[ids].tolist(), attrs, ndim
         )
         self._payload_cache[key] = (epoch, coords, values)
+        self._payload_cache.move_to_end(key)
+        while len(self._payload_cache) > self.PAYLOAD_CACHE_MAX:
+            self._payload_cache.popitem(last=False)
         return coords, values
 
     # -- mutation ------------------------------------------------------

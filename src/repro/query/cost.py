@@ -47,6 +47,7 @@ same contract ``place_batch`` and the array ledger already document.
 from __future__ import annotations
 
 import os
+import weakref
 from contextlib import contextmanager
 from itertools import product
 from typing import (
@@ -207,6 +208,46 @@ class CostAccumulator:
             int(self._node_ids[i]): float(self._busy[i]) for i in nz
         }
 
+    # -- reuse ---------------------------------------------------------
+    def reset(self) -> None:
+        """Zero the busy column so the accumulator can be reused.
+
+        The interned node slots (the sorted-unique pass in the
+        constructor) are the expensive part; :func:`accumulator_for`
+        pools one accumulator per cluster and resets it between
+        queries instead of rebuilding the interning every run.
+        """
+        self._busy[:] = 0.0
+
+
+#: Per-cluster accumulator pool: cluster -> (node ids, accumulator).
+#: Weak keys so a discarded cluster releases its pooled accumulator.
+_ACCUMULATOR_POOL: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def accumulator_for(cluster) -> CostAccumulator:
+    """A zeroed :class:`CostAccumulator` for the cluster's node set.
+
+    Queries used to construct a fresh accumulator per run, re-interning
+    the node ids every time; this pools one per cluster and
+    :meth:`~CostAccumulator.reset`\\ s it instead.  A scale-out changes
+    ``cluster.node_ids`` and transparently rebuilds the pooled entry.
+
+    The pool assumes queries on one cluster execute sequentially (the
+    executor's contract): the returned accumulator is only valid until
+    the next ``accumulator_for`` call on the same cluster, so callers
+    must copy anything they keep (``as_dict`` already does).
+    """
+    ids = tuple(cluster.node_ids)
+    entry = _ACCUMULATOR_POOL.get(cluster)
+    if entry is not None and entry[0] == ids:
+        acc = entry[1]
+        acc.reset()
+        return acc
+    acc = CostAccumulator(ids)
+    _ACCUMULATOR_POOL[cluster] = (ids, acc)
+    return acc
+
 
 #: Cost inputs accepted by :func:`elapsed_time`.
 PerNodeSeconds = Union[Mapping[int, float], CostAccumulator]
@@ -342,6 +383,22 @@ def node_byte_sums(
 # ----------------------------------------------------------------------
 # whole-array lowering from the chunk catalog
 # ----------------------------------------------------------------------
+def _lower_catalog_columns(
+    cols: Tuple[np.ndarray, np.ndarray, Optional[object]],
+    attrs: Optional[Sequence[str]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(sizes, nodes, schema) catalog gather -> charged (sizes, nodes).
+
+    The single place the vertical-partitioning attribute fraction is
+    folded into catalog byte columns — every catalog-columns lowering
+    (whole-array, region, pre-routed) goes through it.
+    """
+    sizes, nodes, schema = cols
+    if attrs is not None and schema is not None and sizes.size:
+        sizes = sizes * attr_fraction(schema, attrs)
+    return sizes, nodes
+
+
 def array_scan_columns(
     cluster,
     array: str,
@@ -377,10 +434,7 @@ def array_scan_columns(
     cols = cluster.array_scan_columns(array)
     if cols is None:  # scan oracle: pair-list lowering
         return scan_columns(cluster.chunks_of_array(array), attrs)
-    sizes, nodes, schema = cols
-    if attrs is not None and schema is not None and sizes.size:
-        sizes = sizes * attr_fraction(schema, attrs)
-    return sizes, nodes
+    return _lower_catalog_columns(cols, attrs)
 
 
 def charge_scan_array(
@@ -431,6 +485,109 @@ def node_byte_sums_array(
     """
     sizes, nodes = array_scan_columns(cluster, array, attrs)
     return _byte_sums_from_columns(sizes, nodes, fraction)
+
+
+# ----------------------------------------------------------------------
+# region-scoped lowering from the chunk catalog
+# ----------------------------------------------------------------------
+def region_scan_columns(
+    cluster,
+    array: str,
+    region,
+    attrs: Optional[Sequence[str]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lower a region's touched chunks to ``(sizes, nodes)`` columns.
+
+    The region-scoped counterpart of :func:`array_scan_columns`: the
+    catalog routes the region (one vectorized key-interval test) and the
+    byte/owner columns come back as direct gathers
+    (:meth:`ElasticCluster.region_scan_columns`) — no (chunk, node) pair
+    list, no per-chunk Python.  Under the ``REPRO_CATALOG=scan`` oracle
+    the cluster returns no columns and the lowering falls back to
+    :func:`scan_columns` over the per-chunk ``intersects`` walk —
+    byte-identical output either way.
+
+    Parameters
+    ----------
+    cluster : ElasticCluster
+        The cluster being queried.
+    array : str
+        Array name.
+    region : repro.arrays.coords.Box
+        Cell-space query box.
+    attrs : sequence of str or None
+        Attributes read (``None`` = all); applied as one
+        vertical-partitioning multiply.
+
+    Returns
+    -------
+    sizes : numpy.ndarray of float64
+        Modeled bytes the query reads from each touched chunk.
+    nodes : numpy.ndarray of int64
+        Hosting node of each touched chunk.
+    """
+    cols = cluster.region_scan_columns(array, region)
+    if cols is None:  # scan oracle: pair-list lowering
+        return scan_columns(cluster.chunks_in_region(array, region), attrs)
+    return _lower_catalog_columns(cols, attrs)
+
+
+def charge_scan_region(
+    acc: CostAccumulator,
+    cluster,
+    array: str,
+    region,
+    attrs: Optional[Sequence[str]],
+    costs: CostParameters,
+    cpu_intensity: float,
+) -> float:
+    """Charge scan work for a region's touched chunks (mode-dispatching).
+
+    Batch cost mode lowers the catalog's region gathers directly
+    (:func:`region_scan_columns` → :func:`add_scan_work`, zero per-chunk
+    Python); scalar cost mode replays the per-chunk dict oracle over the
+    materialized ``chunks_in_region`` pairs.
+
+    Returns
+    -------
+    float
+        Total bytes scanned.
+    """
+    if default_cost_mode() == "scalar":
+        return charge_scan(
+            acc, cluster.chunks_in_region(array, region), attrs, costs,
+            cpu_intensity,
+        )
+    sizes, nodes = region_scan_columns(cluster, array, region, attrs)
+    return add_scan_work(acc, sizes, nodes, costs, cpu_intensity)
+
+
+def charge_scan_routed(
+    acc: CostAccumulator,
+    pairs: Sequence[Tuple[ChunkData, int]],
+    cols: Optional[Tuple[np.ndarray, np.ndarray, Optional[object]]],
+    attrs: Optional[Sequence[str]],
+    costs: CostParameters,
+    cpu_intensity: float,
+) -> float:
+    """Charge scan work for an already-routed region (mode-dispatching).
+
+    The companion of :meth:`ElasticCluster.region_read`: queries that
+    need the touched pair list anyway (to read cells) pass both halves
+    of that single routing pass here, so the region is never routed
+    twice.  Batch cost mode charges from the ``cols`` gathers; scalar
+    cost mode — or a ``None`` ``cols`` from the scan oracle — replays
+    the per-chunk dict oracle over ``pairs``.
+
+    Returns
+    -------
+    float
+        Total bytes scanned.
+    """
+    if cols is None or default_cost_mode() == "scalar":
+        return charge_scan(acc, pairs, attrs, costs, cpu_intensity)
+    sizes, nodes = _lower_catalog_columns(cols, attrs)
+    return add_scan_work(acc, sizes, nodes, costs, cpu_intensity)
 
 
 # ----------------------------------------------------------------------

@@ -21,7 +21,7 @@ node cost no network (§6.2.2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -30,10 +30,11 @@ from repro.arrays.coords import Box
 from repro.cluster.cluster import ElasticCluster
 from repro.query import operators as ops
 from repro.query.cost import (
-    CostAccumulator,
+    accumulator_for,
     charge_network,
     charge_scan,
     charge_scan_array,
+    charge_scan_routed,
     default_cost_mode,
     elapsed_time,
     halo_shuffle_bytes,
@@ -49,6 +50,26 @@ from repro.workloads.ais import TIME_CHUNKS_PER_CYCLE, AisWorkload
 from repro.workloads.modis import ModisWorkload
 
 
+def merge_regional_daily_means(
+    per_region: Iterable[Dict[Tuple[int, ...], float]],
+) -> Dict[int, float]:
+    """Average per-day means across regions with an explicit sum/count.
+
+    Each region contributes at most one mean per day; a day observed by
+    ``k`` regions averages their ``k`` means with equal weight.  (The
+    pre-fix in-place formula — add then divide by 2 when the day was
+    seen — happened to work for exactly two disjoint regions but
+    silently mis-weighted any third region or repeated day.)
+    """
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for per_day in per_region:
+        for (day,), mean in per_day.items():
+            sums[day] = sums.get(day, 0.0) + mean
+            counts[day] = counts.get(day, 0) + 1
+    return {day: sums[day] / counts[day] for day in sums}
+
+
 class ModisRollingAverage(Query):
     """Rolling average of polar-cap light levels over recent days."""
 
@@ -62,17 +83,25 @@ class ModisRollingAverage(Query):
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         lo = max(1, cycle - self.days + 1)
         north, south = self.workload.polar_caps(lo, cycle)
+        regions = (north, south)
+        # Per-region routing: each cap selects its own chunks with one
+        # vectorized key-interval test, and each cap's cells are then
+        # filtered against only its own routed chunks — no re-masking of
+        # the other cap's chunks per pass.
+        routed = [
+            cluster.chunks_in_region("band1", region)
+            for region in regions
+        ]
+        # The caps are disjoint, but dedup the scan set defensively so a
+        # chunk spanning several regions is never charged twice.
         touched: List[Tuple[ChunkData, int]] = []
-        seen: Set[Tuple[str, Tuple[int, ...]]] = set()
-        for region in (north, south):
-            for chunk, node in cluster.chunks_of_array("band1"):
-                key = ("band1", chunk.key)
-                if key in seen:
-                    continue
-                if chunk.schema.chunk_box(chunk.key).intersects(region):
+        seen: set = set()
+        for pairs in routed:
+            for chunk, node in pairs:
+                if chunk.key not in seen:
+                    seen.add(chunk.key)
                     touched.append((chunk, node))
-                    seen.add(key)
-        acc = CostAccumulator(cluster.node_ids)
+        acc = accumulator_for(cluster)
         scanned = charge_scan(
             acc, touched, ["radiance"], cluster.costs,
             cpu_intensity=1.2,
@@ -81,20 +110,17 @@ class ModisRollingAverage(Query):
         merge = node_byte_sums(touched, ["radiance"], fraction=0.01)
         network = charge_network(acc, merge, cluster.costs)
 
-        daily: Dict[int, float] = {}
-        for region in (north, south):
+        per_region: List[Dict[Tuple[int, ...], float]] = []
+        for region, pairs in zip(regions, routed):
             coords, values = ops.filter_region(
-                (c for c, _ in touched), region, ["radiance"]
+                (c for c, _ in pairs), region, ["radiance"]
             )
             if coords.shape[0] == 0:
                 continue
-            per_day = ops.group_mean_by_grid(
+            per_region.append(ops.group_mean_by_grid(
                 coords, values["radiance"], dims=[0], cell_sizes=[1440]
-            )
-            for (day,), mean in per_day.items():
-                daily[day] = (daily.get(day, 0.0) + mean) / (
-                    2.0 if day in daily else 1.0
-                )
+            ))
+        daily = merge_regional_daily_means(per_region)
         return QueryResult(
             name=self.name,
             category=self.category,
@@ -120,25 +146,22 @@ class ModisKMeans(Query):
         self.iterations = iterations
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        # Both bands route through the catalog's key-interval test; one
+        # routing pass per band feeds its pair list and its scan
+        # charge's byte/owner columns.
         region = self.workload.amazon_box(cycle)
-        band1 = [
-            (c, n) for c, n in cluster.chunks_of_array("band1")
-            if c.schema.chunk_box(c.key).intersects(region)
-        ]
-        band2 = {
-            c.key: (c, n)
-            for c, n in cluster.chunks_of_array("band2")
-            if c.schema.chunk_box(c.key).intersects(region)
-        }
-        acc = CostAccumulator(cluster.node_ids)
+        band1, cols1 = cluster.region_read("band1", region)
+        band2_pairs, cols2 = cluster.region_read("band2", region)
+        band2 = {c.key: (c, n) for c, n in band2_pairs}
+        acc = accumulator_for(cluster)
         # Iterative clustering re-reads the working set each sweep; charge
         # one I/O pass plus per-iteration compute.
-        scanned = charge_scan(
-            acc, band1, ["radiance"], cluster.costs,
+        scanned = charge_scan_routed(
+            acc, band1, cols1, ["radiance"], cluster.costs,
             cpu_intensity=0.5 * self.iterations,
         )
-        scanned += charge_scan(
-            acc, list(band2.values()), ["radiance"], cluster.costs,
+        scanned += charge_scan_routed(
+            acc, band2_pairs, cols2, ["radiance"], cluster.costs,
             cpu_intensity=0.5,
         )
         # Centroid broadcast per iteration: negligible bytes, but one
@@ -238,7 +261,7 @@ class ModisWindowAggregate(Query):
             (c, n) for c, n in cluster.chunks_of_array("band1")
             if c.key[0] == day
         ]
-        acc = CostAccumulator(cluster.node_ids)
+        acc = accumulator_for(cluster)
         scanned = charge_scan(
             acc, touched, ["radiance"], cluster.costs,
             cpu_intensity=2.0,
@@ -289,7 +312,7 @@ class AisDensityMap(Query):
         # (coords, speed) concatenation comes from the per-epoch payload
         # cache — repeated density maps between reorganizations skip the
         # re-concatenation entirely.
-        acc = CostAccumulator(cluster.node_ids)
+        acc = accumulator_for(cluster)
         scanned = charge_scan_array(
             acc, cluster, "broadcast", ["speed"], cluster.costs,
             cpu_intensity=1.2,
@@ -382,7 +405,7 @@ class AisKnn(Query):
         # order either way, so sampling stays deterministic; the
         # distance math then runs once per distinct neighbourhood with
         # all its query points batched.
-        acc = CostAccumulator(cluster.node_ids)
+        acc = accumulator_for(cluster)
         if default_cost_mode() == "scalar":
             wire_map, queries_by_key, key_order = (
                 self._account_samples_scalar(
@@ -597,7 +620,7 @@ class AisCollisionPrediction(Query):
             (c, n) for c, n in cluster.chunks_of_array("broadcast")
             if c.key[0] == latest
         ]
-        acc = CostAccumulator(cluster.node_ids)
+        acc = accumulator_for(cluster)
         scanned = charge_scan(
             acc, touched, ["speed", "course"], cluster.costs,
             cpu_intensity=3.0,

@@ -16,19 +16,18 @@ Six queries, three per workload:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.arrays.chunk import ChunkData
-from repro.arrays.coords import Box
 from repro.cluster.cluster import ElasticCluster
 from repro.query import operators as ops
 from repro.query.cost import (
-    CostAccumulator,
+    accumulator_for,
     charge_network,
     charge_scan,
     charge_scan_array,
+    charge_scan_routed,
     colocation_shuffle_bytes,
     elapsed_time,
     node_byte_sums_array,
@@ -37,17 +36,6 @@ from repro.query.executor import CATEGORY_SPJ, Query
 from repro.query.result import QueryResult
 from repro.workloads.ais import AisWorkload
 from repro.workloads.modis import ModisWorkload
-
-
-def _chunks_in_region(
-    cluster: ElasticCluster, array: str, region: Box
-) -> List[Tuple[ChunkData, int]]:
-    """(chunk, node) pairs of one array whose boxes intersect a region."""
-    picked = []
-    for chunk, node in cluster.chunks_of_array(array):
-        if chunk.schema.chunk_box(chunk.key).intersects(region):
-            picked.append((chunk, node))
-    return picked
 
 
 class ModisSelection(Query):
@@ -60,11 +48,15 @@ class ModisSelection(Query):
         self.workload = workload
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        # Region routing: one vectorized key-interval test in the
+        # catalog replaces the per-chunk box walk; the pair list and
+        # the scan charge's byte/owner columns come from that single
+        # routing pass.
         region = self.workload.lower_left_sixteenth(cycle)
-        touched = _chunks_in_region(cluster, "band1", region)
-        acc = CostAccumulator(cluster.node_ids)
-        scanned = charge_scan(
-            acc, touched, None, cluster.costs, cpu_intensity=0.2
+        touched, cols = cluster.region_read("band1", region)
+        acc = accumulator_for(cluster)
+        scanned = charge_scan_routed(
+            acc, touched, cols, None, cluster.costs, cpu_intensity=0.2
         )
         coords, values = ops.filter_region(
             (c for c, _ in touched), region, ["radiance"]
@@ -106,7 +98,7 @@ class ModisQuantileSort(Query):
         # byte/owner columns, and the radiance concatenation is served
         # from the per-epoch payload cache (no pair list, no re-concat
         # between reorganizations).
-        acc = CostAccumulator(cluster.node_ids)
+        acc = accumulator_for(cluster)
         # Vertical partitioning: the sort only reads the radiance column.
         scanned = charge_scan_array(
             acc, cluster, "band1", ["radiance"], cluster.costs,
@@ -170,7 +162,7 @@ class ModisJoinNdvi(Query):
             if c.key[0] == day
         }
         common = sorted(set(band1) & set(band2))
-        acc = CostAccumulator(cluster.node_ids)
+        acc = accumulator_for(cluster)
         attrs = ["radiance"]
         scanned = 0.0
         pairs = []
@@ -233,11 +225,13 @@ class AisSelectionHouston(Query):
         self.workload = workload
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+        # One routing pass feeds both the pair list and the scan
+        # charge, as in ModisSelection.
         region = self.workload.houston_box(cycle)
-        touched = _chunks_in_region(cluster, "broadcast", region)
-        acc = CostAccumulator(cluster.node_ids)
-        scanned = charge_scan(
-            acc, touched, None, cluster.costs, cpu_intensity=0.2
+        touched, cols = cluster.region_read("broadcast", region)
+        acc = accumulator_for(cluster)
+        scanned = charge_scan_routed(
+            acc, touched, cols, None, cluster.costs, cpu_intensity=0.2
         )
         coords, values = ops.filter_region(
             (c for c, _ in touched), region, ["ship_id"]
@@ -265,7 +259,7 @@ class AisDistinctShips(Query):
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         # Whole-array query: catalog-column cost lowering + cached
         # ship-id concatenation (see ModisQuantileSort).
-        acc = CostAccumulator(cluster.node_ids)
+        acc = accumulator_for(cluster)
         scanned = charge_scan_array(
             acc, cluster, "broadcast", ["ship_id"], cluster.costs,
             cpu_intensity=1.0,
@@ -330,7 +324,7 @@ class AisVesselJoin(Query):
             (c, n) for c, n in cluster.chunks_of_array("broadcast")
             if c.key[0] in t_chunks
         ]
-        acc = CostAccumulator(cluster.node_ids)
+        acc = accumulator_for(cluster)
         scanned = charge_scan(
             acc, touched, ["ship_id", "speed"], cluster.costs,
             cpu_intensity=0.8,

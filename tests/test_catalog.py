@@ -274,6 +274,54 @@ class TestPayloadCache:
         assert coords.shape == (0, 3)
         assert values["v"].shape == (0,)
 
+    def test_permuted_attrs_share_one_entry(self):
+        # The cache key normalizes the attr list (sorted, deduplicated):
+        # querying the same subset in any order — or with repeats — hits
+        # the one cached concatenation instead of caching it per
+        # permutation.
+        schema = parse_schema(
+            "C<u:double, v:double>[t=0:*,1, x=0:15,1, y=0:15,1]"
+        )
+        catalog = ChunkCatalog()
+        chunks = [
+            ChunkData(
+                schema, (0, x, 0),
+                np.array([[0, x, 0]], dtype=np.int64),
+                {"u": np.array([1.0]), "v": np.array([2.0])},
+                size_bytes=10.0,
+            )
+            for x in range(4)
+        ]
+        catalog.put_batch(chunks, [0] * 4)
+        first = catalog.payload_of_array("C", ["u", "v"], ndim=3)
+        misses = catalog.payload_misses
+        for attrs in (["v", "u"], ["u", "v"], ["v", "u", "v"]):
+            again = catalog.payload_of_array("C", attrs, ndim=3)
+            assert again[0] is first[0]
+            assert again[1]["u"] is first[1]["u"]
+            assert again[1]["v"] is first[1]["v"]
+        assert catalog.payload_misses == misses  # every permutation hit
+        assert len(catalog._payload_cache) == 1
+
+    def test_cache_is_bounded_lru(self):
+        # Attr subsets (here: ndim variants, the other key component)
+        # that stop being queried age out of the small LRU instead of
+        # pinning their concatenations forever.
+        cluster = _make_cluster("round_robin")
+        cluster.ingest([_chunk("A", 0, x, 0, 10.0) for x in range(4)])
+        catalog = cluster.catalog
+        catalog.PAYLOAD_CACHE_MAX = 4
+        for i in range(10):
+            catalog.payload_of_array("A", ["v"], ndim=i)
+        assert len(catalog._payload_cache) == 4
+        hits = catalog.payload_hits
+        catalog.payload_of_array("A", ["v"], ndim=9)  # recent: still in
+        assert catalog.payload_hits == hits + 1
+        misses = catalog.payload_misses
+        catalog.payload_of_array("A", ["v"], ndim=0)  # old: evicted
+        assert catalog.payload_misses == misses + 1
+        assert len(catalog._payload_cache) == 4
+
 
 class TestGroupedRebalance:
     """The grouped executor ≡ the per-move oracle."""

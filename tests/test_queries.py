@@ -244,6 +244,70 @@ class TestPlacementSensitivity:
         assert join_total("append") > join_total("consistent_hash")
 
 
+class TestPolarMergeRegression:
+    """The north/south per-day merge is an explicit sum/count average."""
+
+    def test_two_cap_behavior_pinned(self, modis_cluster, small_modis):
+        # The query's daily values must equal the average of the caps'
+        # per-day means, computed independently here from the same
+        # routed chunks — the exact behavior the pre-fix two-region
+        # formula happened to produce.
+        from repro.query import ModisRollingAverage
+        from repro.query import operators as ops
+
+        cycle = small_modis.n_cycles
+        result = ModisRollingAverage(small_modis, days=3).run(
+            modis_cluster, cycle
+        )
+        lo = max(1, cycle - 3 + 1)
+        sums, counts = {}, {}
+        for region in small_modis.polar_caps(lo, cycle):
+            touched = modis_cluster.chunks_in_region("band1", region)
+            coords, values = ops.filter_region(
+                (c for c, _ in touched), region, ["radiance"]
+            )
+            if coords.shape[0] == 0:
+                continue
+            per_day = ops.group_mean_by_grid(
+                coords, values["radiance"], dims=[0], cell_sizes=[1440]
+            )
+            for (day,), mean in per_day.items():
+                sums[day] = sums.get(day, 0.0) + mean
+                counts[day] = counts.get(day, 0) + 1
+        expected = {day: sums[day] / counts[day] for day in sums}
+        got = result.value["daily_polar_radiance"]
+        assert set(got) == set(expected)
+        assert expected  # the caps really observed some days
+        for day in expected:
+            assert got[day] == pytest.approx(expected[day])
+
+    def test_merge_handles_third_region_and_repeated_days(self):
+        from repro.query.science import merge_regional_daily_means
+
+        a = {(1,): 10.0, (2,): 20.0}
+        b = {(1,): 30.0}
+        c = {(1,): 50.0, (3,): 5.0}
+        merged = merge_regional_daily_means([a, b, c])
+        assert merged == {
+            1: pytest.approx(30.0),  # (10 + 30 + 50) / 3
+            2: pytest.approx(20.0),
+            3: pytest.approx(5.0),
+        }
+        # The pre-fix in-place formula mis-weighted the third region.
+        broken = {}
+        for per_day in (a, b, c):
+            for (day,), mean in per_day.items():
+                broken[day] = (broken.get(day, 0.0) + mean) / (
+                    2.0 if day in broken else 1.0
+                )
+        assert broken[1] != pytest.approx(merged[1])
+
+    def test_merge_empty(self):
+        from repro.query.science import merge_regional_daily_means
+
+        assert merge_regional_daily_means([]) == {}
+
+
 class TestExecutorHelpers:
     def test_map_chunks_inline(self):
         assert map_chunks(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]

@@ -1,0 +1,387 @@
+"""Region routing: vectorized key-interval tests ≡ per-chunk box walks.
+
+Covers the ISSUE-5 region-routing contract:
+
+* the schema's inverse chunk mapping
+  (:meth:`ArraySchema.chunk_intervals_of`) agrees with
+  ``chunk_box().intersects`` on every chunk key, including the
+  end-clamped last chunk of a bounded dimension;
+* property test — hypothesis interleavings of insert / rebalance /
+  remove / scale-out across all registered partitioning schemes assert
+  that ``ElasticCluster.chunks_in_region`` returns exactly what the
+  per-chunk ``intersects`` oracle returns (same chunk objects, same
+  owners, same key-sorted order), in both catalog and scan modes, for
+  regions inside, straddling, and outside the domain, empty regions,
+  and unknown array names;
+* the region-scoped cost lowering (``region_scan_columns`` /
+  ``charge_scan_region``) matches the pair-list path in both cost
+  modes, and the pooled per-cluster accumulator behaves like a fresh
+  one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import Box, ChunkData, parse_schema
+from repro.cluster import CostParameters, ElasticCluster, GB
+from repro.core import ALL_PARTITIONERS, make_partitioner
+from repro.core.catalog import catalog_mode
+from repro.errors import ChunkError, SchemaError
+from repro.query.cost import (
+    CostAccumulator,
+    accumulator_for,
+    charge_scan,
+    charge_scan_region,
+    charge_scan_routed,
+    cost_mode,
+    region_scan_columns,
+    scan_columns,
+)
+
+GRID = Box((0, 0, 0), (10_000, 16, 16))
+#: "A" has chunk intervals > 1 (the inverse mapping must divide), "B"
+#: has unit intervals (cell space == chunk space).
+SCHEMAS = {
+    "A": parse_schema("A<v:double>[t=0:*,3, x=0:15,4, y=0:15,2]"),
+    "B": parse_schema("B<v:double>[t=0:*,1, x=0:15,1, y=0:15,1]"),
+}
+#: Valid chunk-key ranges per schema dimension (t capped for tests).
+KEY_HI = {"A": (8, 4, 8), "B": (8, 16, 16)}
+
+
+def _chunk(array, key, size=10.0, value=1.0):
+    schema = SCHEMAS[array]
+    cell = tuple(
+        d.chunk_low(k) for d, k in zip(schema.dimensions, key)
+    )
+    return ChunkData(
+        schema, tuple(key),
+        np.array([cell], dtype=np.int64),
+        {"v": np.array([float(value)])},
+        size_bytes=float(size),
+    )
+
+
+def _make_cluster(name, nodes=2):
+    partitioner = make_partitioner(
+        name, list(range(nodes)), grid=GRID,
+        node_capacity_bytes=1000 * GB,
+    )
+    return ElasticCluster(
+        partitioner, 1000 * GB, costs=CostParameters(),
+        ledger_compact_ratio=0.3,
+    )
+
+
+def _random_key(rng, array):
+    his = KEY_HI[array]
+    return tuple(int(rng.integers(0, hi)) for hi in his)
+
+
+def _random_region(rng):
+    """Boxes inside, straddling, outside, and degenerate (zero extent)."""
+    lo = [int(rng.integers(-6, 36)) for _ in range(3)]
+    hi = [l + int(rng.integers(0, 30)) for l in lo]
+    return Box(tuple(lo), tuple(hi))
+
+
+def _oracle(cluster, array, region):
+    """The pre-routing walk: one chunk_box().intersects() per chunk."""
+    return [
+        (chunk, node)
+        for chunk, node in cluster.chunks_of_array(array)
+        if chunk.schema.chunk_box(chunk.key).intersects(region)
+    ]
+
+
+def _assert_region_parity(cluster, array, region):
+    expected = [(id(c), n) for c, n in _oracle(cluster, array, region)]
+    got = [
+        (id(c), n) for c, n in cluster.chunks_in_region(array, region)
+    ]
+    assert got == expected
+    with catalog_mode("scan"):
+        walked = [
+            (id(c), n)
+            for c, n in cluster.chunks_in_region(array, region)
+        ]
+    assert walked == expected
+
+
+class TestChunkIntervalMath:
+    """chunk_intervals_of is the exact inverse of chunk_box."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lo=st.tuples(*[st.integers(-8, 40)] * 3),
+        extent=st.tuples(*[st.integers(0, 30)] * 3),
+    )
+    def test_membership_matches_box_intersection(self, lo, extent):
+        schema = SCHEMAS["A"]
+        region = Box(lo, tuple(l + e for l, e in zip(lo, extent)))
+        intervals = schema.chunk_intervals_of(region)
+        for t in range(4):
+            for x in range(4):
+                for y in range(8):
+                    key = (t, x, y)
+                    expected = schema.chunk_box(key).intersects(region)
+                    got = intervals is not None and all(
+                        intervals[0][d] <= key[d] <= intervals[1][d]
+                        for d in range(3)
+                    )
+                    assert got == expected, (key, region)
+
+    def test_end_clamp_excludes_phantom_tail(self):
+        # x=0:15,4 → last chunk 3 covers cells 12..15; a region starting
+        # at 16 must miss it even though naive stride math (floor(16/4)
+        # = 4 > 3… but floor((16+3)/4)) would admit a clamped-away tail.
+        schema = SCHEMAS["A"]
+        region = Box((0, 16, 0), (100, 20, 16))
+        assert schema.chunk_intervals_of(region) is None
+
+    def test_bounded_dim_last_chunk_clamped_high(self):
+        # y=0:15,2 → chunk 7 covers 14..15; region [15, 16) hits it.
+        schema = SCHEMAS["A"]
+        intervals = schema.chunk_intervals_of(
+            Box((0, 0, 15), (1, 16, 16))
+        )
+        assert intervals is not None
+        assert intervals[0][2] == 7 and intervals[1][2] == 7
+
+    def test_empty_region_maps_to_nothing(self):
+        schema = SCHEMAS["A"]
+        assert schema.chunk_intervals_of(
+            Box((0, 0, 0), (0, 16, 16))
+        ) is None
+
+    def test_below_domain_maps_to_nothing(self):
+        schema = SCHEMAS["A"]
+        assert schema.chunk_intervals_of(
+            Box((-5, -5, -5), (-1, -1, -1))
+        ) is None
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            SCHEMAS["A"].chunk_intervals_of(Box((0, 0), (1, 1)))
+
+
+class TestRegionRoutingParityProperty:
+    """Random mutation interleavings keep routing ≡ the box-walk oracle."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(ALL_PARTITIONERS),
+        seed=st.integers(0, 2**31),
+        script=st.lists(
+            st.sampled_from(["ingest", "grow", "expire"]),
+            min_size=3,
+            max_size=8,
+        ),
+    )
+    def test_interleaved_ops(self, name, seed, script):
+        rng = np.random.default_rng(seed)
+        cluster = _make_cluster(name)
+        window = []
+        for op in script:
+            if op == "ingest":
+                batch = {}
+                for _ in range(int(rng.integers(4, 16))):
+                    array = "AB"[int(rng.integers(0, 2))]
+                    key = _random_key(rng, array)
+                    batch[(array, key)] = _chunk(
+                        array, key, float(rng.lognormal(2, 1))
+                    )
+                cluster.ingest(list(batch.values()))
+                window.append([c.ref() for c in batch.values()])
+            elif op == "grow":
+                if cluster.partitioner.chunk_count:
+                    cluster.scale_out(1)
+            else:  # expire
+                if len(window) > 1:
+                    cluster.remove_chunks(window.pop(0))
+            for array in SCHEMAS:
+                for _ in range(3):
+                    _assert_region_parity(
+                        cluster, array, _random_region(rng)
+                    )
+
+    def test_unknown_array_is_empty_in_both_modes(self):
+        cluster = _make_cluster("round_robin")
+        cluster.ingest([_chunk("A", (0, 0, 0))])
+        region = Box((0, 0, 0), (10, 10, 10))
+        assert cluster.chunks_in_region("nope", region) == []
+        with catalog_mode("scan"):
+            assert cluster.chunks_in_region("nope", region) == []
+
+    def test_empty_and_outside_regions(self):
+        cluster = _make_cluster("round_robin")
+        cluster.ingest(
+            [_chunk("A", (t, x, y))
+             for t in range(2) for x in range(4) for y in range(4)]
+        )
+        for region in (
+            Box((0, 0, 0), (0, 16, 16)),       # zero extent
+            Box((0, 16, 0), (100, 30, 16)),    # above x domain
+            Box((0, -9, -9), (100, -1, -1)),   # below x/y domain
+            Box((50, 0, 0), (60, 16, 16)),     # beyond observed time
+        ):
+            _assert_region_parity(cluster, "A", region)
+            assert cluster.chunks_in_region("A", region) == []
+
+    def test_arity_mismatch_raises_in_both_modes(self):
+        cluster = _make_cluster("round_robin")
+        cluster.ingest([_chunk("A", (0, 0, 0))])
+        with catalog_mode("catalog"), pytest.raises(SchemaError):
+            cluster.chunks_in_region("A", Box((0, 0), (1, 1)))
+        with catalog_mode("scan"), pytest.raises(ChunkError):
+            cluster.chunks_in_region("A", Box((0, 0), (1, 1)))
+
+
+class TestAllSchemesRegionRouting:
+    """Deterministic lifecycle with rebalances/removals, every scheme."""
+
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    def test_fixed_lifecycle(self, name):
+        rng = np.random.default_rng(7)
+        cluster = _make_cluster(name)
+        window = []
+        for cycle in range(4):
+            batch = {}
+            for _ in range(10):
+                array = "AB"[int(rng.integers(0, 2))]
+                key = _random_key(rng, array)
+                batch[(array, key)] = _chunk(
+                    array, key, float(rng.lognormal(2, 1))
+                )
+            cluster.ingest(list(batch.values()))
+            window.append([c.ref() for c in batch.values()])
+            if cycle == 1:
+                cluster.scale_out(1)  # rebalance between routed queries
+            if len(window) > 2:
+                cluster.remove_chunks(window.pop(0))
+            for array in SCHEMAS:
+                for _ in range(4):
+                    _assert_region_parity(
+                        cluster, array, _random_region(rng)
+                    )
+            cluster.check_consistency()
+
+
+class TestRegionCostLowering:
+    def _loaded_cluster(self):
+        rng = np.random.default_rng(11)
+        cluster = _make_cluster("round_robin", nodes=3)
+        batch = {}
+        for _ in range(60):
+            key = _random_key(rng, "A")
+            batch[key] = _chunk("A", key, float(rng.lognormal(2, 1)))
+        cluster.ingest(list(batch.values()))
+        return cluster
+
+    def test_columns_match_pair_list_both_modes(self):
+        cluster = self._loaded_cluster()
+        region = Box((0, 2, 3), (9, 13, 12))
+        pairs = cluster.chunks_in_region("A", region)
+        ref_sizes, ref_nodes = scan_columns(pairs, ["v"])
+        sizes, nodes = region_scan_columns(cluster, "A", region, ["v"])
+        assert np.allclose(sizes, ref_sizes)
+        assert np.array_equal(nodes, ref_nodes)
+        with catalog_mode("scan"):  # pair-list fallback path
+            sizes_o, nodes_o = region_scan_columns(
+                cluster, "A", region, ["v"]
+            )
+        assert np.allclose(sizes_o, ref_sizes)
+        assert np.array_equal(nodes_o, ref_nodes)
+
+    def test_charge_scan_region_matches_charge_scan(self):
+        cluster = self._loaded_cluster()
+        region = Box((0, 0, 0), (9, 9, 9))
+        costs = cluster.costs
+        for mode in ("batch", "scalar"):
+            with cost_mode(mode):
+                acc_region = CostAccumulator(cluster.node_ids)
+                scanned_region = charge_scan_region(
+                    acc_region, cluster, "A", region, ["v"], costs, 1.5
+                )
+                acc_pairs = CostAccumulator(cluster.node_ids)
+                scanned_pairs = charge_scan(
+                    acc_pairs, cluster.chunks_in_region("A", region),
+                    ["v"], costs, 1.5,
+                )
+            assert scanned_region == pytest.approx(scanned_pairs)
+            got = acc_region.as_dict()
+            ref = acc_pairs.as_dict()
+            assert set(got) == set(ref)
+            assert all(
+                got[n] == pytest.approx(ref[n], rel=1e-12) for n in ref
+            )
+
+    def test_region_read_single_pass_matches_two_calls(self):
+        # region_read must hand back exactly what chunks_in_region +
+        # region_scan_columns would, from one routing pass — and under
+        # the scan oracle the columns half is None (pair-list fallback).
+        cluster = self._loaded_cluster()
+        region = Box((0, 1, 1), (9, 14, 14))
+        with catalog_mode("catalog"):
+            pairs, cols = cluster.region_read("A", region)
+        assert [(id(c), n) for c, n in pairs] == [
+            (id(c), n)
+            for c, n in cluster.chunks_in_region("A", region)
+        ]
+        sizes, nodes, schema = cols
+        ref_sizes, ref_nodes = scan_columns(pairs)
+        assert np.allclose(sizes, ref_sizes)
+        assert np.array_equal(nodes, ref_nodes)
+        assert schema is SCHEMAS["A"]
+        with catalog_mode("scan"):
+            oracle_pairs, oracle_cols = cluster.region_read("A", region)
+        assert oracle_cols is None
+        assert [(id(c), n) for c, n in oracle_pairs] == [
+            (id(c), n) for c, n in pairs
+        ]
+
+    def test_charge_scan_routed_matches_charge_scan(self):
+        cluster = self._loaded_cluster()
+        region = Box((0, 0, 0), (9, 12, 12))
+        costs = cluster.costs
+        for mode in ("batch", "scalar"):
+            for catmode in ("catalog", "scan"):
+                with cost_mode(mode), catalog_mode(catmode):
+                    pairs, cols = cluster.region_read("A", region)
+                    acc_routed = CostAccumulator(cluster.node_ids)
+                    scanned_routed = charge_scan_routed(
+                        acc_routed, pairs, cols, ["v"], costs, 1.5
+                    )
+                    acc_pairs = CostAccumulator(cluster.node_ids)
+                    scanned_pairs = charge_scan(
+                        acc_pairs, pairs, ["v"], costs, 1.5
+                    )
+                assert scanned_routed == pytest.approx(scanned_pairs)
+                got = acc_routed.as_dict()
+                ref = acc_pairs.as_dict()
+                assert set(got) == set(ref)
+                assert all(
+                    got[n] == pytest.approx(ref[n], rel=1e-12)
+                    for n in ref
+                )
+
+    def test_accumulator_pool_reuses_and_resets(self):
+        cluster = self._loaded_cluster()
+        acc = accumulator_for(cluster)
+        acc.add_one(cluster.node_ids[0], 5.0)
+        assert acc.as_dict()
+        again = accumulator_for(cluster)
+        assert again is acc          # pooled per cluster
+        assert again.as_dict() == {}  # and zeroed on re-acquisition
+
+    def test_accumulator_pool_tracks_scale_out(self):
+        cluster = self._loaded_cluster()
+        acc = accumulator_for(cluster)
+        cluster.scale_out(1)
+        grown = accumulator_for(cluster)
+        assert grown is not acc
+        new_node = max(cluster.node_ids)
+        grown.add_one(new_node, 1.0)  # knows the new node
+        assert grown.as_dict() == {new_node: 1.0}

@@ -44,6 +44,13 @@ from repro.query.cost import (
     halo_shuffle_bytes_scalar,
     scan_columns,
 )
+from repro.query.incremental import (
+    DeltaJoinState,
+    GridGroupByState,
+    MaintainedGridStats,
+    incr_mode,
+    join_aggregate_full,
+)
 
 GRID = Box((0, 0, 0), (40, 29, 23))
 
@@ -698,3 +705,165 @@ def test_rebalance_batch(benchmark):
 
     report = benchmark(pingpong)
     assert report.chunks_moved == fwd.chunk_count
+
+
+# ----------------------------------------------------------------------
+# incremental view maintenance (full-recompute arm vs delta fold)
+# ----------------------------------------------------------------------
+INCR_CELLS = max(1_000, int(20_000 * SCALE))
+
+#: ~1% churn per cycle: the regime where delta maintenance pays.
+INCR_DELTA = max(64, INCR_CELLS // 100)
+
+
+def _incr_grid_inputs(n=INCR_CELLS):
+    rng = np.random.default_rng(30)
+    coords = np.stack(
+        [
+            rng.integers(0, 60, n),
+            rng.integers(0, 200, n),
+            rng.integers(0, 200, n),
+        ],
+        axis=1,
+    )
+    return coords, rng.normal(0.0, 10.0, n)
+
+
+def test_incr_groupby_full(benchmark):
+    """The full-recompute arm: one grid-stats sweep over every cell."""
+    coords, values = _incr_grid_inputs()
+    benchmark.extra_info["items"] = coords.shape[0]
+
+    out = benchmark(
+        ops.group_stats_by_grid_arrays, coords, values, [1, 2], [8, 8]
+    )
+    assert int(out[1].sum()) == coords.shape[0]
+
+
+def test_incr_groupby_delta(benchmark):
+    """The delta arm: fold a ±1% cell batch into primed group state.
+
+    Each round applies the same delta with weight +1 then -1, so the
+    maintained counts/sums return to the primed view and every round
+    does identical work on a view of ``INCR_CELLS`` cells.
+    """
+    coords, values = _incr_grid_inputs()
+    state = GridGroupByState([1, 2], [8, 8])
+    state.apply(
+        coords, values, np.ones(coords.shape[0], dtype=np.int64)
+    )
+    d_coords = coords[:INCR_DELTA]
+    d_values = values[:INCR_DELTA]
+    plus = np.ones(INCR_DELTA, dtype=np.int64)
+    benchmark.extra_info["items"] = coords.shape[0]
+
+    def fold():
+        state.apply(d_coords, d_values, plus)
+        state.apply(d_coords, d_values, -plus)
+        return state
+
+    out = benchmark(fold)
+    assert int(out.counts.sum()) == coords.shape[0]
+
+
+def _incr_join_inputs(n=INCR_CELLS):
+    rng = np.random.default_rng(31)
+    keys_a = rng.integers(0, n // 4, n)
+    keys_b = rng.integers(0, n // 4, n)
+    return (
+        keys_a, rng.normal(0.0, 2.0, n),
+        keys_b, rng.normal(0.0, 2.0, n),
+    )
+
+
+def test_incr_join_full(benchmark):
+    """The full-recompute arm: bincount + intersect1d over both sides."""
+    keys_a, values_a, keys_b, values_b = _incr_join_inputs()
+    benchmark.extra_info["items"] = keys_a.shape[0] * 2
+
+    out = benchmark(
+        join_aggregate_full, keys_a, values_a, keys_b, values_b
+    )
+    assert out["pairs"] > 0
+
+
+def test_incr_join_delta(benchmark):
+    """The delta arm: bilinear ±1% fold against primed join state."""
+    keys_a, values_a, keys_b, values_b = _incr_join_inputs()
+    state = DeltaJoinState()
+    ones = np.ones(keys_a.shape[0], dtype=np.int64)
+    state.apply("a", keys_a, values_a, ones)
+    state.apply("b", keys_b, values_b, ones)
+    d_keys = keys_a[:INCR_DELTA]
+    d_values = values_a[:INCR_DELTA]
+    plus = np.ones(INCR_DELTA, dtype=np.int64)
+    benchmark.extra_info["items"] = keys_a.shape[0] * 2
+
+    def fold():
+        state.apply("a", d_keys, d_values, plus)
+        state.apply("a", d_keys, d_values, -plus)
+        return state
+
+    out = benchmark(fold)
+    ref = join_aggregate_full(keys_a, values_a, keys_b, values_b)
+    assert out.emit()["pairs"] == ref["pairs"]
+
+
+def _incr_view_fixture():
+    """A maintained grid view over the routing cluster, plus one delta.
+
+    The view is primed at the pre-churn epoch, then ~1% fresh chunks
+    are ingested.  Rewinding ``view.cursor`` to the primed epoch makes
+    every refresh replay the same addition-only delta — constant work
+    per round through the planner, the delta gather, and the fold.
+    """
+    cluster = _routing_cluster()
+    view = MaintainedGridStats(
+        cluster, "Q", "v", dims=(1, 2), cell_sizes=(8, 8), ndim=3,
+        track_minmax=False,
+    )
+    view.refresh()
+    cursor = view.cursor
+    delta_n = max(64, CATALOG_CHUNKS // 100)
+    fresh = []
+    for i in range(delta_n):
+        key = (40_000, (i // 200) % 200, i % 200)
+        fresh.append(
+            ChunkData.from_validated_cells(
+                _CATALOG_SCHEMA, key,
+                np.array([key], dtype=np.int64),
+                {"v": np.array([float(i)])},
+                size_bytes=2e5,
+            )
+        )
+    cluster.ingest(fresh)
+    return view, cursor, delta_n
+
+
+def test_incr_cycle_full(benchmark):
+    """One maintenance cycle with the recompute arm forced on."""
+    view, _cursor, delta_n = _incr_view_fixture()
+    benchmark.extra_info["items"] = CATALOG_CHUNKS + delta_n
+
+    def cycle():
+        with incr_mode("full"):
+            return view.refresh()
+
+    report = benchmark(cycle)
+    assert report.mode == "full"
+    assert report.rows == CATALOG_CHUNKS + delta_n
+
+
+def test_incr_cycle_delta(benchmark):
+    """One maintenance cycle folding the ~1% delta since the cursor."""
+    view, cursor, delta_n = _incr_view_fixture()
+    benchmark.extra_info["items"] = CATALOG_CHUNKS + delta_n
+
+    def cycle():
+        view.cursor = cursor
+        return view.refresh()
+
+    report = benchmark(cycle)
+    assert report.mode == "delta"
+    assert report.plan is not None and report.plan.incremental
+    assert report.rows == delta_n

@@ -55,6 +55,12 @@ SPEEDUP_PAIRS = [
      "test_region_cost_batch"),
     ("rebalance_exec", "test_rebalance_scalar",
      "test_rebalance_batch"),
+    # For the incr_* pairs the "scalar" slot is the full-recompute arm
+    # and the "batch" slot the delta fold (same view, ~1% churn).
+    ("incr_groupby", "test_incr_groupby_full",
+     "test_incr_groupby_delta"),
+    ("incr_join", "test_incr_join_full", "test_incr_join_delta"),
+    ("incr_cycle", "test_incr_cycle_full", "test_incr_cycle_delta"),
 ] + [
     (f"placement:{name}", f"test_placement_throughput[{name}]",
      f"test_place_batch_throughput[{name}]")

@@ -282,6 +282,58 @@ class ElasticCluster:
             )
         return self.catalog.payload_of_array(array, attrs, ndim)
 
+    def payload_in_region(
+        self,
+        array: str,
+        region: Box,
+        attrs: Sequence[str],
+        ndim: int = 0,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Cell table of one array clipped to ``region``, key-sorted.
+
+        The region-scoped sibling of :meth:`array_payload`: in catalog
+        mode the clipped cells are cached per ``(array, region, attrs,
+        payload epoch)`` in the same LRU as whole-array payloads, so a
+        hot selection skips the per-chunk concatenation *and* the
+        per-chunk region mask entirely between content mutations (pure
+        relocations keep the entry warm).  The scan oracle re-walks the
+        touched chunks and re-masks every call.  Callers must treat the
+        returned arrays as read-only.
+        """
+        if default_catalog_mode() == "scan":
+            coords, values = concat_payload(
+                [c for c, _ in self.chunks_in_region(array, region)],
+                attrs, ndim,
+            )
+            if coords.shape[0]:
+                mask = np.ones(coords.shape[0], dtype=bool)
+                for d in range(len(region.lo)):
+                    mask &= coords[:, d] >= region.lo[d]
+                    mask &= coords[:, d] < region.hi[d]
+                coords = coords[mask]
+                values = {a: v[mask] for a, v in values.items()}
+            return coords, values
+        return self.catalog.payload_in_region(array, region, attrs, ndim)
+
+    def deltas_since(self, array: str, epoch: int):
+        """One array's content mutations after an epoch cursor.
+
+        Passthrough to :meth:`ChunkCatalog.deltas_since` — the delta log
+        is maintained in both catalog modes (like the catalog itself),
+        so the incremental maintenance layer reads it regardless of the
+        routing oracle in force.
+        """
+        return self.catalog.deltas_since(array, epoch)
+
+    def delta_scan_columns(self, array: str, epoch: int):
+        """``(sizes, nodes, schema)`` columns of a delta's rows.
+
+        Passthrough to :meth:`ChunkCatalog.delta_scan_columns`; the cost
+        model's Tempura-style maintenance planner lowers the incremental
+        plan's charge from these.
+        """
+        return self.catalog.delta_scan_columns(array, epoch)
+
     # ------------------------------------------------------------------
     # growth
     # ------------------------------------------------------------------
@@ -375,10 +427,16 @@ class ElasticCluster:
     def check_consistency(self) -> None:
         """Verify stores, the partitioner ledger, and the catalog agree.
 
+        Also replays every array's content delta log from epoch 0
+        (:meth:`ChunkCatalog.verify_delta_log`): summing each chunk's
+        signed log rows must land exactly on the catalog's current live
+        set — the invariant the incremental maintenance layer depends
+        on.
+
         Raises:
             ClusterError: on any disagreement between physical chunk
-                placement, the partitioning table, and the chunk
-                catalog's columns.
+                placement, the partitioning table, the chunk catalog's
+                columns, and the replayed delta log.
         """
         catalogued = 0
         for node_id, node in self.nodes.items():
@@ -417,3 +475,4 @@ class ElasticCluster:
                 f"byte ledgers disagree: table={table_total} "
                 f"stored={stored_total}"
             )
+        self.catalog.verify_delta_log()

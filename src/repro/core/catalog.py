@@ -38,6 +38,22 @@ subsets that stop being queried.  Compaction
 (:meth:`compact`) re-interns ids but preserves every observable,
 including live cache entries and epochs.
 
+Content delta log
+-----------------
+Every content mutation additionally appends signed rows to a per-array
+**delta log** (:class:`_DeltaLog`): inserts append ``+1`` rows, removals
+append ``-1`` rows, and a merge that replaces a stored payload appends
+the retiring handle at ``-1`` followed by the merged handle at ``+1``.
+Pure relocations append nothing — ownership changes are not content.
+:meth:`deltas_since` slices the log after an epoch cursor in one
+``searchsorted``, returning the added/removed chunk columns the
+incremental query-maintenance layer (:mod:`repro.query.incremental`)
+folds into its operator state, so steady-state maintenance touches only
+what changed.  The log stores refs and payload handles, not interned
+ids, so :meth:`compact` leaves it untouched, and replaying it from
+epoch 0 must land exactly on the live set — :meth:`verify_delta_log`
+checks that, and ``ElasticCluster.check_consistency`` calls it.
+
 Parity oracle
 -------------
 Mirroring ``REPRO_LEDGER`` / ``REPRO_COST``, the ``REPRO_CATALOG``
@@ -54,6 +70,7 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -143,6 +160,144 @@ def concat_payload(
 _pack_keys = pack_rows_void
 
 
+@dataclass(frozen=True)
+class CatalogDelta:
+    """One array's content mutations after an epoch cursor, as columns.
+
+    A numpy-native ZSet over chunks: parallel columns in log (mutation)
+    order, where ``signs`` carries the weight of each row — ``+1`` for a
+    chunk that entered the live set, ``-1`` for one that left it.  A
+    merge that replaced a stored payload contributes its retiring handle
+    at ``-1`` immediately followed by the merged handle at ``+1``.
+    Summing signs per ref therefore replays to the live set, and the
+    incremental maintenance layer folds the same rows into its operator
+    state (added cells at ``+1``, expired cells at ``-1``).
+    """
+
+    #: Catalog epoch at which each mutation landed (non-decreasing).
+    epochs: np.ndarray
+    #: ZSet weight of each row: ``+1`` added, ``-1`` removed.
+    signs: np.ndarray
+    #: The mutated chunks' refs (object column).
+    refs: np.ndarray
+    #: The payload handles as of the mutation (object column).
+    chunks: np.ndarray
+    #: Modeled bytes of each mutated chunk.
+    sizes: np.ndarray
+    #: Node holding the chunk at mutation time (added rows: the owner
+    #: after the put; removed rows: the owner the chunk left).
+    nodes: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.signs.shape[0])
+
+    @property
+    def added(self) -> np.ndarray:
+        """Boolean mask of the ``+1`` rows."""
+        return self.signs > 0
+
+    @property
+    def removed(self) -> np.ndarray:
+        """Boolean mask of the ``-1`` rows."""
+        return self.signs < 0
+
+    @property
+    def bytes_touched(self) -> float:
+        """Total modeled bytes across added *and* removed rows.
+
+        The incremental plan reads every delta row (removals re-enter
+        the operators as negative contributions), so this — not the net
+        byte change — is what the Tempura-style planner charges.
+        """
+        return float(self.sizes.sum())
+
+
+class _DeltaLog:
+    """Append-only columnar log of one array's content mutations.
+
+    Amortized-doubling numpy columns in the style of the catalog's own
+    chunk columns; ``epochs`` is non-decreasing by construction, so
+    :meth:`since` finds a cursor with one ``searchsorted`` and the tail
+    gather is O(delta).  Rows are keyed by ref and payload handle — not
+    interned ids — so catalog compaction never rewrites the log.
+    """
+
+    __slots__ = ("epochs", "signs", "refs", "chunks", "sizes", "nodes",
+                 "count")
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self) -> None:
+        cap = self._INITIAL_CAPACITY
+        self.epochs = np.zeros(cap, dtype=np.int64)
+        self.signs = np.zeros(cap, dtype=np.int8)
+        self.refs = np.empty(cap, dtype=object)
+        self.chunks = np.empty(cap, dtype=object)
+        self.sizes = np.zeros(cap, dtype=np.float64)
+        self.nodes = np.full(cap, -1, dtype=np.int64)
+        self.count = 0
+
+    def append(
+        self,
+        epoch: int,
+        signs: Sequence[int],
+        refs: Sequence[ChunkRef],
+        chunks: Sequence[ChunkData],
+        sizes: Sequence[float],
+        nodes: Sequence[int],
+    ) -> None:
+        n = len(signs)
+        need = self.count + n
+        cap = len(self.signs)
+        if need > cap:
+            new_cap = max(need, cap * 2)
+            extra = new_cap - cap
+            self.epochs = np.concatenate(
+                [self.epochs, np.zeros(extra, dtype=np.int64)]
+            )
+            self.signs = np.concatenate(
+                [self.signs, np.zeros(extra, dtype=np.int8)]
+            )
+            self.refs = np.concatenate(
+                [self.refs, np.empty(extra, dtype=object)]
+            )
+            self.chunks = np.concatenate(
+                [self.chunks, np.empty(extra, dtype=object)]
+            )
+            self.sizes = np.concatenate(
+                [self.sizes, np.zeros(extra, dtype=np.float64)]
+            )
+            self.nodes = np.concatenate(
+                [self.nodes, np.full(extra, -1, dtype=np.int64)]
+            )
+        sl = slice(self.count, need)
+        self.epochs[sl] = epoch
+        self.signs[sl] = np.asarray(signs, dtype=np.int8)
+        self.refs[sl] = refs
+        self.chunks[sl] = chunks
+        self.sizes[sl] = np.asarray(sizes, dtype=np.float64)
+        self.nodes[sl] = np.asarray(nodes, dtype=np.int64)
+        self.count = need
+
+    def since(self, epoch: int) -> CatalogDelta:
+        """Rows strictly after ``epoch``, as fresh column copies."""
+        n = self.count
+        lo = int(np.searchsorted(self.epochs[:n], epoch, side="right"))
+        sl = slice(lo, n)
+        return CatalogDelta(
+            epochs=self.epochs[sl].copy(),
+            signs=self.signs[sl].copy(),
+            refs=self.refs[sl].copy(),
+            chunks=self.chunks[sl].copy(),
+            sizes=self.sizes[sl].copy(),
+            nodes=self.nodes[sl].copy(),
+        )
+
+
+#: Shared empty log: ``deltas_since`` on unknown arrays slices this.
+_EMPTY_LOG = _DeltaLog()
+
+
 class _ArrayView:
     """One array's live chunk ids, kept sorted by chunk key.
 
@@ -220,6 +375,7 @@ class ChunkCatalog:
         self._hwm = 0
         self._views: Dict[str, _ArrayView] = {}
         self._schema_of: Dict[str, object] = {}
+        self._deltas: Dict[str, _DeltaLog] = {}
         self._epoch = 0
         # payload LRU: (array, normalized attrs, ndim) -> (epoch,
         # coords, values); most recently used at the end.
@@ -480,6 +636,151 @@ class ChunkCatalog:
             self._payload_cache.popitem(last=False)
         return coords, values
 
+    def payload_in_region(
+        self,
+        array: str,
+        region: Box,
+        attrs: Sequence[str],
+        ndim: int = 0,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Cells of one array strictly inside ``region``, cached.
+
+        The region-scoped sibling of :meth:`payload_of_array`: the
+        result is the region's cells *after* the cell-level clip (not
+        just the touched chunks' cells), so a hot selection served from
+        the cache skips both the per-chunk concatenation and the
+        per-chunk region mask.  Entries share the same LRU
+        (:attr:`PAYLOAD_CACHE_MAX`) and the same payload-epoch
+        invalidation as whole-array payloads — the region bounds simply
+        extend the cache key — so content mutations drop them eagerly
+        while pure relocations keep them warm, and regions that stop
+        being queried age out of the LRU.  Callers must treat the
+        returned arrays as read-only.
+        """
+        key = (
+            array, tuple(sorted(set(attrs))), int(ndim),
+            region.lo, region.hi,
+        )
+        epoch = self.payload_epoch_of(array)
+        cached = self._payload_cache.get(key)
+        if cached is not None and cached[0] == epoch:
+            self.payload_hits += 1
+            self._payload_cache.move_to_end(key)
+            return cached[1], cached[2]
+        self.payload_misses += 1
+        ids = self.ids_in_region(array, region)
+        coords, values = concat_payload(
+            self._chunks[ids].tolist(), attrs, ndim
+        )
+        if coords.shape[0]:
+            mask = np.ones(coords.shape[0], dtype=bool)
+            for d in range(len(region.lo)):
+                mask &= coords[:, d] >= region.lo[d]
+                mask &= coords[:, d] < region.hi[d]
+            coords = coords[mask]
+            values = {a: v[mask] for a, v in values.items()}
+        self._payload_cache[key] = (epoch, coords, values)
+        self._payload_cache.move_to_end(key)
+        while len(self._payload_cache) > self.PAYLOAD_CACHE_MAX:
+            self._payload_cache.popitem(last=False)
+        return coords, values
+
+    # -- content delta log ---------------------------------------------
+    def deltas_since(self, array: str, epoch: int) -> CatalogDelta:
+        """One array's content mutations strictly after ``epoch``.
+
+        The incremental-maintenance read path: a consumer snapshots
+        :meth:`payload_epoch_of` after folding a batch in and passes
+        that cursor next cycle; the log's epoch column is non-decreasing
+        so the slice is one ``searchsorted`` plus an O(delta) gather.
+        Pure relocations log nothing, so a cursor held across a
+        rebalance sees an *empty* delta.  Unknown arrays (or a cursor at
+        the current payload epoch) yield empty columns.
+        """
+        log = self._deltas.get(array)
+        if log is None:
+            return _EMPTY_LOG.since(0)
+        return log.since(epoch)
+
+    def delta_scan_columns(
+        self, array: str, epoch: int
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[object]]:
+        """``(sizes, nodes, schema)`` columns of a delta's touched rows.
+
+        The maintenance-plan sibling of :meth:`scan_columns_of`: the
+        cost model charges the incremental plan straight from the delta
+        log's byte/owner columns — added *and* removed rows, since the
+        operators read both — shaped exactly like the other catalog
+        lowerings so :func:`repro.query.cost._lower_catalog_columns`
+        applies unchanged.
+        """
+        delta = self.deltas_since(array, epoch)
+        return delta.sizes, delta.nodes, self._schema_of.get(array)
+
+    def verify_delta_log(self) -> None:
+        """Replay every array's delta log and compare to the live set.
+
+        Summing each ref's signs in log order must reproduce the
+        catalog's current live chunks exactly: every live ref at net
+        weight ``+1`` with its last-added handle being the stored one,
+        every expired ref at net weight ``0``, and nothing else.  Run
+        from ``ElasticCluster.check_consistency`` after every mutation
+        batch in the test suites.
+
+        Raises
+        ------
+        ClusterError
+            On any divergence between the replayed and live sets.
+        """
+        replayed: Dict[str, Dict[ChunkRef, Tuple[int, ChunkData]]] = {}
+        for array, log in self._deltas.items():
+            net = replayed.setdefault(array, {})
+            n = log.count
+            for sign, ref, chunk in zip(
+                log.signs[:n].tolist(),
+                log.refs[:n].tolist(),
+                log.chunks[:n].tolist(),
+            ):
+                weight, handle = net.get(ref, (0, None))
+                weight += sign
+                if weight < 0 or weight > 1:
+                    raise ClusterError(
+                        f"delta log of {array!r} reaches weight "
+                        f"{weight} for {ref} during replay"
+                    )
+                net[ref] = (weight, chunk if sign > 0 else handle)
+        for array, net in replayed.items():
+            live = {
+                ref: (1, self._chunks[i])
+                for ref, i in self._id_of.items()
+                if ref.array == array
+            }
+            survivors = {
+                ref: entry for ref, entry in net.items()
+                if entry[0] > 0
+            }
+            if set(survivors) != set(live):
+                missing = set(live) - set(survivors)
+                extra = set(survivors) - set(live)
+                raise ClusterError(
+                    f"delta-log replay of {array!r} diverges from the "
+                    f"live set (missing={len(missing)}, "
+                    f"extra={len(extra)})"
+                )
+            for ref, (_, handle) in survivors.items():
+                if handle is not live[ref][1]:
+                    raise ClusterError(
+                        f"delta-log replay of {array!r} lands on a "
+                        f"stale payload handle for {ref}"
+                    )
+        # Arrays with live chunks but no log cannot replay at all.
+        for ref in self._id_of:
+            if ref.array not in self._deltas:
+                raise ClusterError(
+                    f"array {ref.array!r} has live chunks but no "
+                    "delta log"
+                )
+
     # -- mutation ------------------------------------------------------
     def _touch(self, arrays, contents: bool = True) -> None:
         """Bump the global epoch and every touched array's epoch.
@@ -507,6 +808,27 @@ class ChunkCatalog:
             ]:
                 del self._payload_cache[key]
 
+    def _log_deltas(
+        self, log_by_array: Dict[str, List[Tuple]]
+    ) -> None:
+        """Append collected (sign, ref, chunk, size, node) rows.
+
+        Called after :meth:`_touch`, so every appended row carries the
+        epoch the mutation landed at — ``deltas_since(array, cursor)``
+        with a cursor snapshotted from :meth:`payload_epoch_of` returns
+        exactly the mutations the cursor holder has not yet folded in.
+        """
+        epoch = self._epoch
+        for array, entries in log_by_array.items():
+            if not entries:
+                continue
+            log = self._deltas.get(array)
+            if log is None:
+                log = self._deltas[array] = _DeltaLog()
+            signs, refs, chunks, sizes, nodes = zip(*entries)
+            log.append(epoch, signs, list(refs), list(chunks), sizes,
+                       nodes)
+
     def put_batch(
         self,
         chunks: Sequence[ChunkData],
@@ -526,11 +848,13 @@ class ChunkCatalog:
             return
         id_of = self._id_of
         new_by_array: Dict[str, Tuple[List[int], List[ChunkKey]]] = {}
+        log_by_array: Dict[str, List[Tuple]] = {}
         touched = set()
         for chunk, node in zip(chunks, nodes):
             ref = chunk.ref()
             array = ref.array
             touched.add(array)
+            entries = log_by_array.setdefault(array, [])
             i = id_of.get(ref)
             if i is None:
                 i = int(self._alloc(1)[0])
@@ -544,6 +868,19 @@ class ChunkCatalog:
                 )
                 new_ids.append(i)
                 new_keys.append(ref.key)
+                entries.append((1, ref, chunk, chunk.size_bytes, node))
+            else:
+                old = self._chunks[i]
+                if old is not chunk:
+                    # A merge replaced the stored payload: the retiring
+                    # handle leaves the ZSet, the merged one enters it.
+                    old_node = int(self._node[i])
+                    entries.append(
+                        (-1, ref, old, float(self._size[i]), old_node)
+                    )
+                    entries.append(
+                        (1, ref, chunk, chunk.size_bytes, old_node)
+                    )
             self._chunks[i] = chunk
             self._size[i] = chunk.size_bytes
         for array, (new_ids, new_keys) in new_by_array.items():
@@ -556,6 +893,7 @@ class ChunkCatalog:
                 np.asarray(new_keys, dtype=np.int64),
             )
         self._touch(touched)
+        self._log_deltas(log_by_array)
 
     def relocate_batch(
         self,
@@ -573,12 +911,22 @@ class ChunkCatalog:
         self._touch({r.array for r in refs}, contents=False)
 
     def remove_batch(self, refs: Sequence[ChunkRef]) -> None:
-        """Drop chunks from the catalog; their ids join the free list."""
+        """Drop chunks from the catalog; their ids join the free list.
+
+        Each dropped chunk enters the array's delta log at ``-1`` with
+        the payload handle, bytes, and owner it retired with — expiry is
+        a negative delta to the incremental maintenance layer.
+        """
         if not refs:
             return
         by_array: Dict[str, List[int]] = {}
+        log_by_array: Dict[str, List[Tuple]] = {}
         for ref in refs:
             i = self._id_of.pop(ref)
+            log_by_array.setdefault(ref.array, []).append(
+                (-1, ref, self._chunks[i], float(self._size[i]),
+                 int(self._node[i]))
+            )
             self._refs[i] = None
             self._chunks[i] = None
             self._size[i] = 0.0
@@ -588,6 +936,7 @@ class ChunkCatalog:
         for array, dead in by_array.items():
             self._views[array].drop(np.asarray(dead, dtype=np.int64))
         self._touch(by_array)
+        self._log_deltas(log_by_array)
 
     # -- compaction ----------------------------------------------------
     @property

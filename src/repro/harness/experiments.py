@@ -12,6 +12,7 @@ laptop runs; modeled bytes always sit at paper scale (630 GB MODIS /
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,8 +31,10 @@ from repro.core.tuning import (
     best_sample_count,
     sampling_error_window,
 )
+from repro.errors import QueryError
 from repro.harness.reporting import format_series_table, format_table
 from repro.harness.runner import ExperimentRunner, RunConfig
+from repro.query.incremental import MaintainedGridStats
 from repro.workloads.ais import AisWorkload
 from repro.workloads.model import CyclicWorkload
 from repro.workloads.modis import ModisWorkload
@@ -544,6 +547,15 @@ class RetentionResult:
     catalog_capacity: List[int]
     catalog_epochs: List[int]
     storage_rsd: List[float]
+    #: per-cycle content-delta telemetry: chunk rows entering/leaving
+    #: the live set and the delta's total bytes, from the catalog's
+    #: delta log — what the maintained grid-statistics view folds.
+    delta_added_chunks: List[int]
+    delta_removed_chunks: List[int]
+    delta_gb: List[float]
+    #: per-cycle maintenance arm the Tempura-style planner picked
+    #: (``"full"`` on the unprimed first cycle, ``"delta"`` after).
+    maintenance_modes: List[str]
     #: payload-cache telemetry over the whole run
     payload_cache_hits: int
     payload_cache_misses: int
@@ -564,6 +576,13 @@ class RetentionResult:
                 "Catalog epoch": [
                     float(e) for e in self.catalog_epochs
                 ],
+                "Delta +chunks": [
+                    float(a) for a in self.delta_added_chunks
+                ],
+                "Delta -chunks": [
+                    float(r) for r in self.delta_removed_chunks
+                ],
+                "Delta (GB)": self.delta_gb,
             },
             title=(
                 "Figure 8 companion: sliding retention window "
@@ -571,7 +590,12 @@ class RetentionResult:
             ),
             fmt="{:.1f}",
         )
+        arms = (
+            f"full×{self.maintenance_modes.count('full')} "
+            f"delta×{self.maintenance_modes.count('delta')}"
+        )
         return table + (
+            f"\nmaintenance arms: {arms}"
             f"\npayload cache: {self.payload_cache_hits} hits / "
             f"{self.payload_cache_misses} misses"
         )
@@ -586,6 +610,7 @@ def figure8_retention(
     node_capacity_gb: float = 100.0,
     queries_per_cycle: int = 3,
     seed: int = 11,
+    verify_incremental: bool = True,
 ) -> RetentionResult:
     """Drive a staircase-up / plateau / churn run with expiring data.
 
@@ -597,6 +622,13 @@ def figure8_retention(
     ``queries_per_cycle`` repeated whole-array payload gathers — the
     repeats are served from the catalog's per-epoch cache until the next
     mutation bumps the epoch.
+
+    A maintained grid-statistics view
+    (:class:`~repro.query.incremental.MaintainedGridStats`) rides the
+    whole staircase, folding each cycle's content delta (expiry as
+    negative rows); when ``verify_incremental`` the refreshed view is
+    checked against a full recompute every cycle — the ``REPRO_INCR``
+    parity contract, enforced inline.
     """
     rng = np.random.default_rng(seed)
     partitioner = make_partitioner(
@@ -613,7 +645,13 @@ def figure8_retention(
         retention_cycles=retention_cycles,
         live_gb=[], ingested_gb=[], nodes=[], live_chunks=[],
         ledger_capacity=[], catalog_capacity=[], catalog_epochs=[],
-        storage_rsd=[], payload_cache_hits=0, payload_cache_misses=0,
+        storage_rsd=[], delta_added_chunks=[], delta_removed_chunks=[],
+        delta_gb=[], maintenance_modes=[],
+        payload_cache_hits=0, payload_cache_misses=0,
+    )
+    view = MaintainedGridStats(
+        cluster, "R", "v", dims=(1, 2), cell_sizes=(8, 8), ndim=3,
+        domain=_RETENTION_GRID,
     )
     window: List[List] = []
     ingested = 0.0
@@ -645,6 +683,29 @@ def figure8_retention(
         # pays the concatenation, the rest hit the per-epoch cache.
         for _ in range(queries_per_cycle):
             cluster.array_payload("R", ["v"], ndim=3)
+        # Fold this cycle's content delta into the maintained view;
+        # snapshot the delta columns first (refresh advances the
+        # cursor past them).
+        delta = cluster.deltas_since("R", view.cursor)
+        result.delta_added_chunks.append(int(delta.added.sum()))
+        result.delta_removed_chunks.append(int(delta.removed.sum()))
+        result.delta_gb.append(delta.bytes_touched / GB)
+        report = view.refresh()
+        result.maintenance_modes.append(report.mode)
+        if verify_incremental:
+            got = view.result()
+            want = view.recompute()
+            if not (
+                np.array_equal(got[0], want[0])
+                and np.array_equal(got[1], want[1])
+                and np.allclose(got[2], want[2], rtol=1e-9, atol=1e-9)
+                and np.array_equal(got[3], want[3])
+                and np.array_equal(got[4], want[4])
+            ):
+                raise QueryError(
+                    "maintained grid statistics diverged from full "
+                    f"recompute at cycle {cycle}"
+                )
         cluster.check_consistency()
         result.live_gb.append(cluster.total_bytes / GB)
         result.ingested_gb.append(ingested / GB)
@@ -660,6 +721,207 @@ def figure8_retention(
         result.storage_rsd.append(cluster.storage_rsd())
     result.payload_cache_hits = cluster.catalog.payload_hits
     result.payload_cache_misses = cluster.catalog.payload_misses
+    return result
+
+
+_CHURN_GRID = Box((0, 0, 0), (10_000, 8, 8))
+_CHURN_SCHEMA = parse_schema(
+    "C<v:double>[t=0:*,1, x=0:63,8, y=0:63,8]"
+)
+_CHURN_DOMAIN = Box((0, 0, 0), (10_000, 64, 64))
+
+
+@dataclass
+class ChurnResult:
+    """Per-cycle maintenance cost as a function of churn fraction.
+
+    The DBSP-style claim, measured: at each churn fraction a fixed-size
+    array replaces that fraction of its chunks per cycle, and the
+    maintained grid-statistics view refreshes.  The incremental arm's
+    cost must track the *delta* (≈2× the churned bytes: expiry at -1
+    plus replacement at +1), the full arm the *array*, and the planner
+    must cross over to full recompute as churn approaches 100 %.
+    """
+
+    #: chunk fraction replaced per cycle, ascending
+    churn_fractions: List[float]
+    #: per-fraction medians across measured cycles
+    delta_chunks: List[float]
+    delta_gb: List[float]
+    full_gb: List[float]
+    #: modeled elapsed seconds of each planner arm
+    delta_arm_seconds: List[float]
+    full_arm_seconds: List[float]
+    #: wall-clock milliseconds: refresh() vs a timed full recompute
+    refresh_wall_ms: List[float]
+    full_wall_ms: List[float]
+    #: the arm the planner actually took at each fraction
+    modes: List[str]
+
+    def speedups(self) -> List[float]:
+        """Modeled full-recompute seconds over the chosen arm's cost."""
+        return [
+            full / delta if delta > 0 else float("inf")
+            for full, delta in zip(
+                self.full_arm_seconds, self.delta_arm_seconds
+            )
+        ]
+
+    def render(self) -> str:
+        table = format_series_table(
+            {
+                "Churn fraction": self.churn_fractions,
+                "Delta chunks": self.delta_chunks,
+                "Delta (GB)": self.delta_gb,
+                "Array (GB)": self.full_gb,
+                "Delta arm (s)": self.delta_arm_seconds,
+                "Full arm (s)": self.full_arm_seconds,
+                "Refresh (ms)": self.refresh_wall_ms,
+                "Recompute (ms)": self.full_wall_ms,
+            },
+            title="Incremental maintenance vs churn fraction",
+            fmt="{:.3f}",
+        )
+        return table + "\nplanner arms: " + " ".join(self.modes)
+
+
+def incremental_churn(
+    churn_fractions: Sequence[float] = (0.05, 0.25, 1.0),
+    base_chunks: int = 384,
+    cycles_per_fraction: int = 3,
+    node_count: int = 2,
+    seed: int = 13,
+) -> ChurnResult:
+    """Measure maintained-view refresh cost across churn fractions.
+
+    Builds one array of ``base_chunks`` dense 8×8 chunks, then for each
+    churn fraction runs ``cycles_per_fraction`` replace cycles (expire a
+    random fraction of live chunks, ingest equally many new ones) and
+    refreshes a :class:`~repro.query.incremental.MaintainedGridStats`
+    view each cycle, verifying it against a full recompute.  Reported
+    figures are per-fraction medians; wall-clock numbers time the
+    real numpy work (delta fold vs whole-array sweep), modeled seconds
+    price both planner arms from catalog byte columns.
+
+    The view maintains count/sum/mean only (``track_minmax=False``):
+    uniformly random churn dirties buckets across the whole grid, so
+    extrema maintenance would re-aggregate a bounding box that *is* the
+    array — the region-scoped rescan pays off for spatially localized
+    expiry (the retention staircase), not for uniform churn.
+    """
+    rng = np.random.default_rng(seed)
+    partitioner = make_partitioner(
+        "hilbert_curve", list(range(node_count)), grid=_CHURN_GRID,
+        node_capacity_bytes=1000 * GB,
+    )
+    cluster = ElasticCluster(
+        partitioner,
+        node_capacity_bytes=1000 * GB,
+        costs=CostParameters(),
+    )
+    cell_xy = np.stack(
+        np.meshgrid(np.arange(8), np.arange(8), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 2)
+
+    def make_chunk(t: int, cx: int, cy: int) -> ChunkData:
+        coords = np.column_stack([
+            np.full(cell_xy.shape[0], t, dtype=np.int64),
+            cell_xy[:, 0] + 8 * cx,
+            cell_xy[:, 1] + 8 * cy,
+        ]).astype(np.int64)
+        return ChunkData(
+            _CHURN_SCHEMA, (t, cx, cy), coords,
+            {"v": rng.normal(0.0, 10.0, coords.shape[0])},
+            size_bytes=float(rng.lognormal(np.log(0.25 * GB), 0.4)),
+        )
+
+    # Fill whole 8×8 t-slices so every key is distinct (64 chunk keys
+    # per slice); churn cycles write to disjoint slices further out.
+    cluster.ingest([
+        make_chunk(i // 64, (i % 64) // 8, i % 8)
+        for i in range(base_chunks)
+    ])
+    t = 0  # churn cycles write slices at t*16 + s, clear of the base
+    view = MaintainedGridStats(
+        cluster, "C", "v", dims=(1, 2), cell_sizes=(8, 8), ndim=3,
+        domain=_CHURN_DOMAIN, track_minmax=False,
+    )
+    view.refresh()  # prime: the first refresh always recomputes
+
+    result = ChurnResult(
+        churn_fractions=[], delta_chunks=[], delta_gb=[], full_gb=[],
+        delta_arm_seconds=[], full_arm_seconds=[],
+        refresh_wall_ms=[], full_wall_ms=[], modes=[],
+    )
+    for fraction in churn_fractions:
+        samples: Dict[str, List[float]] = {
+            k: [] for k in (
+                "delta_chunks", "delta_gb", "full_gb", "delta_s",
+                "full_s", "refresh_ms", "full_ms",
+            )
+        }
+        modes: List[str] = []
+        for _ in range(cycles_per_fraction):
+            t += 1
+            live = [c.ref() for c, _ in cluster.chunks_of_array("C")]
+            churned = max(1, int(round(fraction * len(live))))
+            picks = rng.choice(len(live), size=churned, replace=False)
+            cluster.remove_chunks([live[i] for i in picks])
+            slices = -(-churned // 64)  # ceil: 64 keys per t-slice
+            combos = [
+                (t * 16 + s, cx, cy)
+                for s in range(slices)
+                for cx in range(8)
+                for cy in range(8)
+            ]
+            order = rng.permutation(len(combos))[:churned]
+            cluster.ingest([make_chunk(*combos[i]) for i in order])
+
+            delta = cluster.deltas_since("C", view.cursor)
+            started = time.perf_counter()
+            report = view.refresh()
+            refresh_ms = (time.perf_counter() - started) * 1e3
+            started = time.perf_counter()
+            want = view.recompute()
+            full_ms = (time.perf_counter() - started) * 1e3
+            got = view.result()
+            if not (
+                np.array_equal(got[0], want[0])
+                and np.array_equal(got[1], want[1])
+                and np.allclose(got[2], want[2], rtol=1e-9, atol=1e-9)
+            ):
+                raise QueryError(
+                    "maintained view diverged from full recompute at "
+                    f"churn fraction {fraction}"
+                )
+            samples["delta_chunks"].append(float(len(delta)))
+            samples["delta_gb"].append(delta.bytes_touched / GB)
+            samples["full_gb"].append(report.plan.full_bytes / GB)
+            samples["delta_s"].append(report.plan.delta_seconds)
+            samples["full_s"].append(report.plan.full_seconds)
+            samples["refresh_ms"].append(refresh_ms)
+            samples["full_ms"].append(full_ms)
+            modes.append(report.mode)
+        result.churn_fractions.append(float(fraction))
+        result.delta_chunks.append(
+            float(np.median(samples["delta_chunks"]))
+        )
+        result.delta_gb.append(float(np.median(samples["delta_gb"])))
+        result.full_gb.append(float(np.median(samples["full_gb"])))
+        result.delta_arm_seconds.append(
+            float(np.median(samples["delta_s"]))
+        )
+        result.full_arm_seconds.append(
+            float(np.median(samples["full_s"]))
+        )
+        result.refresh_wall_ms.append(
+            float(np.median(samples["refresh_ms"]))
+        )
+        result.full_wall_ms.append(
+            float(np.median(samples["full_ms"]))
+        )
+        result.modes.append(max(set(modes), key=modes.count))
     return result
 
 

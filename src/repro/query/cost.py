@@ -591,6 +591,148 @@ def charge_scan_routed(
 
 
 # ----------------------------------------------------------------------
+# incremental-maintenance planning (delta vs full recompute)
+# ----------------------------------------------------------------------
+def delta_scan_columns(
+    cluster,
+    array: str,
+    since_epoch: int,
+    attrs: Optional[Sequence[str]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lower a content delta to ``(sizes, nodes)`` columns.
+
+    The maintenance-plan counterpart of :func:`array_scan_columns`: the
+    byte/owner columns come from the catalog's delta log
+    (:meth:`ElasticCluster.delta_scan_columns`) — added *and* removed
+    rows, since the incremental operators fold both in — with the same
+    vertical-partitioning attribute multiply as every other catalog
+    lowering.  Removed rows charge the node the chunk retired from.
+    """
+    return _lower_catalog_columns(
+        cluster.delta_scan_columns(array, since_epoch), attrs
+    )
+
+
+def charge_scan_delta(
+    acc: CostAccumulator,
+    cluster,
+    array: str,
+    since_epoch: int,
+    attrs: Optional[Sequence[str]],
+    costs: CostParameters,
+    cpu_intensity: float,
+) -> float:
+    """Charge scan work for a content delta's rows (mode-dispatching).
+
+    The incremental plan's charge: batch cost mode lowers the delta
+    log's byte/owner columns directly; scalar cost mode replays the
+    per-chunk dict oracle over the delta's (payload, node) rows.
+
+    Returns
+    -------
+    float
+        Total bytes scanned.
+    """
+    if default_cost_mode() == "scalar":
+        delta = cluster.deltas_since(array, since_epoch)
+        pairs = list(zip(delta.chunks.tolist(), delta.nodes.tolist()))
+        return charge_scan(acc, pairs, attrs, costs, cpu_intensity)
+    sizes, nodes = delta_scan_columns(cluster, array, since_epoch, attrs)
+    return add_scan_work(acc, sizes, nodes, costs, cpu_intensity)
+
+
+class MaintenancePlan:
+    """One maintenance cycle's costed choice: apply the delta or recompute.
+
+    The Tempura-style planner verdict (PAPERS.md): both arms are priced
+    from catalog byte columns — the delta log's rows for the incremental
+    plan, the live array's rows for the full recompute — as modeled
+    elapsed scan seconds (slowest node), and the cheaper arm wins.  At
+    ~100 % churn the delta carries every expired chunk at ``-1`` *plus*
+    every ingested chunk at ``+1`` (≈2× the live bytes), so full
+    recompute wins exactly where it should; in steady state the delta is
+    a sliver and the incremental arm wins.
+    """
+
+    __slots__ = (
+        "choice", "delta_bytes", "full_bytes",
+        "delta_seconds", "full_seconds",
+    )
+
+    def __init__(
+        self,
+        choice: str,
+        delta_bytes: float,
+        full_bytes: float,
+        delta_seconds: float,
+        full_seconds: float,
+    ) -> None:
+        self.choice = choice
+        self.delta_bytes = delta_bytes
+        self.full_bytes = full_bytes
+        self.delta_seconds = delta_seconds
+        self.full_seconds = full_seconds
+
+    @property
+    def incremental(self) -> bool:
+        """Whether the incremental arm won."""
+        return self.choice == "delta"
+
+
+def maintenance_plan(
+    cluster,
+    array: str,
+    since_epoch: int,
+    attrs: Optional[Sequence[str]] = None,
+    costs: Optional[CostParameters] = None,
+    cpu_intensity: float = 1.0,
+) -> MaintenancePlan:
+    """Price incremental maintenance against full recompute, pick one.
+
+    Parameters
+    ----------
+    cluster : ElasticCluster
+        The cluster being maintained.
+    array : str
+        Array whose view state is being refreshed.
+    since_epoch : int
+        The consumer's epoch cursor (its last folded payload epoch).
+    attrs : sequence of str or None
+        Attributes the maintained operator reads.
+    costs : CostParameters or None
+        Cost constants (defaults to ``cluster.costs``).
+    cpu_intensity : float
+        Multiplier on the per-GB compute rate, as in the scan charges.
+
+    Returns
+    -------
+    MaintenancePlan
+        Both arms' modeled bytes and elapsed seconds plus the winning
+        ``choice`` (ties go to ``"delta"`` — an empty delta is free).
+    """
+    if costs is None:
+        costs = cluster.costs
+    ids = tuple(cluster.node_ids)
+    d_sizes, d_nodes = delta_scan_columns(
+        cluster, array, since_epoch, attrs
+    )
+    f_sizes, f_nodes = array_scan_columns(cluster, array, attrs)
+    d_acc = CostAccumulator(ids)
+    add_scan_work(d_acc, d_sizes, d_nodes, costs, cpu_intensity)
+    f_acc = CostAccumulator(ids)
+    add_scan_work(f_acc, f_sizes, f_nodes, costs, cpu_intensity)
+    delta_seconds = d_acc.max_seconds()
+    full_seconds = f_acc.max_seconds()
+    return MaintenancePlan(
+        choice="delta" if delta_seconds <= full_seconds else "full",
+        delta_bytes=float(d_sizes.sum()),
+        full_bytes=float(f_sizes.sum()),
+        delta_seconds=delta_seconds,
+        full_seconds=full_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
 # scan work
 # ----------------------------------------------------------------------
 def add_scan_work(

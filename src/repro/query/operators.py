@@ -401,6 +401,68 @@ def group_mean_by_grid_scalar(
     return {b: sums[b] / counts[b] for b in sums}
 
 
+def group_stats_by_grid_arrays(
+    coords: np.ndarray,
+    values: np.ndarray,
+    dims: Sequence[int],
+    cell_sizes: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-bucket count/sum/min/max of ``values``, as parallel arrays.
+
+    The full-recompute kernel behind the incremental grid statistics
+    (:mod:`repro.query.incremental`): one bucket pass feeds every
+    aggregate the maintained state carries, so the full-recompute arm of
+    the maintenance planner is a single vectorized sweep, not four.
+
+    Returns
+    -------
+    buckets : numpy.ndarray of int64, shape (k, len(dims))
+        Distinct buckets in lexicographic order.
+    counts : numpy.ndarray of int64, shape (k,)
+        Cells per bucket.
+    sums : numpy.ndarray of float64, shape (k,)
+        Value sum per bucket (row-order accumulation).
+    mins, maxs : numpy.ndarray of float64, shape (k,)
+        Value extrema per bucket.
+    """
+    if coords.shape[0] == 0:
+        empty = np.empty(0)
+        return (
+            np.empty((0, len(list(dims))), dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            empty, empty.copy(), empty.copy(),
+        )
+    buckets = grid_buckets(coords, dims, cell_sizes)
+    uniq, inverse, counts = _unique_rows(buckets)
+    vals = values.astype(np.float64)
+    sums = np.bincount(inverse, weights=vals)
+    mins = np.full(uniq.shape[0], np.inf)
+    maxs = np.full(uniq.shape[0], -np.inf)
+    np.minimum.at(mins, inverse, vals)
+    np.maximum.at(maxs, inverse, vals)
+    return uniq, counts, sums, mins, maxs
+
+
+def group_stats_by_grid_scalar(
+    coords: np.ndarray,
+    values: np.ndarray,
+    dims: Sequence[int],
+    cell_sizes: Sequence[int],
+) -> Dict[Tuple[int, ...], Tuple[int, float, float, float]]:
+    """Parity oracle: per-row ``(count, sum, min, max)`` accumulation."""
+    out: Dict[Tuple[int, ...], Tuple[int, float, float, float]] = {}
+    dims = list(dims)
+    sizes = list(cell_sizes)
+    for row, value in zip(coords, values):
+        bucket = tuple(int(row[d]) // s for d, s in zip(dims, sizes))
+        v = float(value)
+        count, total, lo, hi = out.get(
+            bucket, (0, 0.0, float("inf"), float("-inf"))
+        )
+        out[bucket] = (count + 1, total + v, min(lo, v), max(hi, v))
+    return out
+
+
 # ----------------------------------------------------------------------
 # windowed aggregation
 # ----------------------------------------------------------------------

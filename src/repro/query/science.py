@@ -301,11 +301,22 @@ class AisDensityMap(Query):
     name = "ais_statistics"
     category = CATEGORY_SCIENCE
 
+    #: Grid group-by configuration, shared with the maintained
+    #: grid-statistics view (:class:`repro.query.incremental.
+    #: MaintainedGridStats`) so a delta-maintained density map folds
+    #: into the same buckets this full sweep produces.
+    grid_dims = (1, 2)
+
     def __init__(
         self, workload: AisWorkload, coarse_degrees: int = 8
     ) -> None:
         self.workload = workload
         self.coarse_degrees = coarse_degrees
+
+    @property
+    def grid_cell_sizes(self) -> Tuple[int, int]:
+        """Bucket edge lengths matching :attr:`grid_dims`."""
+        return (self.coarse_degrees, self.coarse_degrees)
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         # Whole-array query: catalog-column cost lowering, and the
@@ -330,8 +341,8 @@ class AisDensityMap(Query):
         moving = values["speed"] > 0
         _buckets, counts = ops.group_count_by_grid_arrays(
             coords[moving],
-            dims=[1, 2],
-            cell_sizes=[self.coarse_degrees, self.coarse_degrees],
+            dims=list(self.grid_dims),
+            cell_sizes=list(self.grid_cell_sizes),
         )
         return QueryResult(
             name=self.name,

@@ -27,7 +27,7 @@ from repro.query.cost import (
     charge_network,
     charge_scan,
     charge_scan_array,
-    charge_scan_routed,
+    charge_scan_region,
     colocation_shuffle_bytes,
     elapsed_time,
     node_byte_sums_array,
@@ -49,17 +49,18 @@ class ModisSelection(Query):
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
         # Region routing: one vectorized key-interval test in the
-        # catalog replaces the per-chunk box walk; the pair list and
-        # the scan charge's byte/owner columns come from that single
-        # routing pass.
+        # catalog prices the scan, and the clipped cell table comes
+        # from the region-scoped payload cache — a repeated hot
+        # selection between mutations skips the per-chunk mask
+        # entirely.
         region = self.workload.lower_left_sixteenth(cycle)
-        touched, cols = cluster.region_read("band1", region)
         acc = accumulator_for(cluster)
-        scanned = charge_scan_routed(
-            acc, touched, cols, None, cluster.costs, cpu_intensity=0.2
+        scanned = charge_scan_region(
+            acc, cluster, "band1", region, None, cluster.costs,
+            cpu_intensity=0.2,
         )
-        coords, values = ops.filter_region(
-            (c for c, _ in touched), region, ["radiance"]
+        coords, values = cluster.payload_in_region(
+            "band1", region, ["radiance"], ndim=len(region.lo)
         )
         return QueryResult(
             name=self.name,
@@ -225,16 +226,16 @@ class AisSelectionHouston(Query):
         self.workload = workload
 
     def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
-        # One routing pass feeds both the pair list and the scan
-        # charge, as in ModisSelection.
+        # Cached region-scoped gather + catalog-column scan charge, as
+        # in ModisSelection.
         region = self.workload.houston_box(cycle)
-        touched, cols = cluster.region_read("broadcast", region)
         acc = accumulator_for(cluster)
-        scanned = charge_scan_routed(
-            acc, touched, cols, None, cluster.costs, cpu_intensity=0.2
+        scanned = charge_scan_region(
+            acc, cluster, "broadcast", region, None, cluster.costs,
+            cpu_intensity=0.2,
         )
-        coords, values = ops.filter_region(
-            (c for c, _ in touched), region, ["ship_id"]
+        coords, values = cluster.payload_in_region(
+            "broadcast", region, ["ship_id"], ndim=len(region.lo)
         )
         distinct = int(np.unique(values["ship_id"]).size) if coords.shape[0] else 0
         return QueryResult(

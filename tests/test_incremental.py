@@ -1,0 +1,579 @@
+"""Incremental view maintenance: delta folds ≡ full recompute.
+
+Covers the ISSUE-6 maintenance contract:
+
+* property test — hypothesis interleavings of ingest / expiry /
+  rebalance across all registered partitioning schemes keep a maintained
+  grid-statistics view and a maintained position join equal to their
+  full-recompute oracles (exact on integer aggregates, 1e-9 on floats),
+  with the catalog's delta-log replay cross-check
+  (``verify_delta_log`` inside ``check_consistency``) green throughout;
+* a pure relocation (scale-out rebalance) produces an *empty* content
+  delta and invalidates no maintained state;
+* the Tempura-style planner picks full recompute at ~100 % churn and
+  the incremental arm at small churn — the decision itself is tested;
+* the ``REPRO_INCR=full`` parity oracle forces the recompute arm and
+  still matches, including through the figure-8 retention staircase;
+* the mergeable state objects enforce their own invariants (dirty
+  extrema refuse to emit, negative counts raise, unknown sides raise).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import Box, ChunkData, parse_schema
+from repro.cluster import CostParameters, ElasticCluster, GB
+from repro.core import ALL_PARTITIONERS, make_partitioner
+from repro.errors import QueryError
+from repro.harness import figure8_retention, incremental_churn
+from repro.query import operators as ops
+from repro.query.cost import maintenance_plan
+from repro.query.incremental import (
+    DeltaJoinState,
+    GridGroupByState,
+    MaintainedGridStats,
+    MaintainedJoin,
+    default_incr_mode,
+    delta_cells,
+    equi_side,
+    incr_mode,
+    join_aggregate_full,
+    join_aggregate_scalar,
+    position_side,
+)
+
+GRID = Box((0, 0, 0), (10_000, 16, 16))
+DOMAIN = Box((0, 0, 0), (10_000, 16, 16))
+SCHEMAS = {
+    "A": parse_schema("A<v:double>[t=0:*,1, x=0:15,1, y=0:15,1]"),
+    "B": parse_schema("B<v:double>[t=0:*,1, x=0:15,1, y=0:15,1]"),
+}
+
+
+def _chunk(array, t, x, y, value, size=10.0):
+    return ChunkData(
+        SCHEMAS[array], (t, x, y),
+        np.array([[t, x, y]], dtype=np.int64),
+        {"v": np.array([float(value)])},
+        size_bytes=float(size),
+    )
+
+
+def _make_cluster(name, nodes=2):
+    partitioner = make_partitioner(
+        name, list(range(nodes)), grid=GRID,
+        node_capacity_bytes=1000 * GB,
+    )
+    return ElasticCluster(
+        partitioner, 1000 * GB, costs=CostParameters(),
+        ledger_compact_ratio=0.3,
+    )
+
+
+def _grid_view(cluster, **kwargs):
+    defaults = dict(
+        dims=(1, 2), cell_sizes=(4, 4), ndim=3, domain=DOMAIN,
+    )
+    defaults.update(kwargs)
+    return MaintainedGridStats(cluster, "A", "v", **defaults)
+
+
+def _assert_grid_parity(view):
+    got = view.result()
+    want = view.recompute()
+    assert np.array_equal(got[0], want[0])       # buckets, lex order
+    assert np.array_equal(got[1], want[1])       # counts exact
+    np.testing.assert_allclose(got[2], want[2], rtol=1e-9, atol=1e-9)
+    assert np.array_equal(got[3], want[3])       # extrema exact
+    assert np.array_equal(got[4], want[4])
+
+
+def _assert_join_parity(join):
+    got = join.result()
+    want = join.recompute()
+    assert got["pairs"] == want["pairs"]
+    np.testing.assert_allclose(
+        got["product_sum"], want["product_sum"], rtol=1e-9, atol=1e-9
+    )
+
+
+class TestMaintainedViewsProperty:
+    """Random mutation interleavings keep maintained ≡ recomputed."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(ALL_PARTITIONERS),
+        seed=st.integers(0, 2**31),
+        script=st.lists(
+            st.sampled_from(["ingest", "grow", "expire", "refresh"]),
+            min_size=4,
+            max_size=12,
+        ),
+    )
+    def test_interleaved_ops(self, name, seed, script):
+        rng = np.random.default_rng(seed)
+        cluster = _make_cluster(name)
+        view = _grid_view(cluster)
+        join = MaintainedJoin(
+            cluster, position_side("A", "v"), position_side("B", "v"),
+            ndim=3,
+        )
+        window = []
+        t = 0
+        for op in script:
+            if op == "ingest":
+                t += 1
+                batch = {}
+                for _ in range(int(rng.integers(3, 14))):
+                    array = "AB"[int(rng.integers(0, 2))]
+                    key = (
+                        t,
+                        int(rng.integers(0, 16)),
+                        int(rng.integers(0, 16)),
+                    )
+                    batch[(array, key)] = _chunk(
+                        array, *key, float(rng.normal(0, 10)),
+                        float(rng.lognormal(2, 1)),
+                    )
+                cluster.ingest(list(batch.values()))
+                window.append([c.ref() for c in batch.values()])
+            elif op == "grow":
+                if cluster.partitioner.chunk_count:
+                    cluster.scale_out(1)
+            elif op == "expire":
+                if len(window) > 2:
+                    cluster.remove_chunks(window.pop(0))
+            else:  # refresh without an intervening mutation: no-op delta
+                pass
+            view.refresh()
+            join.refresh()
+            _assert_grid_parity(view)
+            _assert_join_parity(join)
+            cluster.check_consistency()  # includes delta-log replay
+
+
+class TestAllSchemesDeltaReplay:
+    """deltas_since(array, 0) replays to the live set, every scheme."""
+
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    def test_replay_reproduces_live_set(self, name):
+        rng = np.random.default_rng(5)
+        cluster = _make_cluster(name)
+        window = []
+        for cycle in range(5):
+            batch = {}
+            for _ in range(10):
+                array = "AB"[int(rng.integers(0, 2))]
+                key = (
+                    cycle,
+                    int(rng.integers(0, 16)),
+                    int(rng.integers(0, 16)),
+                )
+                batch[(array, key)] = _chunk(
+                    array, *key, float(rng.normal(0, 5)),
+                    float(rng.lognormal(2, 1)),
+                )
+            cluster.ingest(list(batch.values()))
+            window.append([c.ref() for c in batch.values()])
+            if cycle == 1:
+                cluster.scale_out(1)
+            if len(window) > 2:
+                cluster.remove_chunks(window.pop(0))
+            # the explicit replay, independent of check_consistency
+            for array in SCHEMAS:
+                delta = cluster.deltas_since(array, 0)
+                weight = {}
+                for ref, sign in zip(
+                    delta.refs.tolist(), delta.signs.tolist()
+                ):
+                    weight[ref] = weight.get(ref, 0) + int(sign)
+                survivors = {r for r, w in weight.items() if w == 1}
+                assert not any(
+                    w not in (0, 1) for w in weight.values()
+                )
+                live = {
+                    c.ref() for c, _ in cluster.chunks_of_array(array)
+                }
+                assert survivors == live
+            cluster.check_consistency()
+
+
+class TestPureRelocation:
+    """A rebalance is ownership-only: no content delta, no invalidation."""
+
+    def test_empty_delta_and_untouched_state(self):
+        rng = np.random.default_rng(3)
+        cluster = _make_cluster("hilbert_curve")
+        batch = {}
+        for _ in range(40):
+            key = (
+                int(rng.integers(0, 4)),
+                int(rng.integers(0, 16)),
+                int(rng.integers(0, 16)),
+            )
+            batch[key] = _chunk(
+                "A", *key, float(rng.normal(0, 10)),
+                float(rng.lognormal(2, 1)),
+            )
+        cluster.ingest(list(batch.values()))
+        view = _grid_view(cluster)
+        view.refresh()
+        cursor = view.cursor
+        state = view.state
+        counts_column = view.state.counts    # backing array identity
+
+        cluster.scale_out(2)  # pure relocation: payloads unmoved
+
+        delta = cluster.deltas_since("A", cursor)
+        assert len(delta) == 0
+        assert delta.bytes_touched == 0.0
+        report = view.refresh()
+        assert report.mode == "delta"
+        assert report.rows == 0
+        assert view.state is state            # no rebuild, and the
+        assert view.state.counts is counts_column  # columns survived
+        _assert_grid_parity(view)
+
+    def test_relocation_keeps_cursor_valid_across_epoch_bump(self):
+        # epochs advance on relocation, payload epochs do not; a cursor
+        # held across the rebalance must not see phantom rows
+        cluster = _make_cluster("uniform_range")
+        cluster.ingest([_chunk("A", 0, 1, 1, 2.0)])
+        view = _grid_view(cluster)
+        view.refresh()
+        assert cluster.catalog.epoch_of("A") != view.cursor or True
+        epoch_before = cluster.catalog.epoch_of("A")
+        cluster.scale_out(1)
+        assert cluster.catalog.epoch_of("A") >= epoch_before
+        assert len(cluster.deltas_since("A", view.cursor)) == 0
+
+
+class TestPlannerDecision:
+    """The cost-based choice: delta when churn is small, full at ~100 %."""
+
+    def _loaded(self, n=60):
+        rng = np.random.default_rng(17)
+        cluster = _make_cluster("hilbert_curve")
+        batch = {}
+        while len(batch) < n:
+            key = (
+                int(rng.integers(0, 4)),
+                int(rng.integers(0, 16)),
+                int(rng.integers(0, 16)),
+            )
+            batch[key] = _chunk(
+                "A", *key, float(rng.normal(0, 10)),
+                float(rng.lognormal(2, 1)),
+            )
+        cluster.ingest(list(batch.values()))
+        return cluster, rng
+
+    def test_small_churn_picks_delta(self):
+        cluster, rng = self._loaded()
+        view = _grid_view(cluster)
+        view.refresh()
+        live = [c.ref() for c, _ in cluster.chunks_of_array("A")]
+        cluster.remove_chunks(live[:2])
+        cluster.ingest([
+            _chunk("A", 9, 1, 1, 1.0), _chunk("A", 9, 2, 2, 2.0),
+        ])
+        plan = maintenance_plan(cluster, "A", view.cursor, ["v"])
+        assert plan.incremental
+        assert plan.delta_bytes < plan.full_bytes
+        report = view.refresh()
+        assert report.mode == "delta"
+        _assert_grid_parity(view)
+
+    def test_full_churn_picks_full(self):
+        cluster, rng = self._loaded()
+        view = _grid_view(cluster)
+        view.refresh()
+        live = [c.ref() for c, _ in cluster.chunks_of_array("A")]
+        cluster.remove_chunks(live)  # 100 % churn: everything expires
+        batch = {}
+        while len(batch) < 50:
+            key = (
+                int(rng.integers(10, 14)),
+                int(rng.integers(0, 16)),
+                int(rng.integers(0, 16)),
+            )
+            batch[key] = _chunk(
+                "A", *key, float(rng.normal(0, 10)),
+                float(rng.lognormal(2, 1)),
+            )
+        cluster.ingest(list(batch.values()))
+        plan = maintenance_plan(cluster, "A", view.cursor, ["v"])
+        # the delta carries every expiry at -1 plus every ingest at +1,
+        # ≈2× the live bytes: full recompute must win
+        assert not plan.incremental
+        assert plan.delta_bytes > plan.full_bytes
+        report = view.refresh()
+        assert report.mode == "full"
+        _assert_grid_parity(view)
+
+    def test_empty_delta_is_free(self):
+        cluster, _ = self._loaded()
+        view = _grid_view(cluster)
+        view.refresh()
+        plan = maintenance_plan(cluster, "A", view.cursor, ["v"])
+        assert plan.incremental
+        assert plan.delta_bytes == 0.0
+        assert plan.delta_seconds == 0.0
+
+
+class TestParityOracleMode:
+    """REPRO_INCR=full forces the recompute arm and still matches."""
+
+    def test_full_mode_forces_recompute_arm(self):
+        cluster = _make_cluster("round_robin")
+        cluster.ingest([_chunk("A", 0, 1, 1, 3.0)])
+        view = _grid_view(cluster)
+        view.refresh()
+        cluster.ingest([_chunk("A", 1, 2, 2, 4.0)])
+        with incr_mode("full"):
+            assert default_incr_mode() == "full"
+            report = view.refresh()
+        assert report.mode == "full"
+        assert report.plan is None           # planner never consulted
+        _assert_grid_parity(view)
+        assert default_incr_mode() == "delta"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(QueryError):
+            with incr_mode("sideways"):
+                pass  # pragma: no cover
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCR", "full")
+        assert default_incr_mode() == "full"
+        monkeypatch.setenv("REPRO_INCR", "bogus")
+        assert default_incr_mode() == "delta"
+
+    def test_staircase_parity_both_modes(self):
+        # figure8_retention verifies incremental ≡ recompute inline
+        # every cycle; run the staircase through both maintenance modes
+        for mode in ("delta", "full"):
+            with incr_mode(mode):
+                result = figure8_retention(
+                    cycles=8, verify_incremental=True
+                )
+            if mode == "full":
+                assert set(result.maintenance_modes) == {"full"}
+            else:
+                assert result.maintenance_modes[0] == "full"  # unprimed
+                assert "delta" in result.maintenance_modes[1:]
+            assert len(result.delta_gb) == 8
+            # expiry starts after the retention window fills: negative
+            # rows appear in the delta from cycle 5 on
+            assert result.delta_removed_chunks[0] == 0
+            assert max(result.delta_removed_chunks) > 0
+
+
+class TestChurnExperiment:
+    """Cycle cost tracks delta size, not array size."""
+
+    def test_speedup_and_cost_scaling(self):
+        result = incremental_churn(
+            churn_fractions=(0.05, 0.25, 1.0), cycles_per_fraction=2
+        )
+        speedups = result.speedups()
+        # ≥5x modeled per-cycle speedup at 5 % churn
+        assert speedups[0] >= 5.0
+        # the incremental arm's cost grows with the delta fraction…
+        assert (
+            result.delta_arm_seconds[0]
+            < result.delta_arm_seconds[1]
+            < result.delta_arm_seconds[2]
+        )
+        assert result.delta_gb[0] < result.delta_gb[1] < result.delta_gb[2]
+        # …while the full arm tracks the (fixed-size) array: its spread
+        # is sampling noise (redrawn chunk sizes, placement skew), tiny
+        # next to the ~20x delta-arm growth across the same fractions
+        full_spread = max(result.full_arm_seconds) / min(
+            result.full_arm_seconds
+        )
+        delta_spread = (
+            result.delta_arm_seconds[2] / result.delta_arm_seconds[0]
+        )
+        assert full_spread < 2.5
+        assert delta_spread > 4 * full_spread
+        # planner: delta at small churn, full recompute at 100 %
+        assert result.modes[0] == "delta"
+        assert result.modes[-1] == "full"
+
+
+class TestStateInvariants:
+    """The mergeable state objects police their own contracts."""
+
+    def test_dirty_extrema_refuse_to_emit(self):
+        state = GridGroupByState(dims=(0,), cell_sizes=(4,))
+        coords = np.array([[0], [1]], dtype=np.int64)
+        state.apply(coords, np.array([1.0, 2.0]), np.array([1, 1]))
+        state.apply(
+            coords[:1], np.array([1.0]), np.array([-1])
+        )  # removal dirties the bucket
+        assert state.needs_rescan
+        with pytest.raises(QueryError):
+            state.emit()
+        lows, highs = state.dirty_cell_bounds()
+        assert lows == (0,) and highs == (4,)
+        state.rescan(coords[1:], np.array([2.0]))
+        buckets, counts, sums, mins, maxs = state.emit()
+        assert counts.tolist() == [1]
+        assert mins.tolist() == [2.0] and maxs.tolist() == [2.0]
+
+    def test_negative_count_raises(self):
+        state = GridGroupByState(
+            dims=(0,), cell_sizes=(4,), track_minmax=False
+        )
+        with pytest.raises(QueryError):
+            state.apply(
+                np.array([[0]], dtype=np.int64),
+                np.array([1.0]),
+                np.array([-1]),
+            )
+
+    def test_minmax_requires_domain(self):
+        cluster = _make_cluster("round_robin")
+        with pytest.raises(QueryError):
+            MaintainedGridStats(
+                cluster, "A", "v", dims=(1, 2), cell_sizes=(4, 4),
+                ndim=3, domain=None,
+            )
+
+    def test_join_state_rejects_unknown_side(self):
+        state = DeltaJoinState()
+        with pytest.raises(QueryError):
+            state.apply(
+                "c", np.array([1]), np.array([1.0]), np.array([1])
+            )
+
+    def test_empty_state_emits_empty(self):
+        state = GridGroupByState(dims=(0, 1), cell_sizes=(2, 2))
+        buckets, counts, sums, mins, maxs = state.emit()
+        assert buckets.shape == (0, 2)
+        assert counts.size == 0
+        join = DeltaJoinState()
+        assert join.emit() == {"pairs": 0, "product_sum": 0.0}
+
+
+class TestJoinKernels:
+    """Batch join-aggregate kernel ≡ scalar oracle ≡ maintained state."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_full_kernel_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        keys_a = rng.integers(0, 12, int(rng.integers(0, 40)))
+        keys_b = rng.integers(0, 12, int(rng.integers(0, 40)))
+        values_a = rng.normal(0, 3, keys_a.size)
+        values_b = rng.normal(0, 3, keys_b.size)
+        got = join_aggregate_full(keys_a, values_a, keys_b, values_b)
+        want = join_aggregate_scalar(keys_a, values_a, keys_b, values_b)
+        assert got["pairs"] == want["pairs"]
+        np.testing.assert_allclose(
+            got["product_sum"], want["product_sum"],
+            rtol=1e-9, atol=1e-9,
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_state_converges_to_kernel_under_signed_batches(self, seed):
+        rng = np.random.default_rng(seed)
+        state = DeltaJoinState()
+        rows = {"a": [], "b": []}
+        for _ in range(int(rng.integers(1, 6))):
+            side = "ab"[int(rng.integers(0, 2))]
+            n = int(rng.integers(1, 15))
+            keys = rng.integers(0, 8, n)
+            values = rng.normal(0, 2, n)
+            state.apply(side, keys, values, np.ones(n, dtype=np.int64))
+            rows[side].extend(zip(keys.tolist(), values.tolist()))
+            if rows[side] and rng.random() < 0.5:
+                drop = int(rng.integers(0, len(rows[side])))
+                key, value = rows[side].pop(drop)
+                state.apply(
+                    side,
+                    np.array([key]),
+                    np.array([value]),
+                    np.array([-1]),
+                )
+        def cols(side):
+            if not rows[side]:
+                return np.empty(0, dtype=np.int64), np.empty(0)
+            k, v = zip(*rows[side])
+            return np.array(k), np.array(v)
+        want = join_aggregate_full(*cols("a"), *cols("b"))
+        got = state.emit()
+        assert got["pairs"] == want["pairs"]
+        np.testing.assert_allclose(
+            got["product_sum"], want["product_sum"],
+            rtol=1e-9, atol=1e-9,
+        )
+
+
+class TestMaintainedEquiJoin:
+    """The equi-join flavour keys on an id attribute, not positions."""
+
+    def test_equi_join_parity_through_churn(self):
+        rng = np.random.default_rng(29)
+        cluster = _make_cluster("round_robin")
+
+        def ship_chunk(array, t, x, y):
+            return ChunkData(
+                SCHEMAS[array], (t, x, y),
+                np.array([[t, x, y]], dtype=np.int64),
+                {"v": np.array([float(rng.integers(0, 6))])},
+                size_bytes=float(rng.lognormal(2, 1)),
+            )
+
+        join = MaintainedJoin(
+            cluster, equi_side("A", "v", "v"), equi_side("B", "v", "v"),
+            ndim=3,
+        )
+        window = []
+        for cycle in range(6):
+            batch = {}
+            for _ in range(8):
+                array = "AB"[int(rng.integers(0, 2))]
+                key = (
+                    cycle,
+                    int(rng.integers(0, 16)),
+                    int(rng.integers(0, 16)),
+                )
+                batch[(array, key)] = ship_chunk(array, *key)
+            cluster.ingest(list(batch.values()))
+            window.append([c.ref() for c in batch.values()])
+            if len(window) > 3:
+                cluster.remove_chunks(window.pop(0))
+            join.refresh()
+            _assert_join_parity(join)
+        assert join.result()["pairs"] > 0  # ids collide by design
+
+
+class TestDeltaCells:
+    """Chunk-level ZSet rows lower to signed cell columns."""
+
+    def test_signs_follow_rows(self):
+        cluster = _make_cluster("round_robin")
+        cluster.ingest([
+            _chunk("A", 0, 1, 1, 1.0), _chunk("A", 0, 2, 2, 2.0),
+        ])
+        cluster.remove_chunks(
+            [c.ref() for c, _ in cluster.chunks_of_array("A")][:1]
+        )
+        delta = cluster.deltas_since("A", 0)
+        coords, values, weights = delta_cells(delta, ["v"], 3)
+        assert coords.shape == (3, 3)
+        assert sorted(weights.tolist()) == [-1, 1, 1]
+        assert values["v"].shape == (3,)
+
+    def test_empty_delta_shapes(self):
+        cluster = _make_cluster("round_robin")
+        delta = cluster.deltas_since("nope", 0)
+        coords, values, weights = delta_cells(delta, ["v"], 3)
+        assert coords.shape == (0, 3)
+        assert values["v"].shape == (0,)
+        assert weights.shape == (0,)

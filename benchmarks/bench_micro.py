@@ -32,7 +32,7 @@ from repro.cluster import (
 from repro.cluster.costs import CostParameters
 from repro.core import make_partitioner
 from repro.core.base import Move, RebalancePlan
-from repro.core.catalog import catalog_mode
+from repro.config import parity
 from repro.query import operators as ops
 from repro.query.cost import (
     CostAccumulator,
@@ -48,7 +48,6 @@ from repro.query.incremental import (
     DeltaJoinState,
     GridGroupByState,
     MaintainedGridStats,
-    incr_mode,
     join_aggregate_full,
 )
 
@@ -567,7 +566,7 @@ def test_region_route_scan(benchmark):
     benchmark.extra_info["items"] = CATALOG_CHUNKS
 
     def route():
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             return cluster.chunks_in_region("Q", REGION)
 
     touched = benchmark(route)
@@ -580,7 +579,7 @@ def test_region_route_catalog(benchmark):
     benchmark.extra_info["items"] = CATALOG_CHUNKS
 
     touched = benchmark(cluster.chunks_in_region, "Q", REGION)
-    with catalog_mode("scan"):
+    with parity(catalog="scan"):
         ref = cluster.chunks_in_region("Q", REGION)
     assert [(id(c), n) for c, n in touched] == [
         (id(c), n) for c, n in ref
@@ -594,7 +593,7 @@ def test_region_cost_scalar(benchmark):
     benchmark.extra_info["items"] = CATALOG_CHUNKS
 
     def charge():
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             touched = cluster.chunks_in_region("Q", REGION)
         per_node = {}
         add_scan_work_scalar(per_node, touched, ["v"], costs, 1.0)
@@ -618,7 +617,7 @@ def test_region_cost_batch(benchmark):
         return acc
 
     acc = benchmark(charge)
-    with catalog_mode("scan"):
+    with parity(catalog="scan"):
         touched = cluster.chunks_in_region("Q", REGION)
     per_node = {}
     add_scan_work_scalar(per_node, touched, ["v"], costs, 1.0)
@@ -634,7 +633,7 @@ def test_query_route_scan(benchmark):
     benchmark.extra_info["items"] = CATALOG_CHUNKS
 
     def route():
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             return _route_query(cluster)
 
     pairs, cells = benchmark(route)
@@ -648,7 +647,7 @@ def test_query_route_catalog(benchmark):
 
     pairs, cells = benchmark(_route_query, cluster)
     assert pairs == CATALOG_CHUNKS == cells
-    with catalog_mode("scan"):
+    with parity(catalog="scan"):
         ref_pairs, ref_cells = _route_query(cluster)
     assert (pairs, cells) == (ref_pairs, ref_cells)
 
@@ -846,7 +845,7 @@ def test_incr_cycle_full(benchmark):
     benchmark.extra_info["items"] = CATALOG_CHUNKS + delta_n
 
     def cycle():
-        with incr_mode("full"):
+        with parity(incr="full"):
             return view.refresh()
 
     report = benchmark(cycle)

@@ -43,14 +43,17 @@ def main() -> None:
     last = workload.n_cycles
     print("\nscience pass over the newest data:")
 
-    join = ModisJoinNdvi(workload).run(cluster, last)
+    # One epoch-pinned session for the whole science pass: every query
+    # reads the same frozen view of the ingested arrays.
+    session = cluster.session()
+    join = ModisJoinNdvi(workload).run(session, last)
     print(
         f"  NDVI join: mean index {join.value['mean_ndvi']:.3f} over "
         f"{join.value['cells']} pixels "
         f"({join.elapsed_seconds / 60:.2f} simulated min)"
     )
 
-    polar = ModisRollingAverage(workload, days=3).run(cluster, last)
+    polar = ModisRollingAverage(workload, days=3).run(session, last)
     days = polar.value["daily_polar_radiance"]
     if days:
         latest_day = max(days)
@@ -60,7 +63,7 @@ def main() -> None:
             f"({polar.elapsed_seconds / 60:.2f} simulated min)"
         )
 
-    kmeans = ModisKMeans(workload, k=4).run(cluster, last)
+    kmeans = ModisKMeans(workload, k=4).run(session, last)
     print(
         f"  Amazon k-means: {kmeans.value['points']} NDVI points, "
         f"{len(kmeans.value['centroids'])} clusters, mean residual "
@@ -68,7 +71,7 @@ def main() -> None:
         f"({kmeans.elapsed_seconds / 60:.2f} simulated min)"
     )
 
-    window = ModisWindowAggregate(workload).run(cluster, last)
+    window = ModisWindowAggregate(workload).run(session, last)
     print(
         f"  windowed NDVI image: {window.value['windows']} output "
         f"windows, {window.network_bytes / GB:.2f} GB of halo exchange "

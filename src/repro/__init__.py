@@ -35,11 +35,13 @@ from repro.arrays import (
 from repro.cluster import (
     DEFAULT_COSTS,
     GB,
+    ClusterSession,
     CostParameters,
     CycleMetrics,
     ElasticCluster,
     RunMetrics,
 )
+from repro.config import ParityConfig, parity
 from repro.core import (
     ALL_PARTITIONERS,
     ElasticPartitioner,
@@ -64,6 +66,7 @@ __all__ = [
     "Box",
     "ChunkData",
     "ChunkRef",
+    "ClusterSession",
     "CostParameters",
     "CycleMetrics",
     "DEFAULT_COSTS",
@@ -77,6 +80,7 @@ __all__ = [
     "LocalArray",
     "ModisWorkload",
     "Move",
+    "ParityConfig",
     "QueryResult",
     "RebalancePlan",
     "RunConfig",
@@ -87,6 +91,7 @@ __all__ = [
     "fit_sample_count",
     "make_partitioner",
     "modis_suite",
+    "parity",
     "parse_schema",
     "suite_for",
 ]

@@ -20,8 +20,14 @@ from repro.cluster.costs import DEFAULT_COSTS, GB, CostParameters
 from repro.cluster.metrics import CycleMetrics, RunMetrics, relative_std
 from repro.cluster.network import insert_time, nic_bytes, rebalance_time
 from repro.cluster.node import Node
+from repro.cluster.session import (
+    ClusterSession,
+    SnapshotRaceError,
+    ensure_session,
+)
 
 __all__ = [
+    "ClusterSession",
     "CostParameters",
     "CycleMetrics",
     "DEFAULT_COSTS",
@@ -33,6 +39,8 @@ __all__ = [
     "RebalanceReport",
     "RemoveReport",
     "RunMetrics",
+    "SnapshotRaceError",
+    "ensure_session",
     "execute_insert",
     "execute_rebalance",
     "execute_rebalance_scalar",

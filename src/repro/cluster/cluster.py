@@ -315,6 +315,20 @@ class ElasticCluster:
             return coords, values
         return self.catalog.payload_in_region(array, region, attrs, ndim)
 
+    def session(self):
+        """Open an epoch-pinned read session (the query surface).
+
+        The returned :class:`~repro.cluster.session.ClusterSession`
+        pins an immutable per-array snapshot on first touch, so a query
+        holding it never sees a half-applied rebalance, ingest, or
+        expiry — see :mod:`repro.cluster.session`.  Sessions are cheap;
+        open one per query (the concurrent executor does) or one per
+        suite pass.
+        """
+        from repro.cluster.session import ClusterSession
+
+        return ClusterSession(self)
+
     def deltas_since(self, array: str, epoch: int):
         """One array's content mutations after an epoch cursor.
 

@@ -1,0 +1,156 @@
+"""Process-wide parity configuration.
+
+Every vectorized layer keeps its pre-vectorization implementation as a
+parity oracle, historically switched by four independent environment
+variables (``REPRO_LEDGER`` / ``REPRO_COST`` / ``REPRO_CATALOG`` /
+``REPRO_INCR``) with four copy-pasted ``default_*_mode()`` helpers and
+``*_mode()`` context managers.  This module is now the single source of
+truth: :class:`ParityConfig` names the four switches as one frozen
+record, :func:`mode` resolves a single field (override stack first, then
+the environment, then the default), and :func:`parity` overrides any
+subset for one ``with`` block::
+
+    from repro.config import parity
+
+    with parity(incr="full", cost="scalar"):
+        view.refresh(cluster)   # full recompute, per-chunk cost oracle
+
+The environment variables are still honored for CI — an unset override
+falls through to ``os.environ`` on every read, so exporting
+``REPRO_CATALOG=scan`` before launching pytest behaves exactly as
+before.  The four legacy helpers (``ledger_mode`` and friends) survive
+as thin delegating shims over this module.
+
+Overrides are **process-wide**, exactly like the legacy context
+managers: a ``parity(...)`` block changes what every thread resolves.
+The concurrent query executor therefore treats the parity config as
+fixed for the duration of a batch; parity test suites that flip modes
+do so around, not inside, concurrent sections.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: ``field -> (environment variable, allowed values)``; the first
+#: allowed value is the default.  This table *is* the registry — the
+#: dataclass fields, :func:`mode`, and :func:`parity` all key off it.
+PARITY_FIELDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "ledger": ("REPRO_LEDGER", ("array", "dict")),
+    "cost": ("REPRO_COST", ("batch", "scalar")),
+    "catalog": ("REPRO_CATALOG", ("catalog", "scan")),
+    "incr": ("REPRO_INCR", ("delta", "full")),
+}
+
+
+@dataclass(frozen=True)
+class ParityConfig:
+    """A snapshot of all four parity switches.
+
+    Instances are immutable values — :func:`current` materializes one
+    from the live override stack + environment, and :func:`parity`
+    yields the config in force inside its block.
+    """
+
+    ledger: str = "array"
+    cost: str = "batch"
+    catalog: str = "catalog"
+    incr: str = "delta"
+
+    def __post_init__(self) -> None:
+        for field, (_env, allowed) in PARITY_FIELDS.items():
+            value = getattr(self, field)
+            if value not in allowed:
+                raise ConfigError(
+                    f"unknown {field} mode {value!r}; expected one of "
+                    f"{allowed}"
+                )
+
+    @classmethod
+    def from_env(cls) -> "ParityConfig":
+        """The config the environment alone selects (no overrides)."""
+        values = {}
+        for field, (env, allowed) in PARITY_FIELDS.items():
+            raw = os.environ.get(env, allowed[0]).strip().lower()
+            values[field] = raw if raw in allowed else allowed[0]
+        return cls(**values)
+
+
+# Per-field override slot; ``None`` falls through to the environment.
+# The lock serializes writers (nested ``parity`` blocks across threads);
+# readers are single dict lookups and need no lock.
+_OVERRIDES: Dict[str, Optional[str]] = {f: None for f in PARITY_FIELDS}
+_OVERRIDE_LOCK = threading.Lock()
+
+
+def mode(field: str) -> str:
+    """Resolve one parity field: override, else environment, else default.
+
+    Parameters
+    ----------
+    field : str
+        One of ``"ledger"``, ``"cost"``, ``"catalog"``, ``"incr"``.
+
+    Raises
+    ------
+    ConfigError
+        If ``field`` is not a parity field.
+    """
+    spec = PARITY_FIELDS.get(field)
+    if spec is None:
+        raise ConfigError(
+            f"unknown parity field {field!r}; expected one of "
+            f"{tuple(PARITY_FIELDS)}"
+        )
+    override = _OVERRIDES[field]
+    if override is not None:
+        return override
+    env, allowed = spec
+    raw = os.environ.get(env, allowed[0]).strip().lower()
+    return raw if raw in allowed else allowed[0]
+
+
+def current() -> ParityConfig:
+    """The :class:`ParityConfig` in force right now."""
+    return ParityConfig(**{f: mode(f) for f in PARITY_FIELDS})
+
+
+@contextmanager
+def parity(**overrides: str) -> Iterator[ParityConfig]:
+    """Override any subset of parity fields for one block.
+
+    ``with parity(incr="full"):`` pins the incremental-maintenance
+    oracle while leaving the other three switches on their environment
+    defaults.  Blocks nest; each restores exactly what it changed.
+
+    Raises
+    ------
+    ConfigError
+        On an unknown field name or a value the field does not accept.
+    """
+    for field, value in overrides.items():
+        spec = PARITY_FIELDS.get(field)
+        if spec is None:
+            raise ConfigError(
+                f"unknown parity field {field!r}; expected one of "
+                f"{tuple(PARITY_FIELDS)}"
+            )
+        if value not in spec[1]:
+            raise ConfigError(
+                f"unknown {field} mode {value!r}; expected one of "
+                f"{spec[1]}"
+            )
+    with _OVERRIDE_LOCK:
+        previous = {f: _OVERRIDES[f] for f in overrides}
+        _OVERRIDES.update(overrides)
+    try:
+        yield current()
+    finally:
+        with _OVERRIDE_LOCK:
+            _OVERRIDES.update(previous)

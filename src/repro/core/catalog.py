@@ -67,7 +67,7 @@ before.  The catalog is maintained in both modes, so
 
 from __future__ import annotations
 
-import os
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -75,6 +75,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import config as parity_config
 from repro.arrays.chunk import ChunkData, ChunkKey, ChunkRef
 from repro.arrays.coords import Box, pack_rows_void
 from repro.errors import ClusterError
@@ -82,35 +83,25 @@ from repro.errors import ClusterError
 NodeId = int
 
 #: Catalog modes accepted by ``REPRO_CATALOG`` / :func:`catalog_mode`.
-CATALOG_MODES = ("catalog", "scan")
-
-_DEFAULT_MODE: Optional[str] = None
+CATALOG_MODES = parity_config.PARITY_FIELDS["catalog"][1]
 
 
 def default_catalog_mode() -> str:
     """The process-wide catalog mode.
 
-    Returns
-    -------
-    str
-        ``"catalog"`` (columnar routing) unless the ``REPRO_CATALOG``
-        environment variable or an enclosing :func:`catalog_mode` block
-        selects ``"scan"`` (the per-node store-walk oracle).
+    Thin shim over :func:`repro.config.mode` — the ``REPRO_CATALOG``
+    environment variable and ``parity(catalog=...)`` overrides both
+    resolve there.
     """
-    if _DEFAULT_MODE is not None:
-        return _DEFAULT_MODE
-    mode = os.environ.get("REPRO_CATALOG", "catalog").strip().lower()
-    return mode if mode in CATALOG_MODES else "catalog"
+    return parity_config.mode("catalog")
 
 
 @contextmanager
 def catalog_mode(mode: str) -> Iterator[None]:
     """Temporarily pin the catalog mode (parity tests).
 
-    Parameters
-    ----------
-    mode : str
-        One of :data:`CATALOG_MODES`.
+    Legacy shim over :func:`repro.config.parity`; prefer
+    ``parity(catalog=...)``.
 
     Raises
     ------
@@ -122,13 +113,8 @@ def catalog_mode(mode: str) -> Iterator[None]:
             f"unknown catalog mode {mode!r}; expected one of "
             f"{CATALOG_MODES}"
         )
-    global _DEFAULT_MODE
-    previous = _DEFAULT_MODE
-    _DEFAULT_MODE = mode
-    try:
+    with parity_config.parity(catalog=mode):
         yield
-    finally:
-        _DEFAULT_MODE = previous
 
 
 def concat_payload(
@@ -343,6 +329,277 @@ class _ArrayView:
         self.rows = self.rows[keep]
 
 
+class ArraySnapshot:
+    """An immutable, epoch-pinned view of one array's catalog state.
+
+    MVCC-lite: :meth:`ChunkCatalog.snapshot` gathers fresh copies of the
+    array's id/key/owner/bytes column slices (cheap — the per-array
+    views are already copy-on-write-shaped) plus the length of its delta
+    log at capture time.  Every read below answers from those frozen
+    columns, so a query holding a snapshot never sees a half-applied
+    rebalance, an expiry, or an ingest that lands after the pin —
+    payload handles are immutable :class:`~repro.arrays.chunk.ChunkData`
+    objects (merges create *new* objects), so even cell reads are safe
+    while the coordinator mutates the live catalog.
+
+    The API mirrors the catalog's per-array read surface
+    (:meth:`pairs` / :meth:`placement` / :meth:`scan_columns` / the
+    region family / :meth:`payload` / :meth:`deltas_since`) so the
+    cluster session facade can route either way.  Payload
+    concatenations are memoized per snapshot; when the live catalog is
+    still at the pinned payload epoch the read delegates to the shared
+    payload LRU instead, so quiescent callers keep its hit telemetry
+    and share one concatenation across sessions.
+    """
+
+    __slots__ = (
+        "array", "schema", "epoch", "payload_epoch",
+        "_refs", "_chunks", "_sizes", "_nodes", "_rows",
+        "_log_cols", "_log_count", "_catalog", "_memo", "_memo_lock",
+    )
+
+    def __init__(
+        self,
+        array: str,
+        schema: Optional[object],
+        epoch: int,
+        payload_epoch: int,
+        refs: np.ndarray,
+        chunks: np.ndarray,
+        sizes: np.ndarray,
+        nodes: np.ndarray,
+        rows: np.ndarray,
+        log_cols: Optional[Tuple[np.ndarray, ...]],
+        log_count: int,
+        catalog: "ChunkCatalog",
+    ) -> None:
+        self.array = array
+        self.schema = schema
+        self.epoch = epoch
+        self.payload_epoch = payload_epoch
+        self._refs = refs
+        self._chunks = chunks
+        self._sizes = sizes
+        self._nodes = nodes
+        self._rows = rows
+        self._log_cols = log_cols
+        self._log_count = log_count
+        self._catalog = catalog
+        self._memo: Dict[Tuple, Tuple] = {}
+        self._memo_lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return int(self._sizes.shape[0])
+
+    def node_ids(self) -> np.ndarray:
+        """Distinct node ids holding pinned chunks (sorted int64).
+
+        Sessions validate these against their frozen node universe so a
+        pin capturing placements on a node added *after* the session
+        opened is rejected as an epoch race instead of producing
+        charges the session's cost accumulator cannot intern.
+        """
+        return np.unique(self._nodes)
+
+    def node_bounds(self) -> Tuple[int, int]:
+        """``(min, max)`` node id holding pinned chunks (memoized).
+
+        The cheap arm of the session's node-universe admission check:
+        against a contiguous node set a bounds test is equivalent to
+        the full subset test, and memoizing it keeps repeated pins of
+        one shared snapshot O(1).  Undefined on empty snapshots
+        (callers guard on ``len``).
+        """
+        key = ("node_bounds",)
+        with self._memo_lock:
+            cached = self._memo.get(key)
+        if cached is None:
+            cached = (int(self._nodes.min()), int(self._nodes.max()))
+            with self._memo_lock:
+                self._memo[key] = cached
+        return cached
+
+    # -- whole-array reads ---------------------------------------------
+    def pairs(self) -> List[Tuple[ChunkData, NodeId]]:
+        """Pinned (payload, node) pairs, key-sorted."""
+        return list(zip(self._chunks.tolist(), self._nodes.tolist()))
+
+    def placement(self) -> Dict[ChunkKey, NodeId]:
+        """Pinned chunk key → node map."""
+        return {
+            ref.key: node
+            for ref, node in zip(
+                self._refs.tolist(), self._nodes.tolist()
+            )
+        }
+
+    def scan_columns(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[object]]:
+        """Pinned ``(sizes, nodes, schema)`` columns (fresh copies)."""
+        return self._sizes.copy(), self._nodes.copy(), self.schema
+
+    # -- region reads --------------------------------------------------
+    def _positions_in_region(self, region: Box) -> np.ndarray:
+        """Snapshot positions whose chunk boxes intersect ``region``."""
+        if self.schema is None or not len(self):
+            return np.empty(0, dtype=np.int64)
+        intervals = self.schema.chunk_intervals_of(region)
+        if intervals is None:
+            return np.empty(0, dtype=np.int64)
+        lows, highs = intervals
+        mask = ((self._rows >= lows) & (self._rows <= highs)).all(axis=1)
+        return np.nonzero(mask)[0]
+
+    def pairs_in_region(
+        self, region: Box
+    ) -> List[Tuple[ChunkData, NodeId]]:
+        """Pinned region-touched (payload, node) pairs, key-sorted."""
+        pos = self._positions_in_region(region)
+        return list(
+            zip(self._chunks[pos].tolist(), self._nodes[pos].tolist())
+        )
+
+    def region_scan_columns(
+        self, region: Box
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[object]]:
+        """Pinned ``(sizes, nodes, schema)`` columns of a region."""
+        pos = self._positions_in_region(region)
+        return self._sizes[pos], self._nodes[pos], self.schema
+
+    def region_read(
+        self, region: Box
+    ) -> Tuple[
+        List[Tuple[ChunkData, NodeId]],
+        Tuple[np.ndarray, np.ndarray, Optional[object]],
+    ]:
+        """Pinned pairs *and* scan columns from one routing pass."""
+        pos = self._positions_in_region(region)
+        pairs = list(
+            zip(self._chunks[pos].tolist(), self._nodes[pos].tolist())
+        )
+        return pairs, (self._sizes[pos], self._nodes[pos], self.schema)
+
+    # -- payload reads -------------------------------------------------
+    def _live_payload(
+        self, compute, check_epoch
+    ) -> Optional[Tuple[np.ndarray, Dict[str, np.ndarray]]]:
+        """Serve through the live catalog cache if still at our epoch.
+
+        The delegation is validated after the fact: if a content
+        mutation lands while the shared-path concatenation runs, the
+        result may post-date the pin, so it is discarded and the caller
+        falls back to the frozen handles.  Torn reads mid-mutation can
+        also raise from the live gather — same fallback.
+        """
+        if check_epoch() != self.payload_epoch:
+            return None
+        try:
+            result = compute()
+        except Exception:
+            return None
+        if check_epoch() != self.payload_epoch:
+            return None
+        return result
+
+    def payload(
+        self, attrs: Sequence[str], ndim: int = 0
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Pinned concatenated cells, memoized per snapshot.
+
+        Equivalent to :meth:`ChunkCatalog.payload_of_array` at the
+        pinned epoch.  Callers must treat the arrays as read-only.
+        """
+        key = (tuple(sorted(set(attrs))), int(ndim))
+        with self._memo_lock:
+            hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        cat = self._catalog
+        result = self._live_payload(
+            lambda: cat.payload_of_array(self.array, attrs, ndim),
+            lambda: cat.payload_epoch_of(self.array),
+        )
+        if result is None:
+            result = concat_payload(self._chunks.tolist(), attrs, ndim)
+        with self._memo_lock:
+            self._memo[key] = result
+        return result
+
+    def payload_in_region(
+        self, region: Box, attrs: Sequence[str], ndim: int = 0
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Pinned region-clipped cells, memoized per snapshot.
+
+        Equivalent to :meth:`ChunkCatalog.payload_in_region` at the
+        pinned epoch.  Callers must treat the arrays as read-only.
+        """
+        key = (
+            tuple(sorted(set(attrs))), int(ndim), region.lo, region.hi,
+        )
+        with self._memo_lock:
+            hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        cat = self._catalog
+        result = self._live_payload(
+            lambda: cat.payload_in_region(
+                self.array, region, attrs, ndim
+            ),
+            lambda: cat.payload_epoch_of(self.array),
+        )
+        if result is None:
+            pos = self._positions_in_region(region)
+            coords, values = concat_payload(
+                self._chunks[pos].tolist(), attrs, ndim
+            )
+            if coords.shape[0]:
+                mask = np.ones(coords.shape[0], dtype=bool)
+                for d in range(len(region.lo)):
+                    mask &= coords[:, d] >= region.lo[d]
+                    mask &= coords[:, d] < region.hi[d]
+                coords = coords[mask]
+                values = {a: v[mask] for a, v in values.items()}
+            result = (coords, values)
+        with self._memo_lock:
+            self._memo[key] = result
+        return result
+
+    # -- delta reads ---------------------------------------------------
+    def deltas_since(self, epoch: int) -> CatalogDelta:
+        """Content mutations after ``epoch`` up to the pinned log end.
+
+        The frozen twin of :meth:`ChunkCatalog.deltas_since`: rows
+        appended after the snapshot was taken are invisible, so a
+        maintained view refreshing against a snapshot folds exactly the
+        mutations between its cursor and the pin — never a half-applied
+        batch that lands mid-refresh.  (The delta log is append-only
+        and rows below the pinned length are never rewritten, so the
+        slice needs no copy-out at capture time.)
+        """
+        if self._log_cols is None or not self._log_count:
+            return _EMPTY_LOG.since(0)
+        epochs = self._log_cols[0][:self._log_count]
+        lo = int(np.searchsorted(epochs, epoch, side="right"))
+        sl = slice(lo, self._log_count)
+        cols = self._log_cols
+        return CatalogDelta(
+            epochs=cols[0][sl].copy(),
+            signs=cols[1][sl].copy(),
+            refs=cols[2][sl].copy(),
+            chunks=cols[3][sl].copy(),
+            sizes=cols[4][sl].copy(),
+            nodes=cols[5][sl].copy(),
+        )
+
+    def delta_scan_columns(
+        self, epoch: int
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[object]]:
+        """``(sizes, nodes, schema)`` of the pinned delta's rows."""
+        delta = self.deltas_since(epoch)
+        return delta.sizes, delta.nodes, self.schema
+
+
 class ChunkCatalog:
     """Columnar cluster-wide chunk index (see module docstring).
 
@@ -363,6 +620,10 @@ class ChunkCatalog:
     #: data; a small LRU keeps the steady-state working set (a handful
     #: of attr subsets per array) while bounding one-off queries.
     PAYLOAD_CACHE_MAX = 32
+
+    #: Optimistic snapshot captures before falling back to the write
+    #: lock (the retry-on-epoch-race guard).
+    SNAPSHOT_RETRIES = 5
 
     def __init__(self) -> None:
         cap = self._INITIAL_CAPACITY
@@ -386,6 +647,18 @@ class ChunkCatalog:
         #: Cache telemetry (the retention benchmark reports these).
         self.payload_hits = 0
         self.payload_misses = 0
+        # Concurrency: mutations serialize on the write lock and bracket
+        # themselves with the seqlock counter (odd while a mutation is
+        # in flight); snapshot captures validate against it.  The
+        # payload LRU gets its own lock — reads hit it from executor
+        # threads while the coordinator mutates.
+        self._write_lock = threading.RLock()
+        self._write_seq = 0
+        self._payload_lock = threading.RLock()
+        # Last snapshot per array, valid while the array's epoch
+        # stands (snapshots are immutable, so sharing one across
+        # sessions is safe).
+        self._snapshot_cache: Dict[str, ArraySnapshot] = {}
 
     # -- capacity ------------------------------------------------------
     def _grow(self, need: int) -> None:
@@ -619,21 +892,19 @@ class ChunkCatalog:
         as read-only.
         """
         key = (array, tuple(sorted(set(attrs))), int(ndim))
-        epoch = self.payload_epoch_of(array)
-        cached = self._payload_cache.get(key)
-        if cached is not None and cached[0] == epoch:
-            self.payload_hits += 1
-            self._payload_cache.move_to_end(key)
-            return cached[1], cached[2]
-        self.payload_misses += 1
+        with self._payload_lock:
+            epoch = self.payload_epoch_of(array)
+            cached = self._payload_cache.get(key)
+            if cached is not None and cached[0] == epoch:
+                self.payload_hits += 1
+                self._payload_cache.move_to_end(key)
+                return cached[1], cached[2]
+            self.payload_misses += 1
         ids = self._ids_of_array(array)
         coords, values = concat_payload(
             self._chunks[ids].tolist(), attrs, ndim
         )
-        self._payload_cache[key] = (epoch, coords, values)
-        self._payload_cache.move_to_end(key)
-        while len(self._payload_cache) > self.PAYLOAD_CACHE_MAX:
-            self._payload_cache.popitem(last=False)
+        self._store_payload(key, epoch, coords, values)
         return coords, values
 
     def payload_in_region(
@@ -661,13 +932,14 @@ class ChunkCatalog:
             array, tuple(sorted(set(attrs))), int(ndim),
             region.lo, region.hi,
         )
-        epoch = self.payload_epoch_of(array)
-        cached = self._payload_cache.get(key)
-        if cached is not None and cached[0] == epoch:
-            self.payload_hits += 1
-            self._payload_cache.move_to_end(key)
-            return cached[1], cached[2]
-        self.payload_misses += 1
+        with self._payload_lock:
+            epoch = self.payload_epoch_of(array)
+            cached = self._payload_cache.get(key)
+            if cached is not None and cached[0] == epoch:
+                self.payload_hits += 1
+                self._payload_cache.move_to_end(key)
+                return cached[1], cached[2]
+            self.payload_misses += 1
         ids = self.ids_in_region(array, region)
         coords, values = concat_payload(
             self._chunks[ids].tolist(), attrs, ndim
@@ -679,11 +951,33 @@ class ChunkCatalog:
                 mask &= coords[:, d] < region.hi[d]
             coords = coords[mask]
             values = {a: v[mask] for a, v in values.items()}
-        self._payload_cache[key] = (epoch, coords, values)
-        self._payload_cache.move_to_end(key)
-        while len(self._payload_cache) > self.PAYLOAD_CACHE_MAX:
-            self._payload_cache.popitem(last=False)
+        self._store_payload(key, epoch, coords, values)
         return coords, values
+
+    def _store_payload(
+        self,
+        key: Tuple,
+        epoch: int,
+        coords: np.ndarray,
+        values: Dict[str, np.ndarray],
+    ) -> None:
+        """Install a concatenation in the LRU (lock held only here).
+
+        The concatenation itself runs outside the payload lock so a
+        slow concat never blocks cache hits on other threads; the
+        install re-checks the array's payload epoch and drops the entry
+        on the floor if a content mutation landed mid-concat — a stale
+        concatenation must never enter the cache, even transiently,
+        because a snapshot pinned at the new epoch could otherwise be
+        served bytes from the old one.
+        """
+        with self._payload_lock:
+            if self.payload_epoch_of(key[0]) != epoch:
+                return
+            self._payload_cache[key] = (epoch, coords, values)
+            self._payload_cache.move_to_end(key)
+            while len(self._payload_cache) > self.PAYLOAD_CACHE_MAX:
+                self._payload_cache.popitem(last=False)
 
     # -- content delta log ---------------------------------------------
     def deltas_since(self, array: str, epoch: int) -> CatalogDelta:
@@ -781,7 +1075,116 @@ class ChunkCatalog:
                     "delta log"
                 )
 
+    # -- snapshots -----------------------------------------------------
+    def _capture_array(self, array: str) -> ArraySnapshot:
+        """Gather one array's frozen column slices (no validation)."""
+        view = self._views.get(array)
+        log = self._deltas.get(array)
+        if log is not None:
+            log_cols: Optional[Tuple[np.ndarray, ...]] = (
+                log.epochs, log.signs, log.refs, log.chunks,
+                log.sizes, log.nodes,
+            )
+            log_count = log.count
+        else:
+            log_cols, log_count = None, 0
+        if view is None:
+            width = 0
+            return ArraySnapshot(
+                array=array,
+                schema=self._schema_of.get(array),
+                epoch=0,
+                payload_epoch=0,
+                refs=np.empty(0, dtype=object),
+                chunks=np.empty(0, dtype=object),
+                sizes=np.empty(0, dtype=np.float64),
+                nodes=np.empty(0, dtype=np.int64),
+                rows=np.empty((0, width), dtype=np.int64),
+                log_cols=log_cols,
+                log_count=log_count,
+                catalog=self,
+            )
+        ids = view.ids
+        return ArraySnapshot(
+            array=array,
+            schema=self._schema_of.get(array),
+            epoch=view.epoch,
+            payload_epoch=view.payload_epoch,
+            refs=self._refs[ids].copy(),
+            chunks=self._chunks[ids].copy(),
+            sizes=self._size[ids].copy(),
+            nodes=self._node[ids].copy(),
+            rows=view.rows.copy(),
+            log_cols=log_cols,
+            log_count=log_count,
+            catalog=self,
+        )
+
+    def snapshot(self, array: str) -> ArraySnapshot:
+        """An epoch-pinned :class:`ArraySnapshot` of one array.
+
+        Snapshots are immutable, so the last capture per array is
+        memoized and handed back as long as the array's epoch has not
+        moved — pinning a quiescent array costs a dict probe, not a
+        column gather (sessions opened per query or per refresh stay
+        cheap between mutations).
+
+        A fresh capture is optimistic: the column gather runs without
+        the write lock and is validated against the mutation seqlock —
+        if a mutation lands (or is in flight) during the gather, the
+        capture is discarded and retried (:attr:`SNAPSHOT_RETRIES`
+        times), then the final attempt takes the write lock and
+        captures from a provably quiescent catalog.  Unknown arrays
+        yield an empty snapshot at epoch 0, mirroring the live read
+        surface.
+        """
+        cached = self._snapshot_cache.get(array)
+        if cached is not None:
+            seq = self._write_seq
+            if not (seq & 1):
+                view = self._views.get(array)
+                if (
+                    view is not None
+                    and view.epoch == cached.epoch
+                    and self._write_seq == seq
+                ):
+                    return cached
+        for _ in range(self.SNAPSHOT_RETRIES):
+            seq = self._write_seq
+            if seq & 1:
+                # A mutation is mid-flight; yield and re-read.
+                continue
+            try:
+                snap = self._capture_array(array)
+            except Exception:
+                # Torn gather (columns rewritten under us): retry.
+                continue
+            if self._write_seq == seq:
+                if len(snap):
+                    self._snapshot_cache[array] = snap
+                return snap
+        with self._write_lock:
+            snap = self._capture_array(array)
+            if len(snap):
+                self._snapshot_cache[array] = snap
+            return snap
+
     # -- mutation ------------------------------------------------------
+    @contextmanager
+    def _write(self) -> Iterator[None]:
+        """Serialize a mutation and bracket it with the seqlock.
+
+        The counter is odd exactly while a mutation is in flight, so an
+        optimistic snapshot capture that observes the same even value
+        before and after its gather is guaranteed consistent.
+        """
+        with self._write_lock:
+            self._write_seq += 1
+            try:
+                yield
+            finally:
+                self._write_seq += 1
+
     def _touch(self, arrays, contents: bool = True) -> None:
         """Bump the global epoch and every touched array's epoch.
 
@@ -803,10 +1206,11 @@ class ChunkCatalog:
                 if contents:
                     view.payload_epoch = self._epoch
         if contents:
-            for key in [
-                k for k in self._payload_cache if k[0] in touched
-            ]:
-                del self._payload_cache[key]
+            with self._payload_lock:
+                for key in [
+                    k for k in self._payload_cache if k[0] in touched
+                ]:
+                    del self._payload_cache[key]
 
     def _log_deltas(
         self, log_by_array: Dict[str, List[Tuple]]
@@ -846,54 +1250,59 @@ class ChunkCatalog:
         """
         if not chunks:
             return
-        id_of = self._id_of
-        new_by_array: Dict[str, Tuple[List[int], List[ChunkKey]]] = {}
-        log_by_array: Dict[str, List[Tuple]] = {}
-        touched = set()
-        for chunk, node in zip(chunks, nodes):
-            ref = chunk.ref()
-            array = ref.array
-            touched.add(array)
-            entries = log_by_array.setdefault(array, [])
-            i = id_of.get(ref)
-            if i is None:
-                i = int(self._alloc(1)[0])
-                id_of[ref] = i
-                self._refs[i] = ref
-                self._node[i] = node
-                if array not in self._schema_of:
-                    self._schema_of[array] = chunk.schema
-                new_ids, new_keys = new_by_array.setdefault(
-                    array, ([], [])
+        with self._write():
+            id_of = self._id_of
+            new_by_array: Dict[str, Tuple[List[int], List[ChunkKey]]] = {}
+            log_by_array: Dict[str, List[Tuple]] = {}
+            touched = set()
+            for chunk, node in zip(chunks, nodes):
+                ref = chunk.ref()
+                array = ref.array
+                touched.add(array)
+                entries = log_by_array.setdefault(array, [])
+                i = id_of.get(ref)
+                if i is None:
+                    i = int(self._alloc(1)[0])
+                    id_of[ref] = i
+                    self._refs[i] = ref
+                    self._node[i] = node
+                    if array not in self._schema_of:
+                        self._schema_of[array] = chunk.schema
+                    new_ids, new_keys = new_by_array.setdefault(
+                        array, ([], [])
+                    )
+                    new_ids.append(i)
+                    new_keys.append(ref.key)
+                    entries.append(
+                        (1, ref, chunk, chunk.size_bytes, node)
+                    )
+                else:
+                    old = self._chunks[i]
+                    if old is not chunk:
+                        # A merge replaced the stored payload: the
+                        # retiring handle leaves the ZSet, the merged
+                        # one enters it.
+                        old_node = int(self._node[i])
+                        entries.append(
+                            (-1, ref, old, float(self._size[i]),
+                             old_node)
+                        )
+                        entries.append(
+                            (1, ref, chunk, chunk.size_bytes, old_node)
+                        )
+                self._chunks[i] = chunk
+                self._size[i] = chunk.size_bytes
+            for array, (new_ids, new_keys) in new_by_array.items():
+                view = self._views.get(array)
+                if view is None:
+                    view = _ArrayView(len(new_keys[0]))
+                    self._views[array] = view
+                view.insert(
+                    np.asarray(new_ids, dtype=np.int64),
+                    np.asarray(new_keys, dtype=np.int64),
                 )
-                new_ids.append(i)
-                new_keys.append(ref.key)
-                entries.append((1, ref, chunk, chunk.size_bytes, node))
-            else:
-                old = self._chunks[i]
-                if old is not chunk:
-                    # A merge replaced the stored payload: the retiring
-                    # handle leaves the ZSet, the merged one enters it.
-                    old_node = int(self._node[i])
-                    entries.append(
-                        (-1, ref, old, float(self._size[i]), old_node)
-                    )
-                    entries.append(
-                        (1, ref, chunk, chunk.size_bytes, old_node)
-                    )
-            self._chunks[i] = chunk
-            self._size[i] = chunk.size_bytes
-        for array, (new_ids, new_keys) in new_by_array.items():
-            view = self._views.get(array)
-            if view is None:
-                view = _ArrayView(len(new_keys[0]))
-                self._views[array] = view
-            view.insert(
-                np.asarray(new_ids, dtype=np.int64),
-                np.asarray(new_keys, dtype=np.int64),
-            )
-        self._touch(touched)
-        self._log_deltas(log_by_array)
+            self._touch(touched)
+            self._log_deltas(log_by_array)
 
     def relocate_batch(
         self,
@@ -903,12 +1312,14 @@ class ChunkCatalog:
         """Reassign many chunks' owner nodes (sorted views unchanged)."""
         if not refs:
             return
-        id_of = self._id_of
-        ids = np.fromiter(
-            (id_of[r] for r in refs), dtype=np.int64, count=len(refs)
-        )
-        self._node[ids] = np.asarray(dests, dtype=np.int64)
-        self._touch({r.array for r in refs}, contents=False)
+        with self._write():
+            id_of = self._id_of
+            ids = np.fromiter(
+                (id_of[r] for r in refs), dtype=np.int64,
+                count=len(refs)
+            )
+            self._node[ids] = np.asarray(dests, dtype=np.int64)
+            self._touch({r.array for r in refs}, contents=False)
 
     def remove_batch(self, refs: Sequence[ChunkRef]) -> None:
         """Drop chunks from the catalog; their ids join the free list.
@@ -919,24 +1330,27 @@ class ChunkCatalog:
         """
         if not refs:
             return
-        by_array: Dict[str, List[int]] = {}
-        log_by_array: Dict[str, List[Tuple]] = {}
-        for ref in refs:
-            i = self._id_of.pop(ref)
-            log_by_array.setdefault(ref.array, []).append(
-                (-1, ref, self._chunks[i], float(self._size[i]),
-                 int(self._node[i]))
-            )
-            self._refs[i] = None
-            self._chunks[i] = None
-            self._size[i] = 0.0
-            self._node[i] = -1
-            self._free.append(i)
-            by_array.setdefault(ref.array, []).append(i)
-        for array, dead in by_array.items():
-            self._views[array].drop(np.asarray(dead, dtype=np.int64))
-        self._touch(by_array)
-        self._log_deltas(log_by_array)
+        with self._write():
+            by_array: Dict[str, List[int]] = {}
+            log_by_array: Dict[str, List[Tuple]] = {}
+            for ref in refs:
+                i = self._id_of.pop(ref)
+                log_by_array.setdefault(ref.array, []).append(
+                    (-1, ref, self._chunks[i], float(self._size[i]),
+                     int(self._node[i]))
+                )
+                self._refs[i] = None
+                self._chunks[i] = None
+                self._size[i] = 0.0
+                self._node[i] = -1
+                self._free.append(i)
+                by_array.setdefault(ref.array, []).append(i)
+            for array, dead in by_array.items():
+                self._views[array].drop(
+                    np.asarray(dead, dtype=np.int64)
+                )
+            self._touch(by_array)
+            self._log_deltas(log_by_array)
 
     # -- compaction ----------------------------------------------------
     @property
@@ -964,36 +1378,37 @@ class ChunkCatalog:
         bool
             ``True`` when the columns were rebuilt.
         """
-        cap = len(self._size)
-        live = len(self._id_of)
-        if cap == 0 or self.dead_slot_fraction < min_dead_fraction:
-            return False
-        new_cap = max(self._INITIAL_CAPACITY, live)
-        if not self._free and cap <= new_cap:
-            return False
-        old_ids = np.fromiter(
-            self._id_of.values(), dtype=np.int64, count=live
-        )
-        old_ids.sort()
-        mapping = np.full(cap, -1, dtype=np.int64)
-        mapping[old_ids] = np.arange(live, dtype=np.int64)
-        refs = self._refs[old_ids]
-        new_refs = np.empty(new_cap, dtype=object)
-        new_refs[:live] = refs
-        new_chunks = np.empty(new_cap, dtype=object)
-        new_chunks[:live] = self._chunks[old_ids]
-        new_size = np.zeros(new_cap, dtype=np.float64)
-        new_size[:live] = self._size[old_ids]
-        new_node = np.full(new_cap, -1, dtype=np.int64)
-        new_node[:live] = self._node[old_ids]
-        self._refs = new_refs
-        self._chunks = new_chunks
-        self._size = new_size
-        self._node = new_node
-        self._id_of = dict(zip(refs.tolist(), range(live)))
-        self._free = []
-        self._hwm = live
-        for view in self._views.values():
-            if len(view.ids):
-                view.ids = mapping[view.ids]
-        return True
+        with self._write():
+            cap = len(self._size)
+            live = len(self._id_of)
+            if cap == 0 or self.dead_slot_fraction < min_dead_fraction:
+                return False
+            new_cap = max(self._INITIAL_CAPACITY, live)
+            if not self._free and cap <= new_cap:
+                return False
+            old_ids = np.fromiter(
+                self._id_of.values(), dtype=np.int64, count=live
+            )
+            old_ids.sort()
+            mapping = np.full(cap, -1, dtype=np.int64)
+            mapping[old_ids] = np.arange(live, dtype=np.int64)
+            refs = self._refs[old_ids]
+            new_refs = np.empty(new_cap, dtype=object)
+            new_refs[:live] = refs
+            new_chunks = np.empty(new_cap, dtype=object)
+            new_chunks[:live] = self._chunks[old_ids]
+            new_size = np.zeros(new_cap, dtype=np.float64)
+            new_size[:live] = self._size[old_ids]
+            new_node = np.full(new_cap, -1, dtype=np.int64)
+            new_node[:live] = self._node[old_ids]
+            self._refs = new_refs
+            self._chunks = new_chunks
+            self._size = new_size
+            self._node = new_node
+            self._id_of = dict(zip(refs.tolist(), range(live)))
+            self._free = []
+            self._hwm = live
+            for view in self._views.values():
+                if len(view.ids):
+                    view.ids = mapping[view.ids]
+            return True

@@ -45,46 +45,40 @@ contract `place_batch` already documents.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Mapping
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import config as parity_config
 from repro.arrays.chunk import ChunkRef
 from repro.errors import PartitioningError
 
 NodeId = int
 
 #: Ledger modes accepted by :func:`make_ledger` / ``REPRO_LEDGER``.
-LEDGER_MODES = ("array", "dict")
-
-_DEFAULT_MODE: Optional[str] = None
+LEDGER_MODES = parity_config.PARITY_FIELDS["ledger"][1]
 
 
 def default_ledger_mode() -> str:
-    """The process-wide ledger mode (env ``REPRO_LEDGER``, default array)."""
-    if _DEFAULT_MODE is not None:
-        return _DEFAULT_MODE
-    mode = os.environ.get("REPRO_LEDGER", "array").strip().lower()
-    return mode if mode in LEDGER_MODES else "array"
+    """The process-wide ledger mode (shim over :func:`repro.config.mode`)."""
+    return parity_config.mode("ledger")
 
 
 @contextmanager
 def ledger_mode(mode: str) -> Iterator[None]:
-    """Temporarily pin the default ledger mode (parity tests)."""
+    """Temporarily pin the default ledger mode (parity tests).
+
+    Legacy shim over :func:`repro.config.parity`; prefer
+    ``parity(ledger=...)``.
+    """
     if mode not in LEDGER_MODES:
         raise PartitioningError(
             f"unknown ledger mode {mode!r}; expected one of {LEDGER_MODES}"
         )
-    global _DEFAULT_MODE
-    previous = _DEFAULT_MODE
-    _DEFAULT_MODE = mode
-    try:
+    with parity_config.parity(ledger=mode):
         yield
-    finally:
-        _DEFAULT_MODE = previous
 
 
 def make_ledger(mode: Optional[str], nodes: Sequence[NodeId]):

@@ -41,5 +41,9 @@ class QueryError(ReproError):
     """Raised by the query engine for unsatisfiable or invalid queries."""
 
 
+class ConfigError(ReproError):
+    """Raised by :mod:`repro.config` for unknown parity fields/modes."""
+
+
 class WorkloadError(ReproError):
     """Raised by workload generators for invalid configurations."""

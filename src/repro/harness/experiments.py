@@ -679,14 +679,17 @@ def figure8_retention(
         window.append([c.ref() for c in batch])
         if len(window) > retention_cycles:
             cluster.remove_chunks(window.pop(0))
-        # Repeated whole-array reads between reorganizations: the first
-        # pays the concatenation, the rest hit the per-epoch cache.
+        # Repeated whole-array reads between reorganizations through an
+        # epoch-pinned session: the first pays the concatenation, the
+        # rest hit the per-epoch cache (live-epoch pins delegate to the
+        # shared catalog cache, so telemetry still counts them).
+        session = cluster.session()
         for _ in range(queries_per_cycle):
-            cluster.array_payload("R", ["v"], ndim=3)
+            session.array_payload("R", ["v"], ndim=3)
         # Fold this cycle's content delta into the maintained view;
         # snapshot the delta columns first (refresh advances the
         # cursor past them).
-        delta = cluster.deltas_since("R", view.cursor)
+        delta = session.deltas_since("R", view.cursor)
         result.delta_added_chunks.append(int(delta.added.sum()))
         result.delta_removed_chunks.append(int(delta.removed.sum()))
         result.delta_gb.append(delta.bytes_touched / GB)
@@ -864,7 +867,10 @@ def incremental_churn(
         modes: List[str] = []
         for _ in range(cycles_per_fraction):
             t += 1
-            live = [c.ref() for c, _ in cluster.chunks_of_array("C")]
+            live = [
+                c.ref()
+                for c, _ in cluster.session().chunks_of_array("C")
+            ]
             churned = max(1, int(round(fraction * len(live))))
             picks = rng.choice(len(live), size=churned, replace=False)
             cluster.remove_chunks([live[i] for i in picks])
@@ -878,7 +884,7 @@ def incremental_churn(
             order = rng.permutation(len(combos))[:churned]
             cluster.ingest([make_chunk(*combos[i]) for i in order])
 
-            delta = cluster.deltas_since("C", view.cursor)
+            delta = cluster.session().deltas_since("C", view.cursor)
             started = time.perf_counter()
             report = view.refresh()
             refresh_ms = (time.perf_counter() - started) * 1e3

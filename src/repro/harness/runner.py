@@ -145,7 +145,11 @@ class ExperimentRunner:
         query_seconds = 0.0
         by_name: Dict[str, float] = {}
         if self.config.run_queries and self.queries:
-            for result in run_suite(self.queries, cluster, cycle):
+            # One epoch-pinned session per benchmark pass: the suite
+            # reads a consistent post-ingest view even if a later
+            # harness grows concurrency.
+            session = cluster.session()
+            for result in run_suite(self.queries, session, cycle):
                 query_seconds += result.elapsed_seconds
                 by_name[result.name] = result.elapsed_seconds
 

@@ -46,7 +46,6 @@ same contract ``place_batch`` and the array ledger already document.
 
 from __future__ import annotations
 
-import os
 import weakref
 from contextlib import contextmanager
 from itertools import product
@@ -64,6 +63,7 @@ from typing import (
 
 import numpy as np
 
+from repro import config as parity_config
 from repro.arrays.chunk import ChunkData, ChunkKey
 from repro.arrays.coords import pack_rows, row_packing
 from repro.arrays.schema import ArraySchema
@@ -71,35 +71,25 @@ from repro.cluster.costs import GB, CostParameters
 from repro.errors import QueryError
 
 #: Cost-accounting modes accepted by ``REPRO_COST`` / :func:`cost_mode`.
-COST_MODES = ("batch", "scalar")
-
-_DEFAULT_MODE: Optional[str] = None
+COST_MODES = parity_config.PARITY_FIELDS["cost"][1]
 
 
 def default_cost_mode() -> str:
     """The process-wide cost mode.
 
-    Returns
-    -------
-    str
-        ``"batch"`` (vectorized kernels) unless the ``REPRO_COST``
-        environment variable or an enclosing :func:`cost_mode` block
-        selects ``"scalar"`` (the parity oracles).
+    Thin shim over :func:`repro.config.mode` — the ``REPRO_COST``
+    environment variable and ``parity(cost=...)`` overrides both
+    resolve there.
     """
-    if _DEFAULT_MODE is not None:
-        return _DEFAULT_MODE
-    mode = os.environ.get("REPRO_COST", "batch").strip().lower()
-    return mode if mode in COST_MODES else "batch"
+    return parity_config.mode("cost")
 
 
 @contextmanager
 def cost_mode(mode: str) -> Iterator[None]:
     """Temporarily pin the cost-accounting mode (parity tests).
 
-    Parameters
-    ----------
-    mode : str
-        One of :data:`COST_MODES`.
+    Legacy shim over :func:`repro.config.parity`; prefer
+    ``parity(cost=...)``.
 
     Raises
     ------
@@ -110,13 +100,8 @@ def cost_mode(mode: str) -> Iterator[None]:
         raise QueryError(
             f"unknown cost mode {mode!r}; expected one of {COST_MODES}"
         )
-    global _DEFAULT_MODE
-    previous = _DEFAULT_MODE
-    _DEFAULT_MODE = mode
-    try:
+    with parity_config.parity(cost=mode):
         yield
-    finally:
-        _DEFAULT_MODE = previous
 
 
 class CostAccumulator:

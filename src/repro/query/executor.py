@@ -1,4 +1,4 @@
-"""Query execution: the Query base class and a parallel chunk runner.
+"""Query execution: the Query base class and concurrent session runners.
 
 Queries compute real answers over the cluster's chunk payloads and price
 themselves with the placement-sensitive cost model.  The query layer is
@@ -10,19 +10,49 @@ optionally fans a per-chunk computation across a ``multiprocessing``
 pool (the actual parallelism of the prototype; the *simulated* latency
 always comes from the cost model so results don't depend on the test
 machine).
+
+Reads go through epoch-pinned sessions
+(:class:`~repro.cluster.session.ClusterSession`): :meth:`Query.run`
+coerces its target with :func:`~repro.cluster.session.ensure_session`,
+so every kernel sees an immutable per-array snapshot even while the
+coordinator mutates the live cluster.  :class:`ConcurrentExecutor` is
+the thread-pool face of that contract — it runs mixed query batches
+against per-query sessions concurrently with ingest/rebalance churn,
+retrying the rare consistent-pin race
+(:class:`~repro.cluster.session.SnapshotRaceError`) on a fresh session.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from abc import ABC, abstractmethod
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+)
 
 from repro.cluster.cluster import ElasticCluster
+from repro.cluster.session import (
+    ClusterSession,
+    SnapshotRaceError,
+    ensure_session,
+)
 from repro.query.result import QueryResult
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Either query target: the sanctioned session surface or (deprecated,
+#: wrapped by :func:`~repro.cluster.session.ensure_session`) a cluster.
+QueryTarget = Union[ClusterSession, ElasticCluster]
 
 #: Query categories used by Figure 5's grouping.
 CATEGORY_SPJ = "spj"
@@ -32,9 +62,10 @@ CATEGORY_SCIENCE = "science"
 class Query(ABC):
     """One benchmark query bound to its workload.
 
-    Subclasses implement :meth:`run`, returning a :class:`QueryResult`
-    whose ``value`` is the real computed answer and whose timing reflects
-    the current data placement.
+    Subclasses implement :meth:`_run` against a
+    :class:`~repro.cluster.session.ClusterSession`, returning a
+    :class:`QueryResult` whose ``value`` is the real computed answer and
+    whose timing reflects the pinned data placement.
     """
 
     #: stable identifier used in metrics and figures.
@@ -42,9 +73,18 @@ class Query(ABC):
     #: CATEGORY_SPJ or CATEGORY_SCIENCE.
     category: str = ""
 
+    def run(self, cluster: QueryTarget, cycle: int) -> QueryResult:
+        """Execute against a session as of workload cycle ``cycle``.
+
+        Accepts a :class:`~repro.cluster.session.ClusterSession` (the
+        sanctioned surface) or, deprecated, a raw cluster — wrapped in a
+        single-query session with a :class:`DeprecationWarning`.
+        """
+        return self._run(ensure_session(cluster), cycle)
+
     @abstractmethod
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
-        """Execute against the cluster as of workload cycle ``cycle``."""
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
+        """Compute the answer from the session's pinned snapshots."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name})"
@@ -81,11 +121,130 @@ def map_chunks(
 
 def run_suite(
     queries: Iterable[Query],
-    cluster: ElasticCluster,
+    cluster: QueryTarget,
     cycle: int,
 ) -> List[QueryResult]:
-    """Run a list of queries back to back (one benchmark pass)."""
+    """Run a list of queries back to back (one benchmark pass).
+
+    One shared session serves the whole pass, so every query in the
+    suite reads the same pinned view of each array it touches.  This is
+    a sanctioned entry point: a raw cluster is promoted to a session
+    without the deprecation warning.
+    """
+    session = (
+        cluster
+        if isinstance(cluster, ClusterSession)
+        else cluster.session()
+    )
     results = []
     for query in queries:
-        results.append(query.run(cluster, cycle))
+        results.append(query._run(session, cycle))
     return results
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One query's completion record from :class:`ConcurrentExecutor`.
+
+    ``result`` is ``None`` only when the query raised; ``error`` then
+    carries the exception ``repr``.  ``attempts`` counts session
+    (re)tries — >1 means a consistent pin lost an epoch race and the
+    query re-ran on a fresh snapshot.
+    """
+
+    name: str
+    category: str
+    cycle: int
+    result: Optional[QueryResult]
+    latency_s: float
+    attempts: int
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ConcurrentExecutor:
+    """Run mixed query batches on a thread pool over pinned sessions.
+
+    Each submitted query gets its **own** fresh session, so concurrent
+    queries pin independently and coordinator mutations landing between
+    queries are observed by later pins but never mid-query.  When a
+    query's consistent multi-array pin loses the epoch race
+    (:class:`~repro.cluster.session.SnapshotRaceError`), the executor
+    discards the session and retries on a new one, up to
+    :attr:`RACE_RETRIES` times.
+
+    The pool is sized for snapshot reads (numpy gathers release the GIL
+    poorly, but the workload here is short bursts over small columns; a
+    handful of workers keeps mutation interleave high without oversub-
+    scribing the test machine).
+    """
+
+    #: Fresh-session retries after a lost consistent-pin race.
+    RACE_RETRIES = 3
+
+    def __init__(
+        self,
+        cluster: ElasticCluster,
+        max_workers: int = 8,
+    ) -> None:
+        self._cluster = cluster
+        self._max_workers = max(1, int(max_workers))
+
+    def _run_one(self, query: Query, cycle: int) -> QueryOutcome:
+        start = time.perf_counter()
+        attempts = 0
+        last: Optional[BaseException] = None
+        while attempts <= self.RACE_RETRIES:
+            attempts += 1
+            session = self._cluster.session()
+            try:
+                result = query._run(session, cycle)
+            except SnapshotRaceError as exc:
+                last = exc
+                continue
+            except Exception as exc:  # surfaced in the outcome
+                return QueryOutcome(
+                    name=query.name,
+                    category=query.category,
+                    cycle=cycle,
+                    result=None,
+                    latency_s=time.perf_counter() - start,
+                    attempts=attempts,
+                    error=repr(exc),
+                )
+            return QueryOutcome(
+                name=query.name,
+                category=query.category,
+                cycle=cycle,
+                result=result,
+                latency_s=time.perf_counter() - start,
+                attempts=attempts,
+            )
+        return QueryOutcome(
+            name=query.name,
+            category=query.category,
+            cycle=cycle,
+            result=None,
+            latency_s=time.perf_counter() - start,
+            attempts=attempts,
+            error=repr(last),
+        )
+
+    def run_batch(
+        self,
+        queries: Sequence[Query],
+        cycle: int,
+    ) -> List[QueryOutcome]:
+        """Run ``queries`` concurrently; outcomes in submission order."""
+        if not queries:
+            return []
+        workers = min(self._max_workers, len(queries))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self._run_one, query, cycle)
+                for query in queries
+            ]
+            return [f.result() for f in futures]

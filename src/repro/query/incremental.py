@@ -45,14 +45,15 @@ ingest/expiry/rebalance interleavings.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import config as parity_config
 from repro.arrays.coords import Box
+from repro.cluster.session import ClusterSession
 from repro.errors import QueryError
 from repro.query import operators as ops
 from repro.query.cost import (
@@ -65,36 +66,25 @@ from repro.query.cost import (
 )
 
 #: Maintenance modes accepted by ``REPRO_INCR`` / :func:`incr_mode`.
-INCR_MODES = ("delta", "full")
-
-_DEFAULT_MODE: Optional[str] = None
+INCR_MODES = parity_config.PARITY_FIELDS["incr"][1]
 
 
 def default_incr_mode() -> str:
     """The process-wide maintenance mode.
 
-    Returns
-    -------
-    str
-        ``"delta"`` (planner-arbitrated incremental folds) unless the
-        ``REPRO_INCR`` environment variable or an enclosing
-        :func:`incr_mode` block selects ``"full"`` (the full-recompute
-        parity oracle).
+    Thin shim over :func:`repro.config.mode` — the ``REPRO_INCR``
+    environment variable and ``parity(incr=...)`` overrides both
+    resolve there.
     """
-    if _DEFAULT_MODE is not None:
-        return _DEFAULT_MODE
-    mode = os.environ.get("REPRO_INCR", "delta").strip().lower()
-    return mode if mode in INCR_MODES else "delta"
+    return parity_config.mode("incr")
 
 
 @contextmanager
 def incr_mode(mode: str) -> Iterator[None]:
     """Temporarily pin the maintenance mode (parity tests).
 
-    Parameters
-    ----------
-    mode : str
-        One of :data:`INCR_MODES`.
+    Legacy shim over :func:`repro.config.parity`; prefer
+    ``parity(incr=...)``.
 
     Raises
     ------
@@ -106,13 +96,8 @@ def incr_mode(mode: str) -> Iterator[None]:
             f"unknown incremental mode {mode!r}; expected one of "
             f"{INCR_MODES}"
         )
-    global _DEFAULT_MODE
-    previous = _DEFAULT_MODE
-    _DEFAULT_MODE = mode
-    try:
+    with parity_config.parity(incr=mode):
         yield
-    finally:
-        _DEFAULT_MODE = previous
 
 
 # ----------------------------------------------------------------------
@@ -576,7 +561,9 @@ class MaintainedGridStats:
 
     Parameters
     ----------
-    cluster : ElasticCluster
+    cluster : ElasticCluster or ClusterSession
+        The live cluster (a session is unwrapped — each refresh opens
+        its own epoch-pinned session so cursors track fresh pins).
     array, attr : str
         The maintained array and the aggregated attribute.
     dims, cell_sizes : sequence of int
@@ -609,6 +596,8 @@ class MaintainedGridStats:
                 "min/max maintenance needs a domain Box to bound "
                 "dirty-group rescans"
             )
+        if isinstance(cluster, ClusterSession):
+            cluster = cluster.cluster
         self.cluster = cluster
         self.array = array
         self.attr = attr
@@ -629,12 +618,12 @@ class MaintainedGridStats:
             hi[d] = min(hi[d], high)
         return Box(tuple(lo), tuple(hi))
 
-    def _refresh_full(self, acc, costs) -> Tuple[int, float]:
+    def _refresh_full(self, session, acc, costs) -> Tuple[int, float]:
         scanned = charge_scan_array(
-            acc, self.cluster, self.array, [self.attr], costs,
+            acc, session, self.array, [self.attr], costs,
             self.cpu_intensity,
         )
-        coords, values = self.cluster.array_payload(
+        coords, values = session.array_payload(
             self.array, [self.attr], self.ndim
         )
         self.state.clear()
@@ -646,10 +635,10 @@ class MaintainedGridStats:
             )
         return int(coords.shape[0]), scanned
 
-    def _refresh_delta(self, acc, costs) -> Tuple[int, float]:
-        delta = self.cluster.deltas_since(self.array, self.cursor)
+    def _refresh_delta(self, session, acc, costs) -> Tuple[int, float]:
+        delta = session.deltas_since(self.array, self.cursor)
         scanned = charge_scan_delta(
-            acc, self.cluster, self.array, self.cursor, [self.attr],
+            acc, session, self.array, self.cursor, [self.attr],
             costs, self.cpu_intensity,
         )
         coords, values, weights = delta_cells(
@@ -660,34 +649,39 @@ class MaintainedGridStats:
         if self.state.needs_rescan:
             region = self._dirty_region()
             scanned += charge_scan_region(
-                acc, self.cluster, self.array, region, [self.attr],
+                acc, session, self.array, region, [self.attr],
                 costs, self.cpu_intensity,
             )
-            live_coords, live_values = self.cluster.payload_in_region(
+            live_coords, live_values = session.payload_in_region(
                 self.array, region, [self.attr], self.ndim
             )
             self.state.rescan(live_coords, live_values[self.attr])
         return int(coords.shape[0]), scanned
 
     def refresh(self) -> MaintenanceReport:
-        """Bring the view up to the array's current payload epoch."""
-        acc = accumulator_for(self.cluster)
-        costs = self.cluster.costs
+        """Bring the view up to the array's pinned payload epoch.
+
+        Each refresh reads through a fresh epoch-pinned session, so the
+        delta fold, any dirty-bucket rescan, and the cursor all observe
+        one snapshot: a mutation landing mid-refresh is folded on the
+        *next* cycle instead of being half-applied or silently skipped.
+        """
+        session = self.cluster.session()
+        acc = accumulator_for(session)
+        costs = session.costs
         plan = None
         if default_incr_mode() == "delta" and self.cursor >= 0:
             plan = maintenance_plan(
-                self.cluster, self.array, self.cursor, [self.attr],
+                session, self.array, self.cursor, [self.attr],
                 costs, self.cpu_intensity,
             )
         if plan is not None and plan.incremental:
             mode = "delta"
-            rows, scanned = self._refresh_delta(acc, costs)
+            rows, scanned = self._refresh_delta(session, acc, costs)
         else:
             mode = "full"
-            rows, scanned = self._refresh_full(acc, costs)
-        self.cursor = int(
-            self.cluster.catalog.payload_epoch_of(self.array)
-        )
+            rows, scanned = self._refresh_full(session, acc, costs)
+        self.cursor = int(session.payload_epoch_of(self.array))
         return MaintenanceReport(
             mode=mode,
             rows=rows,
@@ -706,7 +700,7 @@ class MaintainedGridStats:
         self,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Full-recompute oracle over the live cells (state untouched)."""
-        coords, values = self.cluster.array_payload(
+        coords, values = self.cluster.session().array_payload(
             self.array, [self.attr], self.ndim
         )
         return ops.group_stats_by_grid_arrays(
@@ -775,6 +769,8 @@ class MaintainedJoin:
         ndim: int,
         cpu_intensity: float = 0.8,
     ) -> None:
+        if isinstance(cluster, ClusterSession):
+            cluster = cluster.cluster
         self.cluster = cluster
         self.side_a = side_a
         self.side_b = side_b
@@ -787,16 +783,16 @@ class MaintainedJoin:
     def _sides(self) -> Tuple[Tuple[str, JoinSide], ...]:
         return (("a", self.side_a), ("b", self.side_b))
 
-    def _refresh_full(self, acc, costs) -> Tuple[int, float]:
+    def _refresh_full(self, session, acc, costs) -> Tuple[int, float]:
         self.state.clear()
         rows = 0
         scanned = 0.0
         for label, side in self._sides():
             scanned += charge_scan_array(
-                acc, self.cluster, side.array, list(side.attrs), costs,
+                acc, session, side.array, list(side.attrs), costs,
                 self.cpu_intensity,
             )
-            coords, values = self.cluster.array_payload(
+            coords, values = session.array_payload(
                 side.array, list(side.attrs), self.ndim
             )
             keys, join_values = side.extract(coords, values)
@@ -807,14 +803,14 @@ class MaintainedJoin:
             rows += int(coords.shape[0])
         return rows, scanned
 
-    def _refresh_delta(self, acc, costs) -> Tuple[int, float]:
+    def _refresh_delta(self, session, acc, costs) -> Tuple[int, float]:
         rows = 0
         scanned = 0.0
         for label, side in self._sides():
             cursor = self.cursors[label]
-            delta = self.cluster.deltas_since(side.array, cursor)
+            delta = session.deltas_since(side.array, cursor)
             scanned += charge_scan_delta(
-                acc, self.cluster, side.array, cursor,
+                acc, session, side.array, cursor,
                 list(side.attrs), costs, self.cpu_intensity,
             )
             coords, values, weights = delta_cells(
@@ -826,15 +822,24 @@ class MaintainedJoin:
         return rows, scanned
 
     def refresh(self) -> MaintenanceReport:
-        """Bring the join up to both arrays' current payload epochs."""
-        acc = accumulator_for(self.cluster)
-        costs = self.cluster.costs
+        """Bring the join up to both arrays' pinned payload epochs.
+
+        Both sides pin at one consistent global epoch
+        (:meth:`~repro.cluster.session.ClusterSession.pin`), so the
+        bilinear fold never mixes a pre-mutation *a* with a
+        post-mutation *b*; cursors advance to the pinned epochs.
+        """
+        session = self.cluster.session().pin(
+            [side.array for _, side in self._sides()]
+        )
+        acc = accumulator_for(session)
+        costs = session.costs
         plan = None
         primed = all(c >= 0 for c in self.cursors.values())
         if default_incr_mode() == "delta" and primed:
             plans = [
                 maintenance_plan(
-                    self.cluster, side.array, self.cursors[label],
+                    session, side.array, self.cursors[label],
                     list(side.attrs), costs, self.cpu_intensity,
                 )
                 for label, side in self._sides()
@@ -852,13 +857,13 @@ class MaintainedJoin:
             )
         if plan is not None and plan.incremental:
             mode = "delta"
-            rows, scanned = self._refresh_delta(acc, costs)
+            rows, scanned = self._refresh_delta(session, acc, costs)
         else:
             mode = "full"
-            rows, scanned = self._refresh_full(acc, costs)
+            rows, scanned = self._refresh_full(session, acc, costs)
         for label, side in self._sides():
             self.cursors[label] = int(
-                self.cluster.catalog.payload_epoch_of(side.array)
+                session.payload_epoch_of(side.array)
             )
         return MaintenanceReport(
             mode=mode,
@@ -874,9 +879,10 @@ class MaintainedJoin:
 
     def recompute(self) -> Dict[str, float]:
         """Full-recompute oracle over live payloads (state untouched)."""
+        session = self.cluster.session()
         columns = []
         for _, side in self._sides():
-            coords, values = self.cluster.array_payload(
+            coords, values = session.array_payload(
                 side.array, list(side.attrs), self.ndim
             )
             columns.extend(side.extract(coords, values))

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.arrays.chunk import ChunkData
 from repro.arrays.coords import Box
-from repro.cluster.cluster import ElasticCluster
+from repro.cluster.session import ClusterSession
 from repro.query import operators as ops
 from repro.query.cost import (
     accumulator_for,
@@ -80,7 +80,7 @@ class ModisRollingAverage(Query):
         self.workload = workload
         self.days = days
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         lo = max(1, cycle - self.days + 1)
         north, south = self.workload.polar_caps(lo, cycle)
         regions = (north, south)
@@ -145,7 +145,7 @@ class ModisKMeans(Query):
         self.k = k
         self.iterations = iterations
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         # Both bands route through the catalog's key-interval test; one
         # routing pass per band feeds its pair list and its scan
         # charge's byte/owner columns.
@@ -255,7 +255,7 @@ class ModisWindowAggregate(Query):
         self.workload = workload
         self.window = window
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         day = cycle - 1
         touched = [
             (c, n) for c, n in cluster.chunks_of_array("band1")
@@ -318,7 +318,7 @@ class AisDensityMap(Query):
         """Bucket edge lengths matching :attr:`grid_dims`."""
         return (self.coarse_degrees, self.coarse_degrees)
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         # Whole-array query: catalog-column cost lowering, and the
         # (coords, speed) concatenation comes from the per-epoch payload
         # cache — repeated density maps between reorganizations skip the
@@ -377,7 +377,7 @@ class AisKnn(Query):
         self.samples = samples
         self.k = k
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         # The benchmarks refer to the newest data more frequently (§3.3,
         # "cooking"); ships are sampled from the latest 30-day slice.
         # Spatial-only range partitioning spreads that slice across every
@@ -625,7 +625,7 @@ class AisCollisionPrediction(Query):
         self.minutes_ahead = minutes_ahead
         self.radius_deg = radius_deg
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         latest = cycle * TIME_CHUNKS_PER_CYCLE - 1
         touched = [
             (c, n) for c, n in cluster.chunks_of_array("broadcast")

@@ -20,7 +20,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.cluster import ElasticCluster
+from repro.cluster.session import ClusterSession
 from repro.query import operators as ops
 from repro.query.cost import (
     accumulator_for,
@@ -47,7 +47,7 @@ class ModisSelection(Query):
     def __init__(self, workload: ModisWorkload) -> None:
         self.workload = workload
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         # Region routing: one vectorized key-interval test in the
         # catalog prices the scan, and the clipped cell table comes
         # from the region-scoped payload cache — a repeated hot
@@ -94,7 +94,7 @@ class ModisQuantileSort(Query):
         self.sample_fraction = sample_fraction
         self.qs = tuple(qs)
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         # Whole-array query: cost lowers straight from the catalog's
         # byte/owner columns, and the radiance concatenation is served
         # from the per-epoch payload cache (no pair list, no re-concat
@@ -150,7 +150,7 @@ class ModisJoinNdvi(Query):
     def __init__(self, workload: ModisWorkload) -> None:
         self.workload = workload
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         day = cycle - 1  # latest day's time-chunk coordinate
         band1 = {
             c.key: (c, n)
@@ -225,7 +225,7 @@ class AisSelectionHouston(Query):
     def __init__(self, workload: AisWorkload) -> None:
         self.workload = workload
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         # Cached region-scoped gather + catalog-column scan charge, as
         # in ModisSelection.
         region = self.workload.houston_box(cycle)
@@ -257,7 +257,7 @@ class AisDistinctShips(Query):
     def __init__(self, workload: AisWorkload) -> None:
         self.workload = workload
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         # Whole-array query: catalog-column cost lowering + cached
         # ship-id concatenation (see ModisQuantileSort).
         acc = accumulator_for(cluster)
@@ -319,7 +319,7 @@ class AisVesselJoin(Query):
         self._lookup_cache = (array, ids, types)
         return ids, types
 
-    def run(self, cluster: ElasticCluster, cycle: int) -> QueryResult:
+    def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
         t_chunks = self._latest_time_chunks(cycle)
         touched = [
             (c, n) for c, n in cluster.chunks_of_array("broadcast")

@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 
 from repro.arrays import Box, ChunkData, ChunkRef, parse_schema
 from repro.arrays.storage import ChunkStore
+from repro.config import parity
 from repro.cluster import (
     CostParameters,
     ElasticCluster,
@@ -70,7 +71,7 @@ def _make_cluster(name, nodes=2):
 def _assert_catalog_matches_scan(cluster):
     """Catalog reads ≡ store-scan oracle reads, on one cluster."""
     for array in SCHEMAS:
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             oracle_pairs = cluster.chunks_of_array(array)
             oracle_place = cluster.placement_of_array(array)
             oracle_payload = cluster.array_payload(array, ["v"], ndim=3)
@@ -219,7 +220,7 @@ class TestPayloadCache:
             cluster.ingest([_chunk("A", 0, 0, 0, 5.0, value=9.0)])
         assert cluster.catalog.epoch_of("A") > epoch
         fresh = cluster.array_payload("A", ["v"], ndim=3)
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             oracle = cluster.array_payload("A", ["v"], ndim=3)
         assert np.array_equal(fresh[0], oracle[0])
         assert np.array_equal(fresh[1]["v"], oracle[1]["v"])
@@ -262,7 +263,7 @@ class TestPayloadCache:
     def test_scan_mode_never_caches(self):
         cluster = _make_cluster("round_robin")
         cluster.ingest([_chunk("A", 0, x, 0, 10.0) for x in range(4)])
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             first = cluster.array_payload("A", ["v"], ndim=3)
             again = cluster.array_payload("A", ["v"], ndim=3)
         assert first[0] is not again[0]
@@ -343,7 +344,7 @@ class TestGroupedRebalance:
     def test_scale_out_matches_scalar_oracle(self):
         batched, oracle = self._twin_clusters()
         report_b = batched.scale_out(2)
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             report_o = oracle.scale_out(2)
         assert report_b.chunks_moved == report_o.chunks_moved
         assert report_b.bytes_moved == pytest.approx(
@@ -560,7 +561,7 @@ class TestCatalogInternals:
 
     def test_mode_default_and_pin(self):
         assert default_catalog_mode() == "catalog"
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             assert default_catalog_mode() == "scan"
         assert default_catalog_mode() == "catalog"
 

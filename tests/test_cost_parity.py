@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.arrays import ChunkData, parse_schema
+from repro.config import parity
 from repro.errors import QueryError
 from repro.harness.runner import ExperimentRunner, RunConfig
 from repro.query import ais_suite, modis_suite
@@ -232,7 +233,7 @@ class TestCostModeSwitch:
 
     def test_context_manager_restores(self):
         before = default_cost_mode()
-        with cost_mode("scalar"):
+        with parity(cost="scalar"):
             assert default_cost_mode() == "scalar"
         assert default_cost_mode() == before
 
@@ -289,17 +290,17 @@ class TestFigureBenchmarkParity:
     def test_modis_suite(self, small_modis, modis_cluster):
         cycle = small_modis.n_cycles
         for query in modis_suite(small_modis):
-            batch = query.run(modis_cluster, cycle)
-            with cost_mode("scalar"):
-                scalar = query.run(modis_cluster, cycle)
+            batch = query.run(modis_cluster.session(), cycle)
+            with parity(cost="scalar"):
+                scalar = query.run(modis_cluster.session(), cycle)
             _assert_results_agree(batch, scalar, query.name)
 
     def test_ais_suite(self, small_ais, ais_cluster):
         cycle = small_ais.n_cycles
         for query in ais_suite(small_ais):
-            batch = query.run(ais_cluster, cycle)
-            with cost_mode("scalar"):
-                scalar = query.run(ais_cluster, cycle)
+            batch = query.run(ais_cluster.session(), cycle)
+            with parity(cost="scalar"):
+                scalar = query.run(ais_cluster.session(), cycle)
             _assert_results_agree(batch, scalar, query.name)
             # Deterministic sampling: the computed answers are identical
             # (the rng stream must not depend on the cost mode).
@@ -311,7 +312,7 @@ class TestFigureBenchmarkParity:
         query = ais_suite(small_ais)[4]
         assert query.name == "knn"
         for cycle in range(2, small_ais.n_cycles + 1):
-            batch = query.run(ais_cluster, cycle)
-            with cost_mode("scalar"):
-                scalar = query.run(ais_cluster, cycle)
+            batch = query.run(ais_cluster.session(), cycle)
+            with parity(cost="scalar"):
+                scalar = query.run(ais_cluster.session(), cycle)
             _assert_results_agree(batch, scalar, f"knn@{cycle}")

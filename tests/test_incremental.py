@@ -25,6 +25,7 @@ from hypothesis import strategies as st
 
 from repro.arrays import Box, ChunkData, parse_schema
 from repro.cluster import CostParameters, ElasticCluster, GB
+from repro.config import parity
 from repro.core import ALL_PARTITIONERS, make_partitioner
 from repro.errors import QueryError
 from repro.harness import figure8_retention, incremental_churn
@@ -332,7 +333,7 @@ class TestParityOracleMode:
         view = _grid_view(cluster)
         view.refresh()
         cluster.ingest([_chunk("A", 1, 2, 2, 4.0)])
-        with incr_mode("full"):
+        with parity(incr="full"):
             assert default_incr_mode() == "full"
             report = view.refresh()
         assert report.mode == "full"
@@ -355,7 +356,7 @@ class TestParityOracleMode:
         # figure8_retention verifies incremental ≡ recompute inline
         # every cycle; run the staircase through both maintenance modes
         for mode in ("delta", "full"):
-            with incr_mode(mode):
+            with parity(incr=mode):
                 result = figure8_retention(
                     cycles=8, verify_incremental=True
                 )

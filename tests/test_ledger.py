@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.arrays import Box, ChunkRef
+from repro.config import parity
 from repro.core import ALL_PARTITIONERS, make_partitioner
 from repro.core.ledger import (
     ArrayChunkLedger,
@@ -47,7 +48,7 @@ def _batch(n, seed, arrays=("a", "b"), dup_every=9):
 
 
 def _make(name, mode, nodes=(0, 1, 2)):
-    with ledger_mode(mode):
+    with parity(ledger=mode):
         return make_partitioner(
             name, list(nodes), grid=GRID, node_capacity_bytes=1e12
         )
@@ -83,7 +84,7 @@ class TestLedgerSelection:
 
     def test_context_manager_restores(self):
         before = default_ledger_mode()
-        with ledger_mode("dict"):
+        with parity(ledger="dict"):
             assert default_ledger_mode() == "dict"
         assert default_ledger_mode() == before
 

@@ -20,11 +20,11 @@ from hypothesis import strategies as st
 
 from repro.arrays import Box, ChunkData, ChunkRef, parse_schema
 from repro.cluster import ElasticCluster, GB
+from repro.config import parity
 from repro.core import ALL_PARTITIONERS, make_partitioner
 from repro.core.ledger import (
     ArrayChunkLedger,
     DictChunkLedger,
-    ledger_mode,
 )
 from repro.errors import ClusterError, PartitioningError
 
@@ -47,7 +47,7 @@ def _items(n, seed):
 
 
 def _make(name, mode, nodes=(0, 1, 2)):
-    with ledger_mode(mode):
+    with parity(ledger=mode):
         return make_partitioner(
             name, list(nodes), grid=GRID, node_capacity_bytes=1e12
         )

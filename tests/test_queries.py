@@ -112,7 +112,7 @@ class TestModisSuite:
         from repro.query.spj import ModisJoinNdvi
 
         result = ModisJoinNdvi(small_modis).run(
-            modis_cluster, small_modis.n_cycles
+            modis_cluster.session(), small_modis.n_cycles
         )
         assert result.value["cells"] > 0
         # band2 (NIR) runs hotter than band1 -> positive NDVI on average
@@ -122,7 +122,7 @@ class TestModisSuite:
                                           small_modis):
         from repro.query.spj import ModisJoinNdvi
 
-        r_last = ModisJoinNdvi(small_modis).run(modis_cluster, 2)
+        r_last = ModisJoinNdvi(small_modis).run(modis_cluster.session(), 2)
         # scanned bytes for one day are an order below the whole array
         assert r_last.scanned_bytes < 0.5 * modis_cluster.total_bytes
 
@@ -130,8 +130,8 @@ class TestModisSuite:
                                             small_modis):
         from repro.query.spj import ModisQuantileSort, ModisSelection
 
-        ModisSelection(small_modis).run(modis_cluster, 3)
-        sort = ModisQuantileSort(small_modis).run(modis_cluster, 3)
+        ModisSelection(small_modis).run(modis_cluster.session(), 3)
+        sort = ModisQuantileSort(small_modis).run(modis_cluster.session(), 3)
         # the sort reads one column of everything; the selection reads
         # every column of a 1/16 corner — vertical partitioning makes
         # the sort's per-byte footprint visible
@@ -141,7 +141,7 @@ class TestModisSuite:
         from repro.query.science import ModisKMeans
 
         result = ModisKMeans(small_modis, k=3, iterations=4).run(
-            modis_cluster, small_modis.n_cycles
+            modis_cluster.session(), small_modis.n_cycles
         )
         if result.value["points"] >= 3:
             assert len(result.value["centroids"]) == 3
@@ -150,7 +150,7 @@ class TestModisSuite:
         from repro.query.science import ModisWindowAggregate
 
         result = ModisWindowAggregate(small_modis).run(
-            modis_cluster, small_modis.n_cycles
+            modis_cluster.session(), small_modis.n_cycles
         )
         assert result.value["windows"] > 0
 
@@ -171,7 +171,7 @@ class TestAisSuite:
         from repro.query.spj import AisDistinctShips
 
         result = AisDistinctShips(small_ais).run(
-            ais_cluster, small_ais.n_cycles
+            ais_cluster.session(), small_ais.n_cycles
         )
         assert result.value["distinct_ships"] <= small_ais.ships
 
@@ -179,7 +179,7 @@ class TestAisSuite:
         from repro.query.spj import AisVesselJoin
 
         result = AisVesselJoin(small_ais).run(
-            ais_cluster, small_ais.n_cycles
+            ais_cluster.session(), small_ais.n_cycles
         )
         counts = result.value["broadcasts_by_type"]
         assert counts
@@ -192,10 +192,10 @@ class TestAisSuite:
         from repro.query.spj import AisVesselJoin
 
         query = AisVesselJoin(small_ais)
-        first = query.run(ais_cluster, small_ais.n_cycles)
+        first = query.run(ais_cluster.session(), small_ais.n_cycles)
         cached = query._lookup_cache
         assert cached is not None
-        second = query.run(ais_cluster, small_ais.n_cycles)
+        second = query.run(ais_cluster.session(), small_ais.n_cycles)
         assert query._lookup_cache is cached  # reused, not re-sorted
         assert (
             first.value["broadcasts_by_type"]
@@ -206,7 +206,7 @@ class TestAisSuite:
         from repro.query.science import AisKnn
 
         result = AisKnn(small_ais, samples=8).run(
-            ais_cluster, small_ais.n_cycles
+            ais_cluster.session(), small_ais.n_cycles
         )
         d = result.value["mean_knn_distance"]
         assert d is None or np.isfinite(d)
@@ -215,7 +215,7 @@ class TestAisSuite:
         from repro.query.science import AisCollisionPrediction
 
         result = AisCollisionPrediction(small_ais).run(
-            ais_cluster, small_ais.n_cycles
+            ais_cluster.session(), small_ais.n_cycles
         )
         assert result.value["predicted_close_pairs"] >= 0
 
@@ -257,7 +257,7 @@ class TestPolarMergeRegression:
 
         cycle = small_modis.n_cycles
         result = ModisRollingAverage(small_modis, days=3).run(
-            modis_cluster, cycle
+            modis_cluster.session(), cycle
         )
         lo = max(1, cycle - 3 + 1)
         sums, counts = {}, {}

@@ -27,7 +27,7 @@ from hypothesis import strategies as st
 from repro.arrays import Box, ChunkData, parse_schema
 from repro.cluster import CostParameters, ElasticCluster, GB
 from repro.core import ALL_PARTITIONERS, make_partitioner
-from repro.core.catalog import catalog_mode
+from repro.config import parity
 from repro.errors import ChunkError, SchemaError
 from repro.query.cost import (
     CostAccumulator,
@@ -35,7 +35,6 @@ from repro.query.cost import (
     charge_scan,
     charge_scan_region,
     charge_scan_routed,
-    cost_mode,
     region_scan_columns,
     scan_columns,
 )
@@ -102,7 +101,7 @@ def _assert_region_parity(cluster, array, region):
         (id(c), n) for c, n in cluster.chunks_in_region(array, region)
     ]
     assert got == expected
-    with catalog_mode("scan"):
+    with parity(catalog="scan"):
         walked = [
             (id(c), n)
             for c, n in cluster.chunks_in_region(array, region)
@@ -194,7 +193,14 @@ class TestRegionRoutingParityProperty:
                         array, key, float(rng.lognormal(2, 1))
                     )
                 cluster.ingest(list(batch.values()))
-                window.append([c.ref() for c in batch.values()])
+                refs = [c.ref() for c in batch.values()]
+                # A re-ingested key refreshes its retention clock: the
+                # newest window entry owns the ref, older entries must
+                # drop it or a later expiry would double-remove.
+                fresh = set(refs)
+                for entry in window:
+                    entry[:] = [r for r in entry if r not in fresh]
+                window.append(refs)
             elif op == "grow":
                 if cluster.partitioner.chunk_count:
                     cluster.scale_out(1)
@@ -212,7 +218,7 @@ class TestRegionRoutingParityProperty:
         cluster.ingest([_chunk("A", (0, 0, 0))])
         region = Box((0, 0, 0), (10, 10, 10))
         assert cluster.chunks_in_region("nope", region) == []
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             assert cluster.chunks_in_region("nope", region) == []
 
     def test_empty_and_outside_regions(self):
@@ -233,9 +239,9 @@ class TestRegionRoutingParityProperty:
     def test_arity_mismatch_raises_in_both_modes(self):
         cluster = _make_cluster("round_robin")
         cluster.ingest([_chunk("A", (0, 0, 0))])
-        with catalog_mode("catalog"), pytest.raises(SchemaError):
+        with parity(catalog="catalog"), pytest.raises(SchemaError):
             cluster.chunks_in_region("A", Box((0, 0), (1, 1)))
-        with catalog_mode("scan"), pytest.raises(ChunkError):
+        with parity(catalog="scan"), pytest.raises(ChunkError):
             cluster.chunks_in_region("A", Box((0, 0), (1, 1)))
 
 
@@ -288,7 +294,7 @@ class TestRegionCostLowering:
         sizes, nodes = region_scan_columns(cluster, "A", region, ["v"])
         assert np.allclose(sizes, ref_sizes)
         assert np.array_equal(nodes, ref_nodes)
-        with catalog_mode("scan"):  # pair-list fallback path
+        with parity(catalog="scan"):  # pair-list fallback path
             sizes_o, nodes_o = region_scan_columns(
                 cluster, "A", region, ["v"]
             )
@@ -300,7 +306,7 @@ class TestRegionCostLowering:
         region = Box((0, 0, 0), (9, 9, 9))
         costs = cluster.costs
         for mode in ("batch", "scalar"):
-            with cost_mode(mode):
+            with parity(cost=mode):
                 acc_region = CostAccumulator(cluster.node_ids)
                 scanned_region = charge_scan_region(
                     acc_region, cluster, "A", region, ["v"], costs, 1.5
@@ -324,7 +330,7 @@ class TestRegionCostLowering:
         # the scan oracle the columns half is None (pair-list fallback).
         cluster = self._loaded_cluster()
         region = Box((0, 1, 1), (9, 14, 14))
-        with catalog_mode("catalog"):
+        with parity(catalog="catalog"):
             pairs, cols = cluster.region_read("A", region)
         assert [(id(c), n) for c, n in pairs] == [
             (id(c), n)
@@ -335,7 +341,7 @@ class TestRegionCostLowering:
         assert np.allclose(sizes, ref_sizes)
         assert np.array_equal(nodes, ref_nodes)
         assert schema is SCHEMAS["A"]
-        with catalog_mode("scan"):
+        with parity(catalog="scan"):
             oracle_pairs, oracle_cols = cluster.region_read("A", region)
         assert oracle_cols is None
         assert [(id(c), n) for c, n in oracle_pairs] == [
@@ -348,7 +354,7 @@ class TestRegionCostLowering:
         costs = cluster.costs
         for mode in ("batch", "scalar"):
             for catmode in ("catalog", "scan"):
-                with cost_mode(mode), catalog_mode(catmode):
+                with parity(cost=mode, catalog=catmode):
                     pairs, cols = cluster.region_read("A", region)
                     acc_routed = CostAccumulator(cluster.node_ids)
                     scanned_routed = charge_scan_routed(
@@ -375,7 +381,7 @@ class TestRegionCostLowering:
             coords, values = cluster.payload_in_region(
                 "A", region, ["v"], ndim=3
             )
-            with catalog_mode("scan"):
+            with parity(catalog="scan"):
                 oracle_coords, oracle_values = cluster.payload_in_region(
                     "A", region, ["v"], ndim=3
                 )

@@ -26,6 +26,7 @@ from repro.arrays.array import chunk_cells, chunk_cells_scalar
 from repro.arrays.sfc import RectangleHilbert, hilbert_index_batch
 from repro.cluster import (
     ElasticCluster,
+    TieredStorage,
     execute_rebalance,
     execute_rebalance_scalar,
 )
@@ -704,6 +705,86 @@ def test_rebalance_batch(benchmark):
 
     report = benchmark(pingpong)
     assert report.chunks_moved == fwd.chunk_count
+
+
+# ----------------------------------------------------------------------
+# tiered storage (cold segment faults vs resident in-memory reads)
+# ----------------------------------------------------------------------
+SPILL_CHUNKS = max(128, int(512 * SCALE))
+SPILL_CELLS = 64
+_SPILL_SCHEMA = parse_schema("S<v:double>[t=0:*,1, x=0:199,1]")
+_SPILL_GRID = Box((0, 0), (40, 200))
+
+
+def _spill_batch(n=SPILL_CHUNKS, seed=23):
+    rng = np.random.default_rng(seed)
+    chunks = []
+    for i in range(n):
+        key = (i // 200, i % 200)
+        coords = np.column_stack(
+            [
+                np.full(SPILL_CELLS, key[0], dtype=np.int64),
+                np.full(SPILL_CELLS, key[1], dtype=np.int64),
+            ]
+        )
+        chunks.append(
+            ChunkData.from_validated_cells(
+                _SPILL_SCHEMA, key, coords,
+                {"v": rng.random(SPILL_CELLS)},
+                size_bytes=float(rng.lognormal(18, 0.5)),
+            )
+        )
+    return chunks
+
+
+def _spill_cluster(storage=None):
+    p = make_partitioner(
+        "round_robin", [0, 1], grid=_SPILL_GRID,
+        node_capacity_bytes=1e15,
+    )
+    cluster = ElasticCluster(p, 1e15, storage=storage)
+    cluster.ingest(_spill_batch())
+    return cluster
+
+
+def _scan_payloads(pairs):
+    """One full-array read through the payload handles (no caches)."""
+    cells = 0
+    for chunk, _node in pairs:
+        coords, _values = chunk.payload_parts()
+        cells += coords.shape[0]
+    return cells
+
+
+def test_spill_scan_full(benchmark, tmp_path):
+    """The out-of-core arm: every payload faults from its segment file.
+
+    The budget is one byte, so the LRU sheds each payload right after
+    the fault that loaded it — every round decodes the entire array
+    from disk, the 10-100x-over-memory regime the tier exists for.
+    """
+    storage = TieredStorage(
+        root=str(tmp_path / "tiers"), memory_budget_bytes=1.0,
+    )
+    cluster = _spill_cluster(storage)
+    pairs = cluster.chunks_of_array("S")
+    benchmark.extra_info["items"] = SPILL_CHUNKS
+
+    cells = benchmark(_scan_payloads, pairs)
+    assert cells == SPILL_CHUNKS * SPILL_CELLS
+    stats = cluster.storage_stats()
+    assert sum(s["fault_count"] for s in stats.values()) >= SPILL_CHUNKS
+
+
+def test_spill_scan_memory(benchmark):
+    """The resident arm: identical chunks, payloads held in memory."""
+    cluster = _spill_cluster()
+    pairs = cluster.chunks_of_array("S")
+    benchmark.extra_info["items"] = SPILL_CHUNKS
+
+    cells = benchmark(_scan_payloads, pairs)
+    assert cells == SPILL_CHUNKS * SPILL_CELLS
+    assert cluster.storage_stats() == {}
 
 
 # ----------------------------------------------------------------------

@@ -55,6 +55,13 @@ SPEEDUP_PAIRS = [
      "test_region_cost_batch"),
     ("rebalance_exec", "test_rebalance_scalar",
      "test_rebalance_batch"),
+    # For spill_scan the "scalar" slot is the out-of-core arm (every
+    # payload faulted from its segment file under a one-byte budget)
+    # and the "batch" slot the resident in-memory arm on identical
+    # chunks: the ratio is the cost of a cold read relative to a hot
+    # one, and gating it keeps hot-tier bookkeeping from creeping into
+    # resident reads.
+    ("spill_scan", "test_spill_scan_full", "test_spill_scan_memory"),
     # For the incr_* pairs the "scalar" slot is the full-recompute arm
     # and the "batch" slot the delta fold (same view, ~1% churn).
     ("incr_groupby", "test_incr_groupby_full",

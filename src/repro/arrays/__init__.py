@@ -10,7 +10,12 @@ Public surface:
   :class:`~repro.arrays.chunk.ChunkRef` — chunk payloads and identities.
 * :class:`~repro.arrays.array.LocalArray`,
   :func:`~repro.arrays.array.chunk_cells` — cell-level ingest and reads.
-* :class:`~repro.arrays.storage.ChunkStore` — node-local storage.
+* :class:`~repro.arrays.storage.ChunkStore`,
+  :class:`~repro.arrays.storage.SpillTier` — node-local storage with
+  an optional byte-budgeted LRU over the disk tier.
+* :class:`~repro.arrays.segment.SegmentStore`,
+  :class:`~repro.arrays.segment.DiskIO` — mmap-backed columnar
+  segment files (the cold tier; survives process restart).
 * :class:`~repro.arrays.coords.Box` — n-d box algebra.
 * :func:`~repro.arrays.sfc.hilbert_index`,
   :func:`~repro.arrays.sfc.hilbert_index_batch`,
@@ -33,7 +38,8 @@ from repro.arrays.sfc import (
     hilbert_index_batch,
     hilbert_point,
 )
-from repro.arrays.storage import ChunkStore
+from repro.arrays.segment import DiskIO, SegmentStore
+from repro.arrays.storage import ChunkStore, SpillTier
 
 __all__ = [
     "ArraySchema",
@@ -44,6 +50,9 @@ __all__ = [
     "ChunkRef",
     "ChunkStore",
     "DimensionSpec",
+    "DiskIO",
+    "SegmentStore",
+    "SpillTier",
     "LocalArray",
     "RectangleHilbert",
     "bits_for_extent",

@@ -21,7 +21,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arrays.schema import ArraySchema
-from repro.errors import ChunkError
+from repro.errors import ChunkError, StorageError
 
 #: Chunk-grid coordinates of a chunk, one integer per dimension.
 ChunkKey = Tuple[int, ...]
@@ -88,10 +88,23 @@ class ChunkData:
     The per-attribute byte shares (:attr:`attr_bytes`) model SciDB's
     vertical partitioning: ``attr_bytes[a]`` is the modeled footprint of the
     physical chunk holding attribute ``a``, proportional to its dtype width.
+
+    Payload handle
+    --------------
+    The cell data itself lives behind a one-slot indirection:
+    ``_payload`` is either the ``(coords, attributes)`` pair (*resident*)
+    or ``None`` (*spilled* — the bytes live in the owning store's
+    :class:`~repro.arrays.segment.SegmentStore` and ``_tier`` knows how
+    to fault them back in).  :attr:`coords` and :attr:`attributes` are
+    faulting properties, so every existing consumer reads through the
+    handle unchanged; identity, schema, key, and byte accounting are
+    always available without I/O.  ``_payload`` is read and written as
+    one tuple, so a concurrent evict/fault race hands a reader a stale
+    but internally consistent pair — never half of each.
     """
 
-    __slots__ = ("schema", "key", "coords", "attributes", "size_bytes",
-                 "attr_bytes", "_ref")
+    __slots__ = ("schema", "key", "size_bytes", "attr_bytes", "_ref",
+                 "_payload", "_tier")
 
     def __init__(
         self,
@@ -109,7 +122,6 @@ class ChunkData:
                 f"coords must have shape (cells, {schema.ndim}), "
                 f"got {coords.shape}"
             )
-        self.coords = coords
 
         missing = set(schema.attribute_names) - set(attributes)
         if missing:
@@ -123,7 +135,7 @@ class ChunkData:
                 f"chunk {self.key} of {schema.name} has unknown attributes "
                 f"{sorted(extra)}"
             )
-        self.attributes: Dict[str, np.ndarray] = {}
+        columns: Dict[str, np.ndarray] = {}
         for spec in schema.attributes:
             values = np.asarray(attributes[spec.name])
             if values.shape != (coords.shape[0],):
@@ -131,7 +143,9 @@ class ChunkData:
                     f"attribute {spec.name} has {values.shape[0] if values.ndim else 'scalar'} "
                     f"values for {coords.shape[0]} cells"
                 )
-            self.attributes[spec.name] = values
+            columns[spec.name] = values
+        self._payload = (coords, columns)
+        self._tier = None
 
         box = schema.chunk_box(self.key)
         if coords.shape[0]:
@@ -195,12 +209,80 @@ class ChunkData:
         self = object.__new__(cls)
         self.schema = schema
         self.key = key
-        self.coords = coords
-        self.attributes = attributes
+        self._payload = (coords, attributes)
+        self._tier = None
         self.size_bytes = float(size_bytes)
         self.attr_bytes = self._vertical_shares(self.size_bytes)
         self._ref = None
         return self
+
+    @classmethod
+    def spilled(
+        cls,
+        schema: ArraySchema,
+        key: ChunkKey,
+        size_bytes: float,
+        attr_bytes: Optional[Mapping[str, float]] = None,
+    ) -> "ChunkData":
+        """A handle whose payload lives on disk (restart recovery path).
+
+        The handle is fully functional for placement, catalog, and cost
+        accounting (identity, schema, modeled bytes) without any I/O;
+        the first :attr:`coords`/:attr:`attributes` read faults the cell
+        data in through the spill tier the owning store registers via
+        ``_tier``.  Reading a spilled handle that no store has adopted
+        raises :class:`~repro.errors.StorageError`.
+        """
+        self = object.__new__(cls)
+        self.schema = schema
+        self.key = tuple(int(c) for c in key)
+        self._payload = None
+        self._tier = None
+        self.size_bytes = float(size_bytes)
+        if attr_bytes is None:
+            self.attr_bytes = self._vertical_shares(self.size_bytes)
+        else:
+            self.attr_bytes = {k: float(v) for k, v in attr_bytes.items()}
+        self._ref = None
+        return self
+
+    # -- payload handle -------------------------------------------------
+    def payload_parts(
+        self,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """One consistent ``(coords, attributes)`` pair (faults if spilled).
+
+        Kernels that read both halves should call this once instead of
+        touching :attr:`coords` and :attr:`attributes` separately: the
+        tuple is immutable, so the pair is guaranteed to describe the
+        same cells even if the spill tier evicts this chunk between the
+        two reads.
+        """
+        parts = self._payload
+        if parts is None:
+            tier = self._tier
+            if tier is None:
+                raise StorageError(
+                    f"chunk {self.ref()} is spilled but detached from "
+                    "any spill tier; it cannot be read"
+                )
+            parts = tier.fault(self)
+        return parts
+
+    @property
+    def coords(self) -> np.ndarray:
+        """Cell coordinates, ``(cells, ndim)`` int64 (faults if spilled)."""
+        return self.payload_parts()[0]
+
+    @property
+    def attributes(self) -> Dict[str, np.ndarray]:
+        """Attribute name → value column (faults if spilled)."""
+        return self.payload_parts()[1]
+
+    @property
+    def is_resident(self) -> bool:
+        """Whether the cell payload is currently in memory."""
+        return self._payload is not None
 
     # ------------------------------------------------------------------
     def _actual_nbytes(self) -> int:
@@ -300,9 +382,15 @@ class ChunkData:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        # Never fault from repr: debugging a spilled handle must not do
+        # I/O (or raise, for a detached one).
+        cells = (
+            str(int(self._payload[0].shape[0]))
+            if self._payload is not None else "spilled"
+        )
         return (
             f"ChunkData({self.schema.name}@{self.key}, "
-            f"cells={self.cell_count}, bytes={self.size_bytes:.0f})"
+            f"cells={cells}, bytes={self.size_bytes:.0f})"
         )
 
 

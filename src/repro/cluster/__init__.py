@@ -6,7 +6,11 @@ GB, network at ``t`` per GB — so experiments report the quantities the
 paper reasons about.
 """
 
-from repro.cluster.cluster import ElasticCluster, IngestReport
+from repro.cluster.cluster import (
+    ElasticCluster,
+    IngestReport,
+    TieredStorage,
+)
 from repro.cluster.coordinator import (
     InsertReport,
     RebalanceReport,
@@ -40,6 +44,7 @@ __all__ = [
     "RemoveReport",
     "RunMetrics",
     "SnapshotRaceError",
+    "TieredStorage",
     "ensure_session",
     "execute_insert",
     "execute_rebalance",

@@ -22,6 +22,7 @@ store-walk reads as a parity oracle.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,8 @@ import numpy as np
 
 from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.arrays.coords import Box
+from repro.arrays.segment import SegmentStore
+from repro.arrays.storage import ChunkStore
 from repro.cluster.coordinator import (
     InsertReport,
     RebalanceReport,
@@ -46,8 +49,34 @@ from repro.core.catalog import (
     concat_payload,
     default_catalog_mode,
 )
+from repro.config import mode as parity_mode
 from repro.core.provisioner import LeadingStaircase
 from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class TieredStorage:
+    """Out-of-core storage configuration (one spill directory per node).
+
+    Args:
+        root: directory under which each node keeps its segment
+            directory (``node-0000``, ``node-0001``, ...).
+        memory_budget_bytes: per-node cap on resident payload bytes;
+            the coldest chunks spill to segments past it.  ``None``
+            keeps everything resident while still writing through (so
+            restart recovery works without eviction pressure).
+
+    Honored only when the ``storage`` parity mode is ``tier`` (the
+    default) — under ``REPRO_STORAGE=memory`` the cluster ignores the
+    configuration and runs the classic all-in-memory stores, which is
+    the byte-identical parity oracle for the tier.
+    """
+
+    root: str
+    memory_budget_bytes: Optional[float] = None
+
+    def node_dir(self, node_id: int) -> str:
+        return os.path.join(self.root, f"node-{node_id:04d}")
 
 
 @dataclass
@@ -96,6 +125,7 @@ class ElasticCluster:
         costs: CostParameters = DEFAULT_COSTS,
         provisioner: Optional[LeadingStaircase] = None,
         ledger_compact_ratio: Optional[float] = 0.5,
+        storage: Optional[TieredStorage] = None,
     ) -> None:
         if node_capacity_bytes <= 0:
             raise ClusterError("node capacity must be positive")
@@ -110,8 +140,14 @@ class ElasticCluster:
         self.costs = costs
         self.provisioner = provisioner
         self.ledger_compact_ratio = ledger_compact_ratio
+        # The parity switch is consulted once, at construction: a
+        # cluster is either tiered or all-in-memory for its lifetime
+        # (flipping REPRO_STORAGE mid-run would corrupt accounting).
+        if storage is not None and parity_mode("storage") == "memory":
+            storage = None
+        self.storage = storage
         self.nodes: Dict[int, Node] = {
-            node_id: Node(node_id, node_capacity_bytes)
+            node_id: self._make_node(node_id)
             for node_id in partitioner.nodes
         }
         self._next_node_id = max(self.nodes) + 1
@@ -119,6 +155,113 @@ class ElasticCluster:
         #: The cluster-wide columnar chunk index; maintained by every
         #: mutation regardless of the read-path mode.
         self.catalog = ChunkCatalog()
+
+    def _make_node(self, node_id: int) -> Node:
+        """Build one node — tiered (segment-backed) when configured.
+
+        A fresh node always gets a fresh segment directory;
+        :meth:`recover` is the only path that attaches to one left by a
+        previous process (``SegmentStore.create`` refuses a directory
+        that already holds a manifest, so a mistaken re-`__init__` over
+        live data fails loudly instead of shadowing it).
+        """
+        if self.storage is None:
+            return Node(node_id, self.node_capacity_bytes)
+        segments = SegmentStore.create(self.storage.node_dir(node_id))
+        store = ChunkStore(
+            memory_budget=self.storage.memory_budget_bytes,
+            segments=segments,
+        )
+        return Node(node_id, self.node_capacity_bytes, store=store)
+
+    @classmethod
+    def recover(
+        cls,
+        partitioner: ElasticPartitioner,
+        node_capacity_bytes: float,
+        storage: TieredStorage,
+        costs: CostParameters = DEFAULT_COSTS,
+        provisioner: Optional[LeadingStaircase] = None,
+        ledger_compact_ratio: Optional[float] = 0.5,
+    ) -> "ElasticCluster":
+        """Rebuild a cluster from the segment directories of a dead one.
+
+        Simulated restart: all process state (stores, catalog, ledger)
+        is gone; only ``storage.root`` survives.  Each node directory's
+        manifest is read (:meth:`SegmentStore.open`), every recorded
+        chunk becomes a *spilled* :class:`ChunkData` handle — no cell
+        payload is loaded until a query faults it — and the recorded
+        placements are committed verbatim to the partitioner
+        (:meth:`~repro.core.base.ElasticPartitioner.adopt_batch`) and
+        the catalog, so :meth:`check_consistency` holds immediately.
+
+        ``partitioner`` must be freshly constructed over exactly the
+        node ids the directory records (scale-outs during the original
+        run created directories too); schemes whose placement depends
+        on unrecoverable arrival history stay *consistent* after
+        adoption but may place future chunks differently than the
+        original process would have.
+        """
+        if parity_mode("storage") == "memory":
+            raise ClusterError(
+                "cannot recover under REPRO_STORAGE=memory — restart "
+                "recovery reads the disk tier the oracle disables"
+            )
+        try:
+            names = sorted(os.listdir(storage.root))
+        except FileNotFoundError:
+            raise ClusterError(
+                f"storage root {storage.root} does not exist"
+            ) from None
+        found = sorted(
+            int(name[5:]) for name in names
+            if name.startswith("node-") and name[5:].isdigit()
+        )
+        if not found:
+            raise ClusterError(
+                f"storage root {storage.root} holds no node directories"
+            )
+        if set(found) != set(partitioner.nodes):
+            raise ClusterError(
+                f"recovered node directories {found} do not match the "
+                f"partitioner's nodes {sorted(partitioner.nodes)}; "
+                "construct the partitioner over the recorded node ids"
+            )
+        cluster = cls(
+            partitioner,
+            node_capacity_bytes,
+            costs=costs,
+            provisioner=provisioner,
+            ledger_compact_ratio=ledger_compact_ratio,
+            storage=None,  # plain nodes first; tiers attach below
+        )
+        cluster.storage = storage  # future scale-outs get tiered nodes
+        adopted: List[Tuple[ChunkRef, float, int, ChunkData]] = []
+        for node_id in found:
+            segments = SegmentStore.open(storage.node_dir(node_id))
+            store = ChunkStore(
+                memory_budget=storage.memory_budget_bytes,
+                segments=segments,
+            )
+            cluster.nodes[node_id].store = store
+            for ref, size_bytes, attr_bytes in segments.entries():
+                handle = ChunkData.spilled(
+                    segments.schema_of(ref.array),
+                    ref.key,
+                    size_bytes,
+                    attr_bytes,
+                )
+                store.adopt_spilled(handle)
+                adopted.append((ref, size_bytes, node_id, handle))
+        adopted.sort(key=lambda e: (e[0].array, e[0].key))
+        partitioner.adopt_batch(
+            [(ref, size, node) for ref, size, node, _h in adopted]
+        )
+        cluster.catalog.put_batch(
+            [handle for _r, _s, _n, handle in adopted],
+            [node for _r, _s, node, _h in adopted],
+        )
+        return cluster
 
     # ------------------------------------------------------------------
     # state inspection (the query engine's ClusterView)
@@ -329,6 +472,31 @@ class ElasticCluster:
 
         return ClusterSession(self)
 
+    def drain_io(self) -> Dict[int, float]:
+        """Per-node tier I/O bytes (faults + write-through) since the
+        last drain.
+
+        The query executor drains before and after each query run so
+        :func:`repro.query.cost.charge_io` bills exactly the faults a
+        query triggered.  Untiered clusters always return ``{}`` — the
+        classic zero-I/O behavior.
+        """
+        out: Dict[int, float] = {}
+        for node_id, node in self.nodes.items():
+            read, written = node.store.drain_io()
+            total = read + written
+            if total:
+                out[node_id] = total
+        return out
+
+    def storage_stats(self) -> Dict[int, Dict[str, float]]:
+        """Per-node spill-tier telemetry (empty for untiered clusters)."""
+        return {
+            node_id: node.store.tier.stats()
+            for node_id, node in sorted(self.nodes.items())
+            if node.store.tier is not None
+        }
+
     def deltas_since(self, array: str, epoch: int):
         """One array's content mutations after an epoch cursor.
 
@@ -365,7 +533,7 @@ class ElasticCluster:
         for _ in range(count):
             node_id = self._next_node_id
             self._next_node_id += 1
-            self.nodes[node_id] = Node(node_id, self.node_capacity_bytes)
+            self.nodes[node_id] = self._make_node(node_id)
             new_ids.append(node_id)
         plan = self.partitioner.scale_out(new_ids)
         report = execute_rebalance(
@@ -454,6 +622,15 @@ class ElasticCluster:
         """
         catalogued = 0
         for node_id, node in self.nodes.items():
+            tier = node.store.tier
+            if tier is not None:
+                tier.check()
+                for ref in node.store.refs():
+                    if ref not in tier.segments:
+                        raise ClusterError(
+                            f"chunk {ref} stored on node {node_id} has "
+                            "no segment backing (write-through violated)"
+                        )
             for ref in node.store.refs():
                 table_node = self.partitioner.locate(ref)
                 if table_node != node_id:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from typing import Optional
 
 from repro.arrays.storage import ChunkStore
 from repro.errors import ClusterError
@@ -15,16 +16,24 @@ class Node:
         capacity_bytes: storage capacity ``c``.  The node never refuses
             data (the provisioner's job is to scale out first), but
             :attr:`over_capacity` flags violations for the control loop.
+        store: a prebuilt chunk store — the cluster passes a tiered one
+            (segment-backed, byte-budgeted) when out-of-core storage is
+            configured.  Defaults to the classic all-in-memory store.
     """
 
-    def __init__(self, node_id: int, capacity_bytes: float) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        capacity_bytes: float,
+        store: Optional[ChunkStore] = None,
+    ) -> None:
         if capacity_bytes <= 0:
             raise ClusterError(
                 f"node capacity must be positive, got {capacity_bytes}"
             )
         self.node_id = int(node_id)
         self.capacity_bytes = float(capacity_bytes)
-        self.store = ChunkStore()
+        self.store = store if store is not None else ChunkStore()
 
     # ------------------------------------------------------------------
     @property

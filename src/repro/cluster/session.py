@@ -46,6 +46,17 @@ epoch did not move across the captures, retrying on a race and raising
 :class:`SnapshotRaceError` only after repeated losses (the concurrent
 executor's retry guard catches exactly that and re-runs the query on a
 fresh session).
+
+Pinned reads stay byte-stable on **tiered** clusters too: snapshot
+handles whose payloads spilled to disk fault back through the spill
+tier's lock (re-checking residency, so racing readers load once), the
+LRU never sheds a payload out from under ``payload_parts`` — the pair
+is taken atomically — and handles retired by a merge or removal are
+materialized before their segment file is reclaimed, so even a chunk
+expired mid-session answers from its pinned bytes.  Snapshot payload
+reads that delegate to the live catalog's cache are validated against
+the mutation seqlock and fall back to the frozen handles on any
+overlap with an in-flight mutation (``ArraySnapshot._live_payload``).
 """
 
 from __future__ import annotations

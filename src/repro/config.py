@@ -46,12 +46,13 @@ PARITY_FIELDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "cost": ("REPRO_COST", ("batch", "scalar")),
     "catalog": ("REPRO_CATALOG", ("catalog", "scan")),
     "incr": ("REPRO_INCR", ("delta", "full")),
+    "storage": ("REPRO_STORAGE", ("tier", "memory")),
 }
 
 
 @dataclass(frozen=True)
 class ParityConfig:
-    """A snapshot of all four parity switches.
+    """A snapshot of all parity switches.
 
     Instances are immutable values — :func:`current` materializes one
     from the live override stack + environment, and :func:`parity`
@@ -62,6 +63,7 @@ class ParityConfig:
     cost: str = "batch"
     catalog: str = "catalog"
     incr: str = "delta"
+    storage: str = "tier"
 
     def __post_init__(self) -> None:
         for field, (_env, allowed) in PARITY_FIELDS.items():
@@ -95,7 +97,8 @@ def mode(field: str) -> str:
     Parameters
     ----------
     field : str
-        One of ``"ledger"``, ``"cost"``, ``"catalog"``, ``"incr"``.
+        One of ``"ledger"``, ``"cost"``, ``"catalog"``, ``"incr"``,
+        ``"storage"``.
 
     Raises
     ------

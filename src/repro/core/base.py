@@ -333,6 +333,66 @@ class ElasticPartitioner(ABC):
             placements[ref] = self.place(ref, size_bytes)
         return placements
 
+    def adopt_batch(
+        self,
+        entries: Sequence[Tuple[ChunkRef, float, NodeId]],
+    ) -> None:
+        """Re-register recorded placements verbatim (restart recovery).
+
+        The out-of-core tier persists each chunk's payload *and* its
+        owning node; rebooting a cluster from segment directories must
+        restore exactly those placements — :meth:`place_batch` would
+        choose fresh nodes and disagree with where the bytes physically
+        live.  Adoption commits the recorded ``(ref, size, node)``
+        triples straight to the ledger, then lets the scheme rebuild
+        what private state it can via :meth:`_adopt_batch`.
+
+        Only valid on an empty partitioner whose node set covers every
+        recorded node.  Schemes whose placement depends on unrecoverable
+        side state (arrival order, hash-bucket history) accept adopted
+        chunks for lookup/remove/query purposes but may place *future*
+        chunks differently than the original process would have — the
+        recovered cluster is consistent, not history-identical.
+        """
+        if self.chunk_count:
+            raise PartitioningError(
+                f"{self.name} already tracks {self.chunk_count} chunks; "
+                "adoption requires an empty partitioner"
+            )
+        first_sizes: Dict[ChunkRef, float] = {}
+        commit_nodes: List[NodeId] = []
+        has_node = self._ledger.has_node
+        for ref, size_bytes, node in entries:
+            if size_bytes < 0:
+                raise PartitioningError(
+                    f"negative chunk size {size_bytes} for {ref}"
+                )
+            if not has_node(node):
+                raise PartitioningError(
+                    f"recovered chunk {ref} belongs to unknown "
+                    f"node {node}"
+                )
+            if ref in first_sizes:
+                raise PartitioningError(
+                    f"duplicate chunk {ref} in adoption batch"
+                )
+            first_sizes[ref] = float(size_bytes)
+            commit_nodes.append(node)
+        self._ledger.commit_batch(first_sizes, commit_nodes, [])
+        self._adopt_batch(entries)
+
+    def _adopt_batch(
+        self,
+        entries: Sequence[Tuple[ChunkRef, float, NodeId]],
+    ) -> None:
+        """Subclass hook: rebuild scheme-private state after adoption.
+
+        Called after the base ledger holds every adopted chunk.  The
+        default is a no-op — correct for schemes whose placement is a
+        pure function of the ledger; schemes with side tables override
+        it to rebuild what the recorded placements imply.
+        """
+
     def remove(self, ref: ChunkRef) -> NodeId:
         """Drop a chunk from the ledger (deletion / expiry).
 

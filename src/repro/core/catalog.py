@@ -486,19 +486,27 @@ class ArraySnapshot:
     ) -> Optional[Tuple[np.ndarray, Dict[str, np.ndarray]]]:
         """Serve through the live catalog cache if still at our epoch.
 
-        The delegation is validated after the fact: if a content
-        mutation lands while the shared-path concatenation runs, the
-        result may post-date the pin, so it is discarded and the caller
-        falls back to the frozen handles.  Torn reads mid-mutation can
-        also raise from the live gather — same fallback.
+        The delegation is validated against the mutation seqlock, not
+        just the payload epoch: mutators swap payload handles *before*
+        bumping the epoch, so an epoch check alone would accept a
+        concatenation that read a post-pin merged handle (or a torn
+        cache entry installed mid-mutation) as the pinned bytes.  Any
+        overlap with an in-flight mutation — seq odd at entry, or moved
+        during the gather — discards the result and the caller falls
+        back to the frozen handles.  Torn reads that raise from the
+        live gather take the same fallback.
         """
         if check_epoch() != self.payload_epoch:
+            return None
+        cat = self._catalog
+        seq = cat._write_seq
+        if seq & 1:
             return None
         try:
             result = compute()
         except Exception:
             return None
-        if check_epoch() != self.payload_epoch:
+        if cat._write_seq != seq:
             return None
         return result
 

@@ -146,6 +146,16 @@ class ExtendibleHashPartitioner(ElasticPartitioner):
         bucket.members.discard(ref)
         bucket.bytes -= size_bytes
 
+    def _adopt_batch(self, entries) -> None:
+        # Rebuild bucket membership so ``bucket.bytes == sum of member
+        # ledger sizes`` holds for adopted chunks (removes and merges
+        # debit/credit buckets).  The directory itself restarts at its
+        # initial depth — bucket→node history is not persisted.
+        for ref, size, _node in entries:
+            bucket = self.bucket_for(ref)
+            bucket.members.add(ref)
+            bucket.bytes += float(size)
+
     def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
         moves: List[Move] = []
         preexisting = [

@@ -57,6 +57,14 @@ class RoundRobinPartitioner(ElasticPartitioner):
     def _forget(self, ref, size_bytes, node) -> None:
         self._ordinal.pop(ref, None)
 
+    def _adopt_batch(self, entries) -> None:
+        # Arrival order is not persisted; re-assign ordinals in the
+        # (deterministic) adoption order so post-recovery scale-outs
+        # reshuffle every adopted chunk consistently.
+        for ref, _size, _node in entries:
+            self._ordinal[ref] = self._counter
+            self._counter += 1
+
     def _extend(self, new_nodes: Sequence[NodeId]) -> List[Move]:
         # Recompute i mod k for every chunk under the new node count; any
         # chunk whose slot changes moves — typically (k-1)/k of the data.

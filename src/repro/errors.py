@@ -25,6 +25,15 @@ class StorageError(ReproError):
     """Raised by node-local chunk stores (duplicate keys, capacity, ...)."""
 
 
+class SegmentCorruptError(StorageError):
+    """Raised when an on-disk segment or manifest fails validation.
+
+    A truncated file, a bad magic, a checksum mismatch, or offsets that
+    fall outside the file all raise this — loudly — instead of letting a
+    torn write surface as a silently wrong query answer.
+    """
+
+
 class PartitioningError(ReproError):
     """Raised when a partitioner is misused or reaches an invalid state."""
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-from repro.cluster.cluster import ElasticCluster
+from repro.cluster.cluster import ElasticCluster, TieredStorage
 from repro.cluster.costs import DEFAULT_COSTS, GB, CostParameters
 from repro.cluster.metrics import CycleMetrics, RunMetrics
 from repro.core.provisioner import LeadingStaircase
@@ -44,6 +44,9 @@ class RunConfig:
             ingest-only experiments like Figure 4).
         virtual_nodes / tree_height: partitioner-specific knobs.
         costs: simulation cost constants.
+        storage: optional tiered-storage root — when set, every node
+            spills cold payloads to segment files under it and keeps a
+            byte-budgeted LRU of hot chunks (out-of-core runs).
     """
 
     partitioner: str
@@ -55,6 +58,7 @@ class RunConfig:
     virtual_nodes: int = 64
     tree_height: int = 8
     costs: CostParameters = field(default_factory=lambda: DEFAULT_COSTS)
+    storage: Optional[TieredStorage] = None
 
 
 class ExperimentRunner:
@@ -107,6 +111,7 @@ class ExperimentRunner:
             node_capacity_bytes=capacity,
             costs=cfg.costs,
             provisioner=provisioner,
+            storage=cfg.storage,
         )
 
     # ------------------------------------------------------------------

@@ -890,6 +890,33 @@ def charge_network(
     return add_network_work(acc, bytes_by_node, costs)
 
 
+def charge_io(
+    acc: CostAccumulator,
+    io_by_node: Mapping[int, float],
+    costs: CostParameters,
+) -> float:
+    """Charge tiered-storage fault/spill bytes as disk seconds.
+
+    ``io_by_node`` is the ``node -> bytes`` map drained from the
+    cluster's spill tiers (:meth:`ElasticCluster.drain_io`): real bytes
+    the LRU moved between memory and segment files while the query ran.
+    Each node is charged ``costs.io_time`` over its bytes — the same
+    ``δ``-per-GB disk term §5.2 uses for rebalance I/O — so an
+    out-of-core run's latency reflects its cache misses instead of
+    pretending every chunk was resident.
+
+    Returns
+    -------
+    float
+        Total tier bytes moved (read + written, all nodes).
+    """
+    total = 0.0
+    for node, nbytes in io_by_node.items():
+        acc.add_one(node, costs.io_time(nbytes))
+        total += nbytes
+    return total
+
+
 # ----------------------------------------------------------------------
 # the elapsed-time reduction
 # ----------------------------------------------------------------------

@@ -45,6 +45,7 @@ from repro.cluster.session import (
     SnapshotRaceError,
     ensure_session,
 )
+from repro.query.cost import CostAccumulator, charge_io
 from repro.query.result import QueryResult
 
 T = TypeVar("T")
@@ -80,7 +81,7 @@ class Query(ABC):
         sanctioned surface) or, deprecated, a raw cluster — wrapped in a
         single-query session with a :class:`DeprecationWarning`.
         """
-        return self._run(ensure_session(cluster), cycle)
+        return _run_charged(self, ensure_session(cluster), cycle)
 
     @abstractmethod
     def _run(self, cluster: ClusterSession, cycle: int) -> QueryResult:
@@ -88,6 +89,48 @@ class Query(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name})"
+
+
+def _run_charged(
+    query: Query,
+    session: ClusterSession,
+    cycle: int,
+) -> QueryResult:
+    """Run one query and fold the spill tier's real I/O into its cost.
+
+    Tiered nodes count every byte the LRU faults in from (or writes
+    through to) segment files.  Those counters are *drained* here: reset
+    before the query runs (scoping out ingest-side spill traffic), read
+    after, priced with :func:`~repro.query.cost.charge_io`, and merged
+    into the result's per-node busy time and elapsed latency.  Untiered
+    clusters (and ``REPRO_STORAGE=memory``) drain an empty map, so this
+    wrapper is a no-op for them and the modeled timings are unchanged.
+
+    The drain is keyed to the session's node set — a concurrent
+    scale-out may add nodes mid-query, and their ingest I/O belongs to
+    the ingest, not to us.  Under :class:`ConcurrentExecutor` several
+    queries share the cluster-wide counters, so per-query attribution is
+    approximate there (total charged bytes are still conserved).
+    """
+    cluster = session.cluster
+    cluster.drain_io()
+    result = query._run(session, cycle)
+    io = cluster.drain_io()
+    if not io:
+        return result
+    node_ids = session.node_ids
+    io = {n: b for n, b in io.items() if n in set(node_ids)}
+    if not io:
+        return result
+    acc = CostAccumulator(node_ids)
+    total = charge_io(acc, io, cluster.costs)
+    for node, seconds in acc.as_dict().items():
+        result.per_node_seconds[node] = (
+            result.per_node_seconds.get(node, 0.0) + seconds
+        )
+    result.elapsed_seconds += acc.max_seconds()
+    result.io_bytes += total
+    return result
 
 
 def map_chunks(
@@ -138,7 +181,7 @@ def run_suite(
     )
     results = []
     for query in queries:
-        results.append(query._run(session, cycle))
+        results.append(_run_charged(query, session, cycle))
     return results
 
 
@@ -201,7 +244,7 @@ class ConcurrentExecutor:
             attempts += 1
             session = self._cluster.session()
             try:
-                result = query._run(session, cycle)
+                result = _run_charged(query, session, cycle)
             except SnapshotRaceError as exc:
                 last = exc
                 continue

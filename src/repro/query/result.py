@@ -18,6 +18,9 @@ class QueryResult:
         per_node_seconds: simulated busy time per node (I/O + CPU + NIC).
         network_bytes: total bytes shuffled between nodes.
         scanned_bytes: total modeled bytes read from disk.
+        io_bytes: real tier bytes (spill faults + write-through) moved
+            by the storage LRU while this query ran; 0.0 on untiered
+            clusters and in ``REPRO_STORAGE=memory`` mode.
     """
 
     name: str
@@ -27,6 +30,7 @@ class QueryResult:
     per_node_seconds: Dict[int, float] = field(default_factory=dict)
     network_bytes: float = 0.0
     scanned_bytes: float = 0.0
+    io_bytes: float = 0.0
 
     @property
     def parallelism(self) -> float:

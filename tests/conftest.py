@@ -5,10 +5,63 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.arrays import Box, ChunkRef, parse_schema
+from repro.arrays import Box, ChunkRef, DiskIO, parse_schema
 from repro.cluster import CostParameters, ElasticCluster, GB
 from repro.core import make_partitioner
 from repro.workloads import AisWorkload, ModisWorkload
+
+
+class FaultyIO(DiskIO):
+    """A :class:`DiskIO` that injects failures at chosen operations.
+
+    Operations are counted from 1 in call order, separately per kind:
+
+    * ``fail_write_at=n`` — the n-th :meth:`write_file` (segment files
+      *and* manifest flushes both funnel through it) raises ``OSError``
+      before touching the disk.
+    * ``fail_read_at=n`` — the n-th :meth:`map_segment` raises
+      ``OSError``.
+    * ``truncate_read_at=n`` — the n-th :meth:`map_segment` returns
+      only the first half of the file (a short read), which the
+      segment validator must reject as corruption.
+
+    The counters stay live after a failure fires, so one instance can
+    model exactly-one transient fault; construct a new instance per
+    scenario.
+    """
+
+    def __init__(
+        self,
+        fail_write_at=None,
+        fail_read_at=None,
+        truncate_read_at=None,
+    ):
+        self.fail_write_at = fail_write_at
+        self.fail_read_at = fail_read_at
+        self.truncate_read_at = truncate_read_at
+        self.write_calls = 0
+        self.read_calls = 0
+
+    def write_file(self, path, data):
+        self.write_calls += 1
+        if self.write_calls == self.fail_write_at:
+            raise OSError(f"injected write failure #{self.write_calls}")
+        super().write_file(path, data)
+
+    def map_segment(self, path):
+        self.read_calls += 1
+        if self.read_calls == self.fail_read_at:
+            raise OSError(f"injected read failure #{self.read_calls}")
+        data = super().map_segment(path)
+        if self.read_calls == self.truncate_read_at:
+            return data[: len(data) // 2]
+        return data
+
+
+@pytest.fixture
+def faulty_io():
+    """Factory for :class:`FaultyIO` instances (one per fault scenario)."""
+    return FaultyIO
 
 
 @pytest.fixture(scope="session")
@@ -40,7 +93,7 @@ def grid3d():
 
 
 def make_cluster(partitioner_name, grid, nodes=2, capacity_gb=100.0,
-                 **kwargs):
+                 storage=None, **kwargs):
     """Build a small ElasticCluster for one partitioner."""
     partitioner = make_partitioner(
         partitioner_name,
@@ -53,6 +106,7 @@ def make_cluster(partitioner_name, grid, nodes=2, capacity_gb=100.0,
         partitioner,
         node_capacity_bytes=capacity_gb * GB,
         costs=CostParameters(),
+        storage=storage,
     )
 
 

@@ -378,6 +378,105 @@ class TestThreadedSnapshotReads:
         assert not violations
         cluster.check_consistency()
 
+    def test_spill_churn_readers_stay_byte_stable(self, tmp_path):
+        """Reader sessions racing the LRU's evict/load churn (ISSUE-8).
+
+        A tiny per-node memory budget keeps the spill tier thrashing —
+        every snapshot read faults cold chunks back in while a mutator
+        thread's puts and removals evict and retire handles under the
+        same tier locks.  Pinned reads must stay byte-stable throughout
+        (retired handles are materialized on exit, so even a chunk
+        removed mid-session answers from its pinned snapshot), and the
+        LRU must come out of the storm with its accounting green.
+        """
+        from repro import config
+        from repro.cluster import TieredStorage
+
+        if config.mode("storage") == "memory":
+            pytest.skip(
+                "spill churn needs the disk tier "
+                "REPRO_STORAGE=memory disables"
+            )
+
+        partitioner = make_partitioner(
+            "round_robin", [0, 1], grid=GRID,
+            node_capacity_bytes=1000 * GB,
+        )
+        cluster = ElasticCluster(
+            partitioner, 1000 * GB, costs=CostParameters(),
+            ledger_compact_ratio=0.3,
+            storage=TieredStorage(
+                root=str(tmp_path / "tiers"),
+                memory_budget_bytes=25.0,
+            ),
+        )
+        rng = np.random.default_rng(23)
+        live = {}
+
+        def ingest_batch():
+            batch = {}
+            for _ in range(10):
+                array = "AB"[int(rng.integers(0, 2))]
+                key = _random_key(rng, array)
+                batch[(array, key)] = _chunk(
+                    array, key, float(rng.lognormal(2, 1)),
+                    float(rng.normal()),
+                )
+            cluster.ingest(list(batch.values()))
+            for k, chunk in batch.items():
+                live[k] = chunk.ref()
+
+        ingest_batch()
+        stop = threading.Event()
+        mutator_error = []
+
+        def mutate():
+            try:
+                for step in range(40):
+                    if stop.is_set():
+                        break
+                    ingest_batch()
+                    if step % 2 == 1 and len(live) > 12:
+                        picks = [list(live)[i] for i in range(6)]
+                        cluster.remove_chunks(
+                            [live.pop(p) for p in picks]
+                        )
+            except Exception as exc:  # pragma: no cover - failure path
+                mutator_error.append(exc)
+
+        violations = []
+
+        def read(worker):
+            try:
+                for _ in range(10):
+                    session = cluster.session().pin(["A", "B"])
+                    first = _fingerprint(session)
+                    _drop_memos(session)
+                    if _fingerprint(session) != first:
+                        violations.append(worker)
+            except Exception as exc:  # pragma: no cover - failure path
+                violations.append(exc)
+
+        mutator = threading.Thread(target=mutate)
+        readers = [
+            threading.Thread(target=read, args=(i,)) for i in range(4)
+        ]
+        mutator.start()
+        for r in readers:
+            r.start()
+        for r in readers:
+            r.join()
+        stop.set()
+        mutator.join()
+        assert not mutator_error
+        assert not violations
+        cluster.check_consistency()  # tier audits included
+        stats = cluster.storage_stats()
+        assert sum(s["fault_count"] for s in stats.values()) > 0
+        assert sum(s["eviction_count"] for s in stats.values()) > 0
+        for s in stats.values():
+            assert s["resident_bytes"] <= 25.0 + 1e-6
+
     def test_payload_cache_concurrent_hits_and_evictions(self):
         cluster = _make_cluster()
         catalog = cluster.catalog

@@ -1,0 +1,92 @@
+"""Table 3 calibration — fit cost constants from live worker runs.
+
+Where ``bench_table3_cost_model.py`` *applies* the paper's Table 3
+constants, this harness *derives* them the way §6.2.2 did: it spawns
+real worker processes (:mod:`repro.parallel`), times the scan / I/O /
+shuffle microbenches at several payload sizes, correlates the measured
+wall-clock against the :class:`~repro.query.cost.CostAccumulator`
+charges for the identical work, and fits seconds-per-byte rates the
+simulator can consume via ``REPRO_COST_*`` environment exports.
+
+The measured-vs-modeled Pearson correlation is the regression gate:
+the run **fails (exit 1)** when the scan or shuffle correlation drops
+below ``--min-corr`` (default 0.8) — a linear cost model that stops
+tracking the real transport is a bug, not noise.
+
+Usage::
+
+    python benchmarks/bench_table3_calibration.py [--smoke]
+        [--trials N] [--min-corr R] [--out report.json | --out -]
+
+``--smoke`` selects the small payload ladder (the CI leg); ``--out``
+writes the full JSON report (``-`` prints it to stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness import table3_calibration  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small payload ladder (the quick CI leg)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=3,
+        help="timed repetitions per probe; the minimum is kept",
+    )
+    parser.add_argument(
+        "--min-corr", type=float, default=0.8,
+        help="fail when scan or shuffle correlation drops below this",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the JSON report here ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    result = table3_calibration(smoke=args.smoke, trials=args.trials)
+    print(result.render())
+
+    if args.out:
+        payload = json.dumps(
+            result.as_dict(), indent=2, sort_keys=False
+        ) + "\n"
+        if args.out == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.out, "w") as fh:
+                fh.write(payload)
+            print(f"wrote {args.out}")
+
+    failed = [
+        kind
+        for kind in ("scan", "shuffle")
+        if not result.correlations.get(kind, 0.0) >= args.min_corr
+    ]
+    if failed:
+        print(
+            f"FAIL: correlation below {args.min_corr} for: "
+            + ", ".join(
+                f"{k}={result.correlations.get(k)!r}" for k in failed
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ store-walk reads as a parity oracle.
 from __future__ import annotations
 
 import os
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,7 +41,7 @@ from repro.cluster.coordinator import (
     execute_rebalance,
     execute_remove,
 )
-from repro.cluster.costs import DEFAULT_COSTS, CostParameters
+from repro.cluster.costs import CostParameters
 from repro.cluster.metrics import relative_std
 from repro.cluster.node import Node
 from repro.core.base import ElasticPartitioner
@@ -104,7 +105,9 @@ class ElasticCluster:
         partitioner: the placement algorithm; its node set must equal the
             initial node ids.
         node_capacity_bytes: capacity ``c`` of every (homogeneous) node.
-        costs: simulation cost constants.
+        costs: simulation cost constants; when omitted they come from
+            :meth:`CostParameters.from_env`, so calibration-fitted
+            ``REPRO_COST_*`` exports flow into every run.
         provisioner: optional leading staircase.  When present,
             :meth:`ingest` runs the control loop before inserting; when
             absent, use :meth:`scale_out` to add nodes manually (the fixed
@@ -122,13 +125,15 @@ class ElasticCluster:
         self,
         partitioner: ElasticPartitioner,
         node_capacity_bytes: float,
-        costs: CostParameters = DEFAULT_COSTS,
+        costs: Optional[CostParameters] = None,
         provisioner: Optional[LeadingStaircase] = None,
         ledger_compact_ratio: Optional[float] = 0.5,
         storage: Optional[TieredStorage] = None,
     ) -> None:
         if node_capacity_bytes <= 0:
             raise ClusterError("node capacity must be positive")
+        if costs is None:
+            costs = CostParameters.from_env()
         if ledger_compact_ratio is not None and not (
             0.0 <= ledger_compact_ratio <= 1.0
         ):
@@ -152,6 +157,9 @@ class ElasticCluster:
         }
         self._next_node_id = max(self.nodes) + 1
         self.coordinator_id = min(self.nodes)
+        # Lazily-spawned process-parallel backend (``REPRO_EXEC=process``).
+        self._exec_engine = None
+        self._exec_finalizer = None
         #: The cluster-wide columnar chunk index; maintained by every
         #: mutation regardless of the read-path mode.
         self.catalog = ChunkCatalog()
@@ -180,7 +188,7 @@ class ElasticCluster:
         partitioner: ElasticPartitioner,
         node_capacity_bytes: float,
         storage: TieredStorage,
-        costs: CostParameters = DEFAULT_COSTS,
+        costs: Optional[CostParameters] = None,
         provisioner: Optional[LeadingStaircase] = None,
         ledger_compact_ratio: Optional[float] = 0.5,
     ) -> "ElasticCluster":
@@ -471,6 +479,37 @@ class ElasticCluster:
         from repro.cluster.session import ClusterSession
 
         return ClusterSession(self)
+
+    def exec_backend(self):
+        """The process-parallel engine, or ``None`` when in-process.
+
+        Under ``REPRO_EXEC=process`` the first call lazily spawns one
+        worker process per node
+        (:class:`repro.parallel.engine.ProcessEngine`), and *every* call
+        re-syncs worker-resident chunk payloads to the current catalog
+        epoch, so reads that follow see exactly this cluster state.  A
+        finalizer reaps the workers when the cluster is collected;
+        :meth:`close_exec` does so deterministically.
+        """
+        if parity_mode("exec") != "process":
+            return None
+        if self._exec_engine is None:
+            from repro.parallel.engine import ProcessEngine
+
+            engine = ProcessEngine()
+            self._exec_engine = engine
+            self._exec_finalizer = weakref.finalize(
+                self, engine.shutdown
+            )
+        self._exec_engine.sync(self)
+        return self._exec_engine
+
+    def close_exec(self) -> None:
+        """Shut down the process-parallel workers (no-op when none)."""
+        if self._exec_finalizer is not None:
+            self._exec_finalizer()
+            self._exec_finalizer = None
+        self._exec_engine = None
 
     def drain_io(self) -> Dict[int, float]:
         """Per-node tier I/O bytes (faults + write-through) since the

@@ -13,12 +13,25 @@ same minutes-range as the paper's testbed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
 
 from repro.errors import ClusterError
 
 #: One gigabyte, in bytes (decimal, as storage vendors and the paper use).
 GB = 1e9
+
+#: Environment override → dataclass field, in **seconds per byte** (the
+#: unit the calibration harness fits); values are converted to the
+#: per-GB fields internally.  ``SCAN`` is the per-byte operator compute
+#: of a scan charge (the ``cpu`` term), ``IO`` the paper's ``δ``,
+#: ``NETWORK`` its ``t``.
+ENV_COST_OVERRIDES = {
+    "REPRO_COST_SCAN_S_PER_B": "cpu_seconds_per_gb",
+    "REPRO_COST_IO_S_PER_B": "io_seconds_per_gb",
+    "REPRO_COST_NETWORK_S_PER_B": "network_seconds_per_gb",
+}
 
 
 @dataclass(frozen=True)
@@ -80,6 +93,46 @@ class CostParameters:
     def cpu_time(self, size_bytes: float, intensity: float = 1.0) -> float:
         """Seconds of compute over ``size_bytes`` at a given intensity."""
         return size_bytes / GB * self.cpu_seconds_per_gb * intensity
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(
+        cls,
+        base: Optional["CostParameters"] = None,
+        environ: Optional[Mapping[str, str]] = None,
+    ) -> "CostParameters":
+        """Build parameters with per-byte overrides from the environment.
+
+        The calibration harness (:mod:`repro.parallel.calibrate`) fits
+        seconds-per-**byte** rates from live worker runs and emits them
+        as ``REPRO_COST_SCAN_S_PER_B`` / ``REPRO_COST_IO_S_PER_B`` /
+        ``REPRO_COST_NETWORK_S_PER_B`` exports.  This constructor closes
+        the loop: any of those that are set replace the corresponding
+        field of ``base`` (default :class:`CostParameters`) after
+        conversion to the per-GB unit the model uses.  Unset variables
+        leave the base value untouched.
+
+        Raises
+        ------
+        ClusterError
+            If a set variable does not parse as a float (negative values
+            are rejected by ``__post_init__`` as usual).
+        """
+        env = os.environ if environ is None else environ
+        changes = {}
+        for var, field in ENV_COST_OVERRIDES.items():
+            raw = env.get(var)
+            if raw is None or not raw.strip():
+                continue
+            try:
+                per_byte = float(raw)
+            except ValueError:
+                raise ClusterError(
+                    f"{var}={raw!r} is not a valid seconds-per-byte float"
+                ) from None
+            changes[field] = per_byte * GB
+        base = cls() if base is None else base
+        return replace(base, **changes) if changes else base
 
 
 #: Default cost parameters shared by the harness and benchmarks.

@@ -69,7 +69,7 @@ import numpy as np
 
 from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.arrays.coords import Box
-from repro.core.catalog import ArraySnapshot, CatalogDelta
+from repro.core.catalog import ArraySnapshot, CatalogDelta, concat_payload
 from repro.errors import ClusterError
 
 
@@ -137,6 +137,18 @@ class ClusterSession:
     def session(self) -> "ClusterSession":
         """This session (so suite entry points accept either surface)."""
         return self
+
+    def _engine(self):
+        """The cluster's synced process backend, or ``None`` in-process.
+
+        ``None`` both under ``REPRO_EXEC=inprocess`` and when the
+        target predates :meth:`ElasticCluster.exec_backend` (duck-typed
+        cluster doubles in tests).
+        """
+        backend = getattr(self._cluster, "exec_backend", None)
+        if backend is None:
+            return None
+        return backend()
 
     # -- pinning -------------------------------------------------------
     def _admit(self, snap: ArraySnapshot) -> ArraySnapshot:
@@ -296,8 +308,20 @@ class ClusterSession:
         attrs: Sequence[str],
         ndim: int = 0,
     ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
-        """Pinned concatenated cell table of one whole array."""
-        return self.snapshot_of(array).payload(attrs, ndim)
+        """Pinned concatenated cell table of one whole array.
+
+        Under ``REPRO_EXEC=process`` the bytes are gathered from the
+        worker processes holding the chunks; a pin the workers no
+        longer serve (a mutation landed since) answers locally from
+        the frozen snapshot handles, byte-identically.
+        """
+        snap = self.snapshot_of(array)
+        engine = self._engine()
+        if engine is not None:
+            gathered = engine.gather_pairs(snap.pairs(), attrs, ndim)
+            if gathered is not None:
+                return gathered
+        return snap.payload(attrs, ndim)
 
     def payload_in_region(
         self,
@@ -306,10 +330,53 @@ class ClusterSession:
         attrs: Sequence[str],
         ndim: int = 0,
     ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
-        """Pinned cell table of one array clipped to ``region``."""
-        return self.snapshot_of(array).payload_in_region(
-            region, attrs, ndim
-        )
+        """Pinned cell table of one array clipped to ``region``.
+
+        The process backend gathers the touched chunks from their
+        workers and applies the same half-open region mask the
+        snapshot fallback uses, so both paths return identical bytes.
+        """
+        snap = self.snapshot_of(array)
+        engine = self._engine()
+        if engine is not None:
+            gathered = engine.gather_pairs(
+                snap.pairs_in_region(region), attrs, ndim
+            )
+            if gathered is not None:
+                coords, values = gathered
+                if coords.shape[0]:
+                    mask = np.ones(coords.shape[0], dtype=bool)
+                    for d in range(len(region.lo)):
+                        mask &= coords[:, d] >= region.lo[d]
+                        mask &= coords[:, d] < region.hi[d]
+                    coords = coords[mask]
+                    values = {a: v[mask] for a, v in values.items()}
+                return coords, values
+        return snap.payload_in_region(region, attrs, ndim)
+
+    def gather_payload(
+        self,
+        pairs: Sequence[Tuple[ChunkData, int]],
+        attrs: Sequence[str],
+        ndim: int = 0,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Concatenated cell table of explicit ``(chunk, node)`` pairs.
+
+        The query kernels' scatter/gather entry point: under
+        ``REPRO_EXEC=process`` the payload bytes of each pair travel
+        from the worker process owning that node (one shared-memory
+        frame per node); in-process — or when a pinned pair is no
+        longer worker-resident — it is a local concatenation over the
+        same handles in the same order, so the backends agree
+        byte-for-byte.
+        """
+        pairs = list(pairs)
+        engine = self._engine()
+        if engine is not None:
+            gathered = engine.gather_pairs(pairs, attrs, ndim)
+            if gathered is not None:
+                return gathered
+        return concat_payload([c for c, _ in pairs], attrs, ndim)
 
     def deltas_since(self, array: str, epoch: int) -> CatalogDelta:
         """Pinned content mutations after ``epoch`` (log end frozen)."""

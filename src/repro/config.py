@@ -47,6 +47,7 @@ PARITY_FIELDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "catalog": ("REPRO_CATALOG", ("catalog", "scan")),
     "incr": ("REPRO_INCR", ("delta", "full")),
     "storage": ("REPRO_STORAGE", ("tier", "memory")),
+    "exec": ("REPRO_EXEC", ("inprocess", "process")),
 }
 
 
@@ -64,6 +65,7 @@ class ParityConfig:
     catalog: str = "catalog"
     incr: str = "delta"
     storage: str = "tier"
+    exec: str = "inprocess"
 
     def __post_init__(self) -> None:
         for field, (_env, allowed) in PARITY_FIELDS.items():
@@ -98,7 +100,7 @@ def mode(field: str) -> str:
     ----------
     field : str
         One of ``"ledger"``, ``"cost"``, ``"catalog"``, ``"incr"``,
-        ``"storage"``.
+        ``"storage"``, ``"exec"``.
 
     Raises
     ------

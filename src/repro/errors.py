@@ -50,6 +50,22 @@ class QueryError(ReproError):
     """Raised by the query engine for unsatisfiable or invalid queries."""
 
 
+class WorkerFailedError(ClusterError):
+    """A worker process backing a node died, hung, or lost its channel.
+
+    Raised by the process-parallel execution backend
+    (:mod:`repro.parallel`) when a request to a node's worker cannot
+    complete: the process was killed, stopped replying within the
+    request timeout, or its control pipe broke.  Carries the node id so
+    callers can report *which* node failed instead of surfacing a raw
+    pickle traceback or deadlocking on a join.
+    """
+
+    def __init__(self, node_id: int, message: str) -> None:
+        super().__init__(f"worker for node {node_id}: {message}")
+        self.node_id = node_id
+
+
 class ConfigError(ReproError):
     """Raised by :mod:`repro.config` for unknown parity fields/modes."""
 

@@ -1,0 +1,346 @@
+"""Table-3-style cost-model calibration against live worker runs.
+
+The paper derives its cost constants (``δ`` I/O and ``t`` network
+seconds per GB, §6.2.2 / Table 3) by measuring its testbed.  This
+module closes the same loop for the reproduction: it drives the
+process-parallel backend through three microbench kinds at several
+payload sizes, times the real wall-clock, prices the identical work
+with :class:`~repro.query.cost.CostAccumulator` charges, and reports
+
+* the **Pearson correlation** between measured and modeled per-node
+  seconds for each kind (the regression-tested figure of merit), and
+* **fitted seconds-per-byte rates** (least-squares byte slopes of the
+  measured times) that :meth:`CostParameters.from_env` can feed back
+  into simulated runs via ``REPRO_COST_*`` environment exports.
+
+Microbench kinds
+----------------
+``io``
+    Scatter: the engine ships a payload blob into a worker
+    (:meth:`~repro.parallel.engine.ProcessEngine.store_blob`); modeled
+    as one :meth:`~repro.cluster.costs.CostParameters.io_time` charge
+    on the receiving node.
+``scan``
+    The worker packs a resident payload and the engine copies it out
+    (:meth:`~repro.parallel.engine.ProcessEngine.fetch_blob`); modeled
+    as an I/O charge plus an intensity-1 CPU charge on the owner.
+``shuffle``
+    One repartition leg between two workers relayed through the
+    coordinator
+    (:meth:`~repro.parallel.engine.ProcessEngine.relay_blob`); modeled
+    as the endpoint-pair network charge.
+
+Measured times take the **minimum over repeated trials** (classic
+microbench denoising — the minimum estimates the noise-free cost), and
+the fitted CPU rate is the scan slope net of the I/O slope, clamped at
+zero, mirroring how the model composes a scan charge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.costs import GB, CostParameters
+from repro.errors import ClusterError
+from repro.query.cost import CostAccumulator
+
+#: Payload sizes (bytes) of the quick CI leg and the full run.
+SMOKE_SIZES = (1 << 16, 1 << 19, 1 << 22)
+FULL_SIZES = (1 << 17, 1 << 19, 1 << 21, 1 << 23)
+
+#: Fitted-rate → environment variable, matching
+#: :data:`repro.cluster.costs.ENV_COST_OVERRIDES`.
+_ENV_BY_RATE = {
+    "io": "REPRO_COST_IO_S_PER_B",
+    "network": "REPRO_COST_NETWORK_S_PER_B",
+    "scan": "REPRO_COST_SCAN_S_PER_B",
+}
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured-vs-modeled calibration of the process backend.
+
+    Attributes:
+        samples: one record per (kind, node, size) probe —
+            ``{"kind", "node", "bytes", "measured_s", "modeled_s"}``.
+        correlations: per-kind Pearson r between measured and modeled
+            seconds across sizes and nodes.
+        slopes: per-kind fitted measured seconds-per-**byte**.
+        rates: fitted model rates in seconds-per-byte —
+            ``io``, ``network``, and ``scan`` (CPU term of a scan,
+            i.e. scan slope net of I/O, clamped at zero).
+        trials: trials per probe (minimum taken).
+        costs: the cost parameters the modeled seconds were priced with.
+    """
+
+    samples: List[dict] = field(default_factory=list)
+    correlations: Dict[str, float] = field(default_factory=dict)
+    slopes: Dict[str, float] = field(default_factory=dict)
+    rates: Dict[str, float] = field(default_factory=dict)
+    trials: int = 1
+    costs: CostParameters = CostParameters()
+
+    def fitted_costs(
+        self, base: Optional[CostParameters] = None
+    ) -> CostParameters:
+        """Cost parameters with the fitted rates substituted in."""
+        return CostParameters.from_env(
+            base=base if base is not None else self.costs,
+            environ=self.env_exports(),
+        )
+
+    def env_exports(self) -> Dict[str, str]:
+        """``REPRO_COST_*`` values that feed the fit back into runs."""
+        return {
+            _ENV_BY_RATE[name]: f"{rate:.6e}"
+            for name, rate in sorted(self.rates.items())
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (bench reports embed this verbatim)."""
+        return {
+            "trials": self.trials,
+            "correlations": {
+                k: round(v, 6) for k, v in sorted(
+                    self.correlations.items()
+                )
+            },
+            "fitted_seconds_per_byte": {
+                k: float(f"{v:.6e}") for k, v in sorted(
+                    self.rates.items()
+                )
+            },
+            "env_exports": self.env_exports(),
+            "samples": self.samples,
+        }
+
+    def render(self) -> str:
+        """Human-readable calibration summary."""
+        lines = [
+            "Table 3 calibration (process backend, "
+            f"min of {self.trials} trials)",
+            "",
+            "kind     samples  corr(measured, modeled)  fitted s/B",
+        ]
+        fitted = {
+            "io": self.rates.get("io"),
+            "scan": self.rates.get("scan"),
+            "shuffle": self.rates.get("network"),
+        }
+        for kind in ("io", "scan", "shuffle"):
+            n = sum(1 for s in self.samples if s["kind"] == kind)
+            corr = self.correlations.get(kind, float("nan"))
+            rate = fitted.get(kind)
+            rate_s = f"{rate:.3e}" if rate is not None else "-"
+            lines.append(
+                f"{kind:<8} {n:>7}  {corr:>23.4f}  {rate_s:>10}"
+            )
+        lines.append("")
+        lines.append(
+            "env exports: "
+            + " ".join(
+                f"{k}={v}" for k, v in sorted(
+                    self.env_exports().items()
+                )
+            )
+        )
+        return "\n".join(lines)
+
+
+def _byte_slope(nbytes: np.ndarray, seconds: np.ndarray) -> float:
+    """Least-squares seconds-per-byte slope (clamped at zero)."""
+    x = nbytes.astype(np.float64)
+    y = seconds.astype(np.float64)
+    var = np.var(x)
+    if var == 0:
+        return 0.0
+    slope = float(np.cov(x, y, bias=True)[0, 1] / var)
+    return max(slope, 0.0)
+
+
+def _pearson(a: np.ndarray, b: np.ndarray) -> float:
+    if a.size < 2 or np.std(a) == 0 or np.std(b) == 0:
+        return float("nan")
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def calibrate(
+    engine=None,
+    sizes: Optional[Sequence[int]] = None,
+    trials: int = 3,
+    node_ids: Sequence[int] = (0, 1),
+    costs: Optional[CostParameters] = None,
+    smoke: bool = False,
+) -> CalibrationResult:
+    """Run the scan/transfer microbenches and fit the cost model.
+
+    Args:
+        engine: a live :class:`~repro.parallel.engine.ProcessEngine`;
+            one is created (and shut down) when omitted.
+        sizes: payload sizes in bytes; defaults to :data:`SMOKE_SIZES`
+            or :data:`FULL_SIZES` by ``smoke``.
+        trials: timed repetitions per probe; the minimum is kept.
+        node_ids: worker nodes to probe (at least two — the shuffle
+            bench needs a source and a destination).
+        costs: cost parameters for the modeled seconds
+            (:meth:`CostParameters.from_env` when omitted).
+        smoke: pick the small size ladder (CI leg).
+
+    Raises
+    ------
+    ClusterError
+        On fewer than two nodes or no sizes.
+    """
+    from repro.parallel.engine import ProcessEngine
+
+    node_ids = tuple(sorted(node_ids))
+    if len(node_ids) < 2:
+        raise ClusterError(
+            "calibration needs at least two worker nodes"
+        )
+    if sizes is None:
+        sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    sizes = tuple(int(s) for s in sizes)
+    if not sizes:
+        raise ClusterError("calibration needs at least one size")
+    trials = max(1, int(trials))
+    if costs is None:
+        costs = CostParameters.from_env()
+
+    own_engine = engine is None
+    if own_engine:
+        engine = ProcessEngine()
+    samples: List[dict] = []
+    try:
+        engine.ensure_workers(node_ids)
+        rng = np.random.default_rng(1729)
+        for nbytes in sizes:
+            payload = rng.random(max(1, nbytes // 8))
+            for node in node_ids:
+                samples.append(_probe_io(
+                    engine, node, payload, trials, costs, node_ids
+                ))
+                samples.append(_probe_scan(
+                    engine, node, payload, trials, costs, node_ids
+                ))
+            src, dst = node_ids[0], node_ids[1]
+            samples.append(_probe_shuffle(
+                engine, src, dst, payload, trials, costs, node_ids
+            ))
+            for node in node_ids:
+                engine.drop_blobs(node, ["_cal", "_cal_rx"])
+    finally:
+        if own_engine:
+            engine.shutdown()
+
+    correlations: Dict[str, float] = {}
+    slopes: Dict[str, float] = {}
+    for kind in ("io", "scan", "shuffle"):
+        rows = [s for s in samples if s["kind"] == kind]
+        measured = np.array([s["measured_s"] for s in rows])
+        modeled = np.array([s["modeled_s"] for s in rows])
+        nbytes = np.array([s["bytes"] for s in rows])
+        correlations[kind] = _pearson(measured, modeled)
+        slopes[kind] = _byte_slope(nbytes, measured)
+    rates = {
+        "io": slopes["io"],
+        "network": slopes["shuffle"],
+        "scan": max(slopes["scan"] - slopes["io"], 0.0),
+    }
+    return CalibrationResult(
+        samples=samples,
+        correlations=correlations,
+        slopes=slopes,
+        rates=rates,
+        trials=trials,
+        costs=costs,
+    )
+
+
+def _time_min(fn, trials: int) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _modeled(
+    node_ids: Sequence[int],
+    charges: Sequence[Tuple[int, float]],
+) -> float:
+    acc = CostAccumulator(node_ids)
+    for node, seconds in charges:
+        acc.add_one(node, seconds)
+    return acc.max_seconds()
+
+
+def _probe_io(
+    engine, node, payload, trials, costs, node_ids
+) -> dict:
+    measured = _time_min(
+        lambda: engine.store_blob(node, "_cal", payload), trials
+    )
+    nbytes = int(payload.nbytes)
+    return {
+        "kind": "io",
+        "node": int(node),
+        "bytes": nbytes,
+        "measured_s": measured,
+        "modeled_s": _modeled(
+            node_ids, [(node, costs.io_time(nbytes))]
+        ),
+    }
+
+
+def _probe_scan(
+    engine, node, payload, trials, costs, node_ids
+) -> dict:
+    engine.store_blob(node, "_cal", payload)
+    measured = _time_min(
+        lambda: engine.fetch_blob(node, "_cal"), trials
+    )
+    nbytes = int(payload.nbytes)
+    return {
+        "kind": "scan",
+        "node": int(node),
+        "bytes": nbytes,
+        "measured_s": measured,
+        "modeled_s": _modeled(
+            node_ids,
+            [
+                (node, costs.io_time(nbytes)),
+                (node, costs.cpu_time(nbytes)),
+            ],
+        ),
+    }
+
+
+def _probe_shuffle(
+    engine, src, dst, payload, trials, costs, node_ids
+) -> dict:
+    engine.store_blob(src, "_cal", payload)
+    measured = _time_min(
+        lambda: engine.relay_blob(src, "_cal", dst, "_cal_rx"),
+        trials,
+    )
+    nbytes = int(payload.nbytes)
+    return {
+        "kind": "shuffle",
+        "node": int(dst),
+        "bytes": nbytes,
+        "measured_s": measured,
+        "modeled_s": _modeled(
+            node_ids,
+            [
+                (src, costs.network_time(nbytes)),
+                (dst, costs.network_time(nbytes)),
+            ],
+        ),
+    }

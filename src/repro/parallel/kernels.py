@@ -1,0 +1,164 @@
+"""Per-partition exchange kernels shared by workers and serial twins.
+
+The process backend's shuffle exchanges (k-means, kNN, equi-join) split
+each operator into a **per-partition kernel** (runs inside a worker over
+that node's slice) and a **combine step** (runs on the coordinator over
+the partials, in node order).  The serial in-process twins in
+:mod:`repro.parallel.engine` call these *same* functions over the same
+slices in the same order, so the two execution backends agree
+bit-for-bit — float reductions reassociate identically because the
+partial/combine split is literally shared code.  Against the monolithic
+:mod:`repro.query.operators` kernels the split reassociates sums, so
+cross-checks there are ``allclose``, not byte equality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# k-means (Lloyd's, partial-sums exchange)
+# ----------------------------------------------------------------------
+def kmeans_init(points: np.ndarray, k: int, seed: int) -> np.ndarray:
+    """Seeded centroid draw, matching :func:`repro.query.operators.kmeans`."""
+    k = min(k, points.shape[0])
+    rng = np.random.default_rng(seed)
+    return points[
+        rng.choice(points.shape[0], size=k, replace=False)
+    ].astype(np.float64)
+
+
+def kmeans_partials(
+    pts: np.ndarray, centroids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One partition's Lloyd partials: per-cluster sums and counts.
+
+    Uses the same ``|x|² - 2x·c + |c|²`` assignment expansion and
+    per-dimension ``bincount`` accumulation as the batch kernel, so a
+    single-partition run reproduces it exactly.
+    """
+    k = centroids.shape[0]
+    pts = pts.astype(np.float64)
+    pts_sq = (pts * pts).sum(axis=1)
+    cent_sq = (centroids * centroids).sum(axis=1)
+    dists_sq = pts_sq[:, None] - 2.0 * (pts @ centroids.T)
+    dists_sq += cent_sq[None, :]
+    labels = dists_sq.argmin(axis=1)
+    counts = np.bincount(labels, minlength=k)
+    sums = np.stack(
+        [
+            np.bincount(labels, weights=pts[:, d], minlength=k)
+            for d in range(pts.shape[1])
+        ],
+        axis=1,
+    )
+    return sums, counts
+
+
+def kmeans_combine(
+    centroids: np.ndarray,
+    partials: Sequence[Tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """Fold per-partition Lloyd partials into the next centroid set.
+
+    Partials are summed in the order given (node order) — the twin and
+    the process engine must present them identically.
+    """
+    sums = np.zeros_like(centroids)
+    counts = np.zeros(centroids.shape[0], dtype=np.int64)
+    for part_sums, part_counts in partials:
+        sums += part_sums
+        counts += part_counts
+    nonempty = counts > 0
+    out = centroids.copy()
+    out[nonempty] = sums[nonempty] / counts[nonempty, None]
+    return out
+
+
+# ----------------------------------------------------------------------
+# kNN mean distance (k-smallest-candidates exchange)
+# ----------------------------------------------------------------------
+def knn_partials(
+    pts: np.ndarray, queries: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One partition's kNN candidates per query.
+
+    Returns ``(cand, counts)``: each query's ``k`` smallest positive
+    squared distances into this partition, ascending and padded with
+    ``inf`` when fewer exist, plus the usable-neighbour count.  Squared
+    distances accumulate per dimension exactly like the batch kernel.
+    """
+    nq = queries.shape[0]
+    if pts.shape[0] == 0 or nq == 0:
+        return (
+            np.full((nq, k), np.inf),
+            np.zeros(nq, dtype=np.int64),
+        )
+    pts = pts.astype(np.float64)
+    qs = queries.astype(np.float64)
+    d2 = np.zeros((nq, pts.shape[0]))
+    for d in range(pts.shape[1]):
+        diff = pts[None, :, d] - qs[:, None, d]
+        diff *= diff
+        d2 += diff
+    usable = d2 > 0
+    counts = usable.sum(axis=1)
+    d2 = np.where(usable, d2, np.inf)
+    cand = np.sort(d2, axis=1)[:, :k]
+    if cand.shape[1] < k:
+        pad = np.full((nq, k - cand.shape[1]), np.inf)
+        cand = np.concatenate([cand, pad], axis=1)
+    return cand, counts
+
+
+def knn_combine(
+    partials: Sequence[Tuple[np.ndarray, np.ndarray]], k: int
+) -> np.ndarray:
+    """Merge per-partition kNN candidates into mean k-NN distances.
+
+    The global ``k`` smallest positive distances per query are exactly
+    the ``k`` smallest of the union of per-partition candidate sets, so
+    the merge is one sort over ``partitions × k`` columns.  ``nan``
+    where a query has no positive-distance neighbour anywhere.
+    """
+    cand = np.concatenate([c for c, _ in partials], axis=1)
+    counts = np.zeros(cand.shape[0], dtype=np.int64)
+    for _c, part_counts in partials:
+        counts += part_counts
+    cand = np.sort(cand, axis=1)[:, :k]
+    take = np.minimum(k, counts)
+    dists = np.sqrt(cand)
+    mask = np.arange(k)[None, :] < take[:, None]
+    out = np.where(mask, dists, 0.0).sum(axis=1)
+    out /= np.maximum(take, 1)
+    out[take == 0] = np.nan
+    return out
+
+
+# ----------------------------------------------------------------------
+# equi-join (hash-shuffle exchange)
+# ----------------------------------------------------------------------
+def join_split(keys: np.ndarray, buckets: int) -> List[np.ndarray]:
+    """Hash-partition a key column into per-destination buckets."""
+    keys = np.asarray(keys, dtype=np.int64)
+    h = np.mod(keys, buckets)
+    return [keys[h == b] for b in range(buckets)]
+
+
+def concat_keys(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate key buckets (empty-safe, int64)."""
+    parts = [np.asarray(p, dtype=np.int64) for p in parts]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def join_local(keys_a: np.ndarray, keys_b: np.ndarray) -> np.ndarray:
+    """Sorted distinct keys present on both sides of one bucket."""
+    return np.intersect1d(
+        np.asarray(keys_a, dtype=np.int64),
+        np.asarray(keys_b, dtype=np.int64),
+    )

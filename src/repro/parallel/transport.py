@@ -1,0 +1,167 @@
+"""Shared-memory numpy frames for the process-parallel backend.
+
+A **frame** moves a named set of numpy arrays between the engine and a
+worker.  The control pipe carries only a small picklable descriptor;
+the array bytes travel one of three ways, chosen per frame:
+
+``raw``
+    All fixed-dtype arrays are packed back to back into **one**
+    :class:`multiprocessing.shared_memory.SharedMemory` block; the
+    descriptor records each array's ``(dtype, shape, offset)``.
+``inline``
+    Frames whose raw payload is tiny (≤ :data:`INLINE_MAX_BYTES`) skip
+    shared memory entirely and ride the pipe as ``tobytes()`` blobs —
+    a pipe round-trip is cheaper than segment setup at that size.
+``pickle``
+    Object-dtype arrays (chunk keys are plain int64, but schemas keep
+    this honest) are pickled per array and sent inline.
+
+Lifetime protocol — **the receiver unlinks**: the sender creates the
+segment, copies its arrays in, closes its own mapping, *unregisters it
+from its resource tracker* (ownership is leaving this process — without
+the unregister the sender's tracker reports a phantom leak at exit),
+and sends the name; the receiver attaches (which re-registers with the
+receiver's tracker), copies the arrays out (dropping its view before
+closing, so no ``BufferError``), then ``close()`` + ``unlink()`` — and
+``unlink`` performs the matching unregister.  Register/unregister stay
+balanced per tracker whether the two processes share one tracker (fork
+after first use) or run their own, so a completed round trip leaves no
+tracker entry and no ``/dev/shm`` residue.  :func:`dispose_frame`
+reclaims a frame whose receiver died before consuming it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Mapping
+
+import numpy as np
+
+#: Frames at or below this many raw payload bytes ride the pipe inline.
+INLINE_MAX_BYTES = 16 * 1024
+
+
+def frame_nbytes(arrays: Mapping[str, np.ndarray]) -> int:
+    """Total payload bytes a frame for ``arrays`` would carry."""
+    return int(sum(np.asarray(a).nbytes for a in arrays.values()))
+
+
+def pack_frame(arrays: Mapping[str, np.ndarray]) -> dict:
+    """Pack named arrays into a picklable frame descriptor.
+
+    Fixed-dtype arrays share one segment (or go inline when small);
+    object-dtype arrays are pickled.  The caller may send the returned
+    descriptor over a pipe; ownership of any created segment passes to
+    the receiver (see module docstring).
+    """
+    metas = []
+    raw = []
+    total = 0
+    for name, arr in arrays.items():
+        a = np.ascontiguousarray(arr)
+        if a.dtype.hasobject:
+            metas.append({
+                "name": name,
+                "kind": "pickle",
+                "blob": pickle.dumps(a, protocol=pickle.HIGHEST_PROTOCOL),
+            })
+        else:
+            raw.append((name, a))
+            total += a.nbytes
+    if total <= INLINE_MAX_BYTES:
+        for name, a in raw:
+            metas.append({
+                "name": name,
+                "kind": "inline",
+                "dtype": a.dtype.str,
+                "shape": a.shape,
+                "blob": a.tobytes(),
+            })
+        return {"shm": None, "metas": metas, "nbytes": total}
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    offset = 0
+    try:
+        for name, a in raw:
+            if a.nbytes:
+                dst = np.ndarray(
+                    a.shape, dtype=a.dtype, buffer=shm.buf, offset=offset
+                )
+                dst[...] = a
+                del dst
+            metas.append({
+                "name": name,
+                "kind": "raw",
+                "dtype": a.dtype.str,
+                "shape": a.shape,
+                "offset": offset,
+            })
+            offset += a.nbytes
+    finally:
+        shm.close()
+        # Ownership transfers to the receiver with the send; drop the
+        # sender-side tracker registration so neither tracker reports a
+        # phantom leak (``shm._name`` is the registered spelling — the
+        # ``name`` property strips the leading slash).
+        resource_tracker.unregister(shm._name, "shared_memory")
+    return {"shm": shm.name, "metas": metas, "nbytes": total}
+
+
+def unpack_frame(frame: dict) -> Dict[str, np.ndarray]:
+    """Materialize a frame's arrays, consuming (unlinking) its segment.
+
+    Every returned array owns its bytes — copies are taken before the
+    shared segment is closed, so callers never hold a view into memory
+    another process may reclaim.
+    """
+    out: Dict[str, np.ndarray] = {}
+    shm = None
+    if frame["shm"] is not None:
+        shm = shared_memory.SharedMemory(name=frame["shm"])
+    try:
+        for meta in frame["metas"]:
+            kind = meta["kind"]
+            if kind == "pickle":
+                out[meta["name"]] = pickle.loads(meta["blob"])
+            elif kind == "inline":
+                arr = np.frombuffer(
+                    meta["blob"], dtype=np.dtype(meta["dtype"])
+                )
+                out[meta["name"]] = arr.reshape(meta["shape"]).copy()
+            else:
+                view = np.ndarray(
+                    meta["shape"],
+                    dtype=np.dtype(meta["dtype"]),
+                    buffer=shm.buf,
+                    offset=meta["offset"],
+                )
+                out[meta["name"]] = view.copy()
+                del view
+    finally:
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing unlink
+                pass
+    return out
+
+
+def dispose_frame(frame: object) -> None:
+    """Best-effort reclaim of an unconsumed frame's shared segment.
+
+    Used when a worker dies with frames still in flight: attaching and
+    unlinking drops the segment whether or not the dead process ever
+    mapped it.  Already-consumed (or malformed) frames are ignored.
+    """
+    if not isinstance(frame, dict) or frame.get("shm") is None:
+        return
+    try:
+        shm = shared_memory.SharedMemory(name=frame["shm"])
+    except FileNotFoundError:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - racing unlink
+        pass

@@ -45,6 +45,7 @@ from repro.cluster.session import (
     SnapshotRaceError,
     ensure_session,
 )
+from repro.errors import ClusterError
 from repro.query.cost import CostAccumulator, charge_io
 from repro.query.result import QueryResult
 
@@ -185,14 +186,28 @@ def run_suite(
     return results
 
 
+class RetryExhaustedError(ClusterError):
+    """Every fresh-session retry of one query lost its pin race.
+
+    Raised internally by :class:`ConcurrentExecutor` (and surfaced as a
+    typed outcome, not a thrown exception) when
+    :class:`~repro.cluster.session.SnapshotRaceError` recurred on all
+    :attr:`ConcurrentExecutor.RACE_RETRIES` fresh sessions — sustained
+    mutation pressure, not a query bug.  Distinguishable downstream via
+    :attr:`QueryOutcome.retry_exhausted`.
+    """
+
+
 @dataclass(frozen=True)
 class QueryOutcome:
     """One query's completion record from :class:`ConcurrentExecutor`.
 
     ``result`` is ``None`` only when the query raised; ``error`` then
-    carries the exception ``repr``.  ``attempts`` counts session
-    (re)tries — >1 means a consistent pin lost an epoch race and the
-    query re-ran on a fresh snapshot.
+    carries the exception ``repr`` and ``error_type`` the exception
+    class name (``"RetryExhaustedError"`` when every fresh-session
+    retry lost its pin race).  ``attempts`` counts session (re)tries —
+    >1 means a consistent pin lost an epoch race and the query re-ran
+    on a fresh snapshot.
     """
 
     name: str
@@ -202,10 +217,16 @@ class QueryOutcome:
     latency_s: float
     attempts: int
     error: Optional[str] = None
+    error_type: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def retry_exhausted(self) -> bool:
+        """All pin-race retries lost (vs. a genuine query failure)."""
+        return self.error_type == RetryExhaustedError.__name__
 
 
 class ConcurrentExecutor:
@@ -235,6 +256,39 @@ class ConcurrentExecutor:
     ) -> None:
         self._cluster = cluster
         self._max_workers = max(1, int(max_workers))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """The persistent pool, spawned on first batch."""
+        if self._closed:
+            raise ClusterError(
+                "executor is closed; construct a new ConcurrentExecutor"
+            )
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-query",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Join the worker threads; idempotent, batches refuse after.
+
+        Context-manager exit calls this, so
+        ``with ConcurrentExecutor(cluster) as pool: ...`` never leaks
+        threads past the block.
+        """
+        pool, self._pool = self._pool, None
+        self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ConcurrentExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _run_one(self, query: Query, cycle: int) -> QueryOutcome:
         start = time.perf_counter()
@@ -257,6 +311,7 @@ class ConcurrentExecutor:
                     latency_s=time.perf_counter() - start,
                     attempts=attempts,
                     error=repr(exc),
+                    error_type=type(exc).__name__,
                 )
             return QueryOutcome(
                 name=query.name,
@@ -266,6 +321,10 @@ class ConcurrentExecutor:
                 latency_s=time.perf_counter() - start,
                 attempts=attempts,
             )
+        exhausted = RetryExhaustedError(
+            f"query {query.name!r} lost its pin race on all "
+            f"{attempts} sessions (last: {last!r})"
+        )
         return QueryOutcome(
             name=query.name,
             category=query.category,
@@ -273,7 +332,8 @@ class ConcurrentExecutor:
             result=None,
             latency_s=time.perf_counter() - start,
             attempts=attempts,
-            error=repr(last),
+            error=repr(exhausted),
+            error_type=type(exhausted).__name__,
         )
 
     def run_batch(
@@ -281,13 +341,17 @@ class ConcurrentExecutor:
         queries: Sequence[Query],
         cycle: int,
     ) -> List[QueryOutcome]:
-        """Run ``queries`` concurrently; outcomes in submission order."""
+        """Run ``queries`` concurrently; outcomes in submission order.
+
+        The thread pool is spawned on the first batch and reused by
+        later ones; :meth:`close` (or leaving the ``with`` block) joins
+        it.  Raises :class:`~repro.errors.ClusterError` once closed.
+        """
         if not queries:
             return []
-        workers = min(self._max_workers, len(queries))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(self._run_one, query, cycle)
-                for query in queries
-            ]
-            return [f.result() for f in futures]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._run_one, query, cycle)
+            for query in queries
+        ]
+        return [f.result() for f in futures]

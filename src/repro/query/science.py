@@ -112,9 +112,13 @@ class ModisRollingAverage(Query):
 
         per_region: List[Dict[Tuple[int, ...], float]] = []
         for region, pairs in zip(regions, routed):
-            coords, values = ops.filter_region(
-                (c for c, _ in pairs), region, ["radiance"]
+            coords, values = cluster.gather_payload(
+                pairs, ["radiance"], ndim=region.ndim
             )
+            if coords.shape[0]:
+                mask = ops.region_mask(coords, region)
+                coords = coords[mask]
+                values = {a: v[mask] for a, v in values.items()}
             if coords.shape[0] == 0:
                 continue
             per_region.append(ops.group_mean_by_grid(
@@ -170,7 +174,7 @@ class ModisKMeans(Query):
             cluster.costs.query_overhead_seconds * 0.2 * self.iterations
         )
 
-        points = self._ndvi_points(band1, band2, region)
+        points = self._ndvi_points(cluster, band1, band2, region)
         if points.shape[0]:
             centroids, labels = ops.kmeans(
                 points, self.k, self.iterations, seed=cycle
@@ -198,6 +202,7 @@ class ModisKMeans(Query):
 
     def _ndvi_points(
         self,
+        cluster: ClusterSession,
         band1: Sequence[Tuple[ChunkData, int]],
         band2: Dict[Tuple[int, ...], Tuple[ChunkData, int]],
         region: Box,
@@ -209,16 +214,15 @@ class ModisKMeans(Query):
         # rather than chunk order, so kmeans' rng-seeded init may draw
         # different rows than the pre-batch code did (both are valid
         # uniform draws over the same point set).
-        matched = [
-            (c1, band2[c1.key][0])
-            for c1, _ in band1
-            if c1.key in band2
+        matched1 = [
+            (c1, n1) for c1, n1 in band1 if c1.key in band2
         ]
-        coords1, vals1 = ops.concat_chunk_payload(
-            (c1 for c1, _ in matched), ["radiance"], ndim=3
+        matched2 = [band2[c1.key] for c1, _ in matched1]
+        coords1, vals1 = cluster.gather_payload(
+            matched1, ["radiance"], ndim=3
         )
-        coords2, vals2 = ops.concat_chunk_payload(
-            (c2 for _, c2 in matched), ["radiance"], ndim=3
+        coords2, vals2 = cluster.gather_payload(
+            matched2, ["radiance"], ndim=3
         )
         coords, v1, v2 = ops.position_join(
             coords1, vals1["radiance"], coords2, vals2["radiance"]
@@ -273,8 +277,8 @@ class ModisWindowAggregate(Query):
         network = charge_network(acc, halo, cluster.costs)
         wire = network / 2.0
 
-        coords, values = ops.concat_chunk_payload(
-            (c for c, _ in touched), ["radiance"], ndim=3
+        coords, values = cluster.gather_payload(
+            touched, ["radiance"], ndim=3
         )
         # The stencil kernel returns plain arrays; the query only needs
         # the occupied-window count, so no per-bucket dicts are built.
@@ -433,9 +437,10 @@ class AisKnn(Query):
         distances: List[float] = []
         for center_key in key_order:
             neighborhood = self._neighborhood(current, center_key)
-            pts = np.concatenate(
-                [c.coords[:, 1:3] for c, _ in neighborhood], axis=0
-            ).astype(np.float64)
+            coords_all, _ = cluster.gather_payload(
+                neighborhood, [], ndim=3
+            )
+            pts = coords_all[:, 1:3].astype(np.float64)
             qidx = np.asarray(queries_by_key[center_key])
             d = ops.knn_mean_distance(pts, pts[qidx], self.k)
             distances.extend(d[np.isfinite(d)].tolist())
@@ -646,8 +651,8 @@ class AisCollisionPrediction(Query):
         # Batch: dead-reckon every chunk's moving ships in one call and
         # count close pairs with the chunk index as the segment key, so
         # per-chunk pair semantics survive the concatenation.
-        coords, values = ops.concat_chunk_payload(
-            (c for c, _ in touched), ["speed", "course"], ndim=3
+        coords, values = cluster.gather_payload(
+            touched, ["speed", "course"], ndim=3
         )
         segments = (
             np.repeat(

@@ -187,11 +187,11 @@ class ModisJoinNdvi(Query):
         # the packed positions once — cell positions are globally unique
         # within a band, so one join over the concatenation equals the
         # union of the per-chunk-pair joins.
-        coords1, vals1 = ops.concat_chunk_payload(
-            (band1[key][0] for key in common), ["radiance"]
+        coords1, vals1 = cluster.gather_payload(
+            [band1[key] for key in common], ["radiance"], ndim=3
         )
-        coords2, vals2 = ops.concat_chunk_payload(
-            (band2[key][0] for key in common), ["radiance"]
+        coords2, vals2 = cluster.gather_payload(
+            [band2[key] for key in common], ["radiance"], ndim=3
         )
         _, v1, v2 = ops.position_join(
             coords1, vals1["radiance"], coords2, vals2["radiance"]
@@ -335,10 +335,13 @@ class AisVesselJoin(Query):
 
         # Batch join: one lookup over the concatenated ship ids, one
         # unique/count pass for the per-type histogram.
-        ship_ids = (
-            np.concatenate([c.values("ship_id") for c, _ in touched])
-            if touched else np.empty(0, dtype=np.int64)
-        )
+        if touched:
+            _, vals = cluster.gather_payload(
+                touched, ["ship_id"], ndim=3
+            )
+            ship_ids = vals["ship_id"]
+        else:
+            ship_ids = np.empty(0, dtype=np.int64)
         types = ops.equi_join_lookup(ship_ids, vessel_ids, vessel_types)
         uniq_types, counts = np.unique(types, return_counts=True)
         type_counts = {

@@ -1,0 +1,144 @@
+"""ConcurrentExecutor lifecycle + typed retry-exhaustion outcomes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import Box, ChunkData, parse_schema
+from repro.cluster import CostParameters, ElasticCluster, GB
+from repro.cluster.session import SnapshotRaceError
+from repro.core import make_partitioner
+from repro.errors import ClusterError
+from repro.query.executor import (
+    ConcurrentExecutor,
+    Query,
+    QueryOutcome,
+    RetryExhaustedError,
+)
+from repro.query.result import QueryResult
+
+SCHEMA = parse_schema("A<v:double>[x=0:63,8, y=0:63,8]")
+
+
+def _chunk(key, value=1.0):
+    cell = tuple(
+        d.chunk_low(k) for k, d in zip(key, SCHEMA.dimensions)
+    )
+    return ChunkData(
+        SCHEMA, tuple(key),
+        np.array([cell], dtype=np.int64),
+        {"v": np.array([float(value)])},
+        size_bytes=10.0,
+    )
+
+
+@pytest.fixture
+def cluster():
+    partitioner = make_partitioner(
+        "round_robin", [0, 1], grid=Box((0, 0), (8, 8)),
+        node_capacity_bytes=100 * GB,
+    )
+    cluster = ElasticCluster(
+        partitioner, 100 * GB, costs=CostParameters()
+    )
+    cluster.ingest([_chunk((i, 0), i) for i in range(4)])
+    return cluster
+
+
+class CountingQuery(Query):
+    name = "counting"
+    category = "spj"
+
+    def _run(self, session, cycle):
+        coords, values = session.array_payload("A", ["v"], 2)
+        return QueryResult(
+            name=self.name, category=self.category,
+            value={"cells": int(coords.shape[0])},
+            elapsed_seconds=0.0, per_node_seconds={},
+        )
+
+
+class AlwaysRacingQuery(Query):
+    name = "always_racing"
+    category = "spj"
+
+    def __init__(self):
+        self.calls = 0
+
+    def _run(self, session, cycle):
+        self.calls += 1
+        raise SnapshotRaceError("synthetic perpetual pin race")
+
+
+class CrashingQuery(Query):
+    name = "crashing"
+    category = "spj"
+
+    def _run(self, session, cycle):
+        raise ValueError("genuine query bug")
+
+
+class TestLifecycle:
+    def test_context_manager_closes_pool(self, cluster):
+        with ConcurrentExecutor(cluster, max_workers=2) as pool:
+            outcomes = pool.run_batch([CountingQuery()] * 3, 1)
+            assert all(o.ok for o in outcomes)
+            assert pool._pool is not None  # persistent between batches
+            first = pool._pool
+            pool.run_batch([CountingQuery()], 1)
+            assert pool._pool is first
+        assert pool._pool is None
+        with pytest.raises(ClusterError):
+            pool.run_batch([CountingQuery()], 1)
+
+    def test_close_is_idempotent(self, cluster):
+        pool = ConcurrentExecutor(cluster)
+        pool.run_batch([CountingQuery()], 1)
+        pool.close()
+        pool.close()
+
+    def test_empty_batch_never_spawns_threads(self, cluster):
+        with ConcurrentExecutor(cluster) as pool:
+            assert pool.run_batch([], 1) == []
+            assert pool._pool is None
+
+
+class TestRetryExhaustion:
+    def test_perpetual_race_yields_typed_outcome(self, cluster):
+        query = AlwaysRacingQuery()
+        with ConcurrentExecutor(cluster, max_workers=1) as pool:
+            (outcome,) = pool.run_batch([query], 1)
+        assert not outcome.ok
+        assert outcome.result is None
+        assert outcome.retry_exhausted
+        assert outcome.error_type == "RetryExhaustedError"
+        assert "RetryExhaustedError" in outcome.error
+        assert outcome.attempts == ConcurrentExecutor.RACE_RETRIES + 1
+        assert query.calls == outcome.attempts
+
+    def test_genuine_failure_is_not_retry_exhaustion(self, cluster):
+        with ConcurrentExecutor(cluster) as pool:
+            (outcome,) = pool.run_batch([CrashingQuery()], 1)
+        assert not outcome.ok
+        assert outcome.error_type == "ValueError"
+        assert not outcome.retry_exhausted
+        assert outcome.attempts == 1
+
+    def test_success_has_no_error_type(self, cluster):
+        with ConcurrentExecutor(cluster) as pool:
+            (outcome,) = pool.run_batch([CountingQuery()], 1)
+        assert outcome.ok
+        assert outcome.error_type is None
+        assert not outcome.retry_exhausted
+
+    def test_retry_exhausted_error_is_cluster_error(self):
+        assert issubclass(RetryExhaustedError, ClusterError)
+
+    def test_outcome_defaults_keep_old_shape(self):
+        outcome = QueryOutcome(
+            name="q", category="spj", cycle=1, result=None,
+            latency_s=0.0, attempts=1,
+        )
+        assert outcome.ok
+        assert outcome.error_type is None

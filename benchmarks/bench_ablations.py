@@ -24,7 +24,7 @@ GRID = Box((0, 0, 0), (40, 29, 23))
 def _chunks(n=1500, skew=False, seed=9):
     rng = np.random.default_rng(seed)
     out = []
-    for i in range(n):
+    for _ in range(n):
         key = (
             int(rng.integers(0, 40)),
             int(rng.integers(0, 29)),
@@ -46,7 +46,7 @@ def test_ablation_vnodes(benchmark):
             p = ConsistentHashPartitioner(
                 list(range(8)), virtual_nodes=vnodes
             )
-            for ref, size in _chunks():
+            for ref, _size in _chunks():
                 p.place(ref, 1.0)
             counts = [len(p.chunks_on(n)) for n in p.nodes]
             spreads[vnodes] = relative_std(counts)

@@ -102,14 +102,16 @@ def main(argv=None) -> int:
             baseline_report = json.load(fh)
         baseline = baseline_report["hot_paths"]
     except (OSError, json.JSONDecodeError, KeyError) as exc:
-        raise SystemExit(f"cannot read baseline {args.baseline}: {exc}")
+        raise SystemExit(
+            f"cannot read baseline {args.baseline}: {exc}"
+        ) from exc
 
     if args.input:
         try:
             with open(args.input) as fh:
                 raw = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
-            raise SystemExit(f"cannot read {args.input}: {exc}")
+            raise SystemExit(f"cannot read {args.input}: {exc}") from exc
     else:
         with tempfile.TemporaryDirectory() as tmp:
             raw_path = os.path.join(tmp, "benchmark_raw.json")

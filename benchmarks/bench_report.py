@@ -73,11 +73,12 @@ SPEEDUP_PAIRS = [
      "test_incr_groupby_delta"),
     ("incr_join", "test_incr_join_full", "test_incr_join_delta"),
     ("incr_cycle", "test_incr_cycle_full", "test_incr_cycle_delta"),
-] + [
-    (f"placement:{name}", f"test_placement_throughput[{name}]",
-     f"test_place_batch_throughput[{name}]")
-    for name in ("consistent_hash", "extendible_hash", "kd_tree",
-                 "hilbert_curve", "round_robin")
+    *(
+        (f"placement:{name}", f"test_placement_throughput[{name}]",
+         f"test_place_batch_throughput[{name}]")
+        for name in ("consistent_hash", "extendible_hash", "kd_tree",
+                     "hilbert_curve", "round_robin")
+    ),
 ]
 
 
@@ -215,7 +216,7 @@ def main(argv=None) -> int:
             with open(args.input) as fh:
                 raw = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
-            raise SystemExit(f"cannot read {args.input}: {exc}")
+            raise SystemExit(f"cannot read {args.input}: {exc}") from exc
     else:
         with tempfile.TemporaryDirectory() as tmp:
             raw_path = os.path.join(tmp, "benchmark_raw.json")

@@ -38,9 +38,10 @@ import os
 import pickle
 import struct
 import zlib
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.arrays.schema import ArraySchema, parse_schema
@@ -202,7 +203,9 @@ def _corrupt(path: str, reason: str) -> SegmentCorruptError:
 
 def _decode_segment(
     raw: bytes, path: str
-) -> Tuple[dict, np.ndarray, Dict[str, np.ndarray]]:
+) -> Tuple[
+    Dict[str, Any], npt.NDArray[np.int64], Dict[str, npt.NDArray[Any]]
+]:
     """Validate and decode segment bytes → (footer, coords, columns).
 
     Every framing field is checked before it is trusted; any mismatch
@@ -236,7 +239,7 @@ def _decode_segment(
     cells = int(footer["cells"])
     ndim = int(footer["ndim"])
 
-    def _slice(meta: dict, what: str) -> bytes:
+    def _slice(meta: Dict[str, Any], what: str) -> bytes:
         off, n = int(meta["offset"]), int(meta["nbytes"])
         if off < len(SEGMENT_MAGIC) or off + n > footer_off:
             raise _corrupt(path, f"{what} column escapes the body")
@@ -249,7 +252,7 @@ def _decode_segment(
         cells, ndim
     ).copy()
 
-    columns: Dict[str, np.ndarray] = {}
+    columns: Dict[str, npt.NDArray[Any]] = {}
     for meta in footer["columns"]:
         blob = _slice(meta, meta["name"])
         if meta["codec"] == _CODEC_PICKLE:
@@ -478,7 +481,7 @@ class SegmentStore:
     # -- reads ---------------------------------------------------------
     def read(
         self, ref: ChunkRef
-    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    ) -> Tuple[npt.NDArray[np.int64], Dict[str, npt.NDArray[Any]]]:
         """Load one chunk's ``(coords, columns)`` from its segment file.
 
         Raises

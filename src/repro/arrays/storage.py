@@ -55,6 +55,7 @@ from typing import (
     Tuple,
 )
 
+from repro import lockdep
 from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.arrays.segment import SegmentStore
 from repro.errors import StorageError
@@ -118,7 +119,7 @@ class SpillTier:
         file, accounts the bytes, and sheds cold payloads down to the
         budget.  A failed segment read mutates nothing.
         """
-        with self.lock:
+        with self.lock, lockdep.held("spill-tier"):
             parts = chunk._payload
             ref = chunk.ref()
             if parts is not None:
@@ -147,7 +148,7 @@ class SpillTier:
         budget = self.memory_budget
         if budget is None:
             return
-        with self.lock:
+        with self.lock, lockdep.held("spill-tier"):
             if self._resident_bytes <= budget:
                 return
             pinned: List[Tuple[ChunkRef, ChunkData]] = []
@@ -173,13 +174,13 @@ class SpillTier:
     # -- pinning -------------------------------------------------------
     def pin_many(self, refs: Sequence[ChunkRef]) -> None:
         """Exempt chunks from eviction (counted — pins nest)."""
-        with self.lock:
+        with self.lock, lockdep.held("spill-tier"):
             for ref in refs:
                 self._pins[ref] = self._pins.get(ref, 0) + 1
 
     def unpin_many(self, refs: Sequence[ChunkRef]) -> None:
         """Release pins and shed any overshoot they were holding back."""
-        with self.lock:
+        with self.lock, lockdep.held("spill-tier"):
             for ref in refs:
                 count = self._pins.get(ref, 0) - 1
                 if count > 0:
@@ -232,19 +233,19 @@ class SpillTier:
 
     # -- telemetry -----------------------------------------------------
     def note_written(self, nbytes: float) -> None:
-        with self.lock:
+        with self.lock, lockdep.held("spill-tier"):
             self._io_written_bytes += nbytes
 
     def drain_io(self) -> Tuple[float, float]:
         """``(read, written)`` segment bytes since the last drain."""
-        with self.lock:
+        with self.lock, lockdep.held("spill-tier"):
             out = (self._io_read_bytes, self._io_written_bytes)
             self._io_read_bytes = 0.0
             self._io_written_bytes = 0.0
             return out
 
     def stats(self) -> Dict[str, float]:
-        with self.lock:
+        with self.lock, lockdep.held("spill-tier"):
             return {
                 "memory_budget": (
                     self.memory_budget
@@ -259,7 +260,7 @@ class SpillTier:
 
     def check(self) -> None:
         """Audit LRU accounting invariants (test hook; raises on drift)."""
-        with self.lock:
+        with self.lock, lockdep.held("spill-tier"):
             total = 0.0
             for ref, chunk in self._resident.items():
                 if chunk._payload is None:
@@ -434,7 +435,7 @@ class ChunkStore:
     ) -> List[ChunkData]:
         tier = self._tier
         assert tier is not None
-        with tier.lock:
+        with tier.lock, lockdep.held("spill-tier"):
             # 1. Compute the final per-ref chunk objects, merging in
             #    input order.  Merge sources are pinned so the faults
             #    the merges themselves trigger cannot evict a source
@@ -563,7 +564,7 @@ class ChunkStore:
     ) -> List[ChunkData]:
         tier = self._tier
         assert tier is not None
-        with tier.lock:
+        with tier.lock, lockdep.held("spill-tier"):
             self._validate_evict(refs)
             # Materialize every departing payload under a pin — the
             # faults must not evict each other — so a segment-read
@@ -608,7 +609,7 @@ class ChunkStore:
                 "adopt_spilled requires a tiered store"
             )
         ref = chunk.ref()
-        with tier.lock:
+        with tier.lock, lockdep.held("spill-tier"):
             if ref in self._chunks:
                 raise StorageError(f"store already holds chunk {ref}")
             if chunk._payload is None and ref not in tier.segments:
@@ -648,7 +649,7 @@ class ChunkStore:
     def clear(self) -> None:
         tier = self._tier
         if tier is not None:
-            with tier.lock:
+            with tier.lock, lockdep.held("spill-tier"):
                 # Retired handles must stay readable (delta logs hold
                 # them): materialize and detach everything first.  Pins
                 # hold until detach so the faults cannot evict each

@@ -13,10 +13,10 @@ same minutes-range as the paper's testbed.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, replace
-from typing import Mapping, Optional
+from typing import Dict, Mapping, Optional
 
+from repro.config import env_mapping
 from repro.errors import ClusterError
 
 #: One gigabyte, in bytes (decimal, as storage vendors and the paper use).
@@ -118,8 +118,8 @@ class CostParameters:
             If a set variable does not parse as a float (negative values
             are rejected by ``__post_init__`` as usual).
         """
-        env = os.environ if environ is None else environ
-        changes = {}
+        env = env_mapping() if environ is None else environ
+        changes: Dict[str, float] = {}
         for var, field in ENV_COST_OVERRIDES.items():
             raw = env.get(var)
             if raw is None or not raw.strip():

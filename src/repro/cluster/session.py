@@ -63,9 +63,10 @@ from __future__ import annotations
 
 import threading
 import warnings
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.arrays.chunk import ChunkData, ChunkRef
 from repro.arrays.coords import Box
@@ -99,7 +100,9 @@ class ClusterSession:
     #: :class:`SnapshotRaceError`.
     PIN_RETRIES = 8
 
-    def __init__(self, cluster) -> None:
+    # ``Any`` rather than ``ElasticCluster``: tests drive sessions over
+    # duck-typed cluster doubles, and the read surface is structural.
+    def __init__(self, cluster: Any) -> None:
         self._cluster = cluster
         self._snapshots: Dict[str, ArraySnapshot] = {}
         self._lock = threading.Lock()
@@ -116,12 +119,12 @@ class ClusterSession:
 
     # -- plumbing ------------------------------------------------------
     @property
-    def cluster(self):
+    def cluster(self) -> Any:
         """The live cluster behind this session (mutations land there)."""
         return self._cluster
 
     @property
-    def costs(self):
+    def costs(self) -> Any:
         """Cost parameters (live passthrough — not part of array state)."""
         return self._cluster.costs
 
@@ -138,7 +141,7 @@ class ClusterSession:
         """This session (so suite entry points accept either surface)."""
         return self
 
-    def _engine(self):
+    def _engine(self) -> Any:
         """The cluster's synced process backend, or ``None`` in-process.
 
         ``None`` both under ``REPRO_EXEC=inprocess`` and when the
@@ -269,7 +272,7 @@ class ClusterSession:
 
     def region_scan_columns(
         self, array: str, region: Box
-    ) -> Tuple[np.ndarray, np.ndarray, Optional[object]]:
+    ) -> Tuple[npt.NDArray[Any], npt.NDArray[Any], Optional[object]]:
         """Pinned ``(sizes, nodes, schema)`` columns of a region.
 
         Always served from the snapshot — the catalog is maintained in
@@ -278,7 +281,12 @@ class ClusterSession:
         """
         return self.snapshot_of(array).region_scan_columns(region)
 
-    def region_read(self, array: str, region: Box):
+    def region_read(
+        self, array: str, region: Box
+    ) -> Tuple[
+        List[Tuple[ChunkData, int]],
+        Tuple[npt.NDArray[Any], npt.NDArray[Any], Optional[object]],
+    ]:
         """Pinned pairs plus scan columns from one routing pass."""
         return self.snapshot_of(array).region_read(region)
 
@@ -298,7 +306,7 @@ class ClusterSession:
 
     def array_scan_columns(
         self, array: str
-    ) -> Tuple[np.ndarray, np.ndarray, Optional[object]]:
+    ) -> Tuple[npt.NDArray[Any], npt.NDArray[Any], Optional[object]]:
         """Pinned ``(sizes, nodes, schema)`` columns of one array."""
         return self.snapshot_of(array).scan_columns()
 
@@ -307,7 +315,7 @@ class ClusterSession:
         array: str,
         attrs: Sequence[str],
         ndim: int = 0,
-    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    ) -> Tuple[npt.NDArray[Any], Dict[str, npt.NDArray[Any]]]:
         """Pinned concatenated cell table of one whole array.
 
         Under ``REPRO_EXEC=process`` the bytes are gathered from the
@@ -329,7 +337,7 @@ class ClusterSession:
         region: Box,
         attrs: Sequence[str],
         ndim: int = 0,
-    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    ) -> Tuple[npt.NDArray[Any], Dict[str, npt.NDArray[Any]]]:
         """Pinned cell table of one array clipped to ``region``.
 
         The process backend gathers the touched chunks from their
@@ -359,7 +367,7 @@ class ClusterSession:
         pairs: Sequence[Tuple[ChunkData, int]],
         attrs: Sequence[str],
         ndim: int = 0,
-    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    ) -> Tuple[npt.NDArray[Any], Dict[str, npt.NDArray[Any]]]:
         """Concatenated cell table of explicit ``(chunk, node)`` pairs.
 
         The query kernels' scatter/gather entry point: under
@@ -382,7 +390,9 @@ class ClusterSession:
         """Pinned content mutations after ``epoch`` (log end frozen)."""
         return self.snapshot_of(array).deltas_since(epoch)
 
-    def delta_scan_columns(self, array: str, epoch: int):
+    def delta_scan_columns(
+        self, array: str, epoch: int
+    ) -> Tuple[npt.NDArray[Any], npt.NDArray[Any], Optional[object]]:
         """Pinned ``(sizes, nodes, schema)`` of a delta's rows."""
         return self.snapshot_of(array).delta_scan_columns(epoch)
 
@@ -402,7 +412,7 @@ class ClusterSession:
         return f"ClusterSession(pinned={pins!r})"
 
 
-def ensure_session(target) -> ClusterSession:
+def ensure_session(target: Any) -> ClusterSession:
     """Coerce a query target to a session (deprecation shim).
 
     Passes sessions through untouched.  A raw cluster is wrapped in a

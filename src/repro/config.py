@@ -34,7 +34,7 @@ import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -49,6 +49,154 @@ PARITY_FIELDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "storage": ("REPRO_STORAGE", ("tier", "memory")),
     "exec": ("REPRO_EXEC", ("inprocess", "process")),
 }
+
+#: The parity-oracle registry.  Every vectorized kernel that keeps a
+#: ``*_scalar`` reference implementation is declared here; the
+#: ``parity-registry`` checker in ``tools/reprolint`` parses this
+#: literal and verifies each entry against the source:
+#:
+#: ``module``
+#:     Repo-relative path (under ``src/``) defining both twins.
+#: ``batch`` / ``scalar``
+#:     Qualified names (``Class.method`` for methods) of the vectorized
+#:     kernel and its oracle.
+#: ``field``
+#:     The :data:`PARITY_FIELDS` switch that selects the oracle at
+#:     runtime, or ``None`` for oracles exercised only by parity tests
+#:     and benchmarks.
+#: ``dispatch``
+#:     The function whose mode comparison routes between the twins
+#:     (required exactly when ``field`` is set).
+#: ``signature``
+#:     ``"same"`` — the twins are drop-in interchangeable and the
+#:     checker enforces identical parameter names; ``"lowered"`` — the
+#:     oracle keeps a pre-vectorization calling convention and the
+#:     named ``dispatch`` adapter owns the translation.
+#:
+#: Keep this a **pure literal** — the checker reads it without
+#: importing the module.
+PARITY_ORACLES: Tuple[Dict[str, Optional[str]], ...] = (
+    {
+        "module": "repro/arrays/array.py",
+        "batch": "chunk_cells",
+        "scalar": "chunk_cells_scalar",
+        "field": None,
+        "dispatch": None,
+        "signature": "same",
+    },
+    {
+        "module": "repro/cluster/coordinator.py",
+        "batch": "execute_rebalance",
+        "scalar": "execute_rebalance_scalar",
+        "field": "catalog",
+        "dispatch": "execute_rebalance",
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/cost.py",
+        "batch": "add_scan_work",
+        "scalar": "add_scan_work_scalar",
+        "field": "cost",
+        "dispatch": "charge_scan",
+        "signature": "lowered",
+    },
+    {
+        "module": "repro/query/cost.py",
+        "batch": "add_network_work",
+        "scalar": "add_network_work_scalar",
+        "field": "cost",
+        "dispatch": "charge_network",
+        "signature": "lowered",
+    },
+    {
+        "module": "repro/query/cost.py",
+        "batch": "halo_shuffle_bytes",
+        "scalar": "halo_shuffle_bytes_scalar",
+        "field": "cost",
+        "dispatch": "halo_shuffle_bytes",
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/cost.py",
+        "batch": "colocation_shuffle_bytes",
+        "scalar": "colocation_shuffle_bytes_scalar",
+        "field": "cost",
+        "dispatch": "colocation_shuffle_bytes",
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/incremental.py",
+        "batch": "join_aggregate_full",
+        "scalar": "join_aggregate_scalar",
+        "field": None,
+        "dispatch": None,
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/operators.py",
+        "batch": "group_count_by_grid",
+        "scalar": "group_count_by_grid_scalar",
+        "field": None,
+        "dispatch": None,
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/operators.py",
+        "batch": "group_mean_by_grid",
+        "scalar": "group_mean_by_grid_scalar",
+        "field": None,
+        "dispatch": None,
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/operators.py",
+        "batch": "group_stats_by_grid_arrays",
+        "scalar": "group_stats_by_grid_scalar",
+        "field": None,
+        "dispatch": None,
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/operators.py",
+        "batch": "window_average",
+        "scalar": "window_average_scalar",
+        "field": None,
+        "dispatch": None,
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/operators.py",
+        "batch": "kmeans",
+        "scalar": "kmeans_scalar",
+        "field": None,
+        "dispatch": None,
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/operators.py",
+        "batch": "knn_mean_distance",
+        "scalar": "knn_mean_distance_scalar",
+        "field": None,
+        "dispatch": None,
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/operators.py",
+        "batch": "count_close_pairs",
+        "scalar": "count_close_pairs_scalar",
+        "field": None,
+        "dispatch": None,
+        "signature": "same",
+    },
+    {
+        "module": "repro/query/science.py",
+        "batch": "AisKnn._account_samples_batch",
+        "scalar": "AisKnn._account_samples_scalar",
+        "field": "cost",
+        "dispatch": "AisKnn._run",
+        "signature": "same",
+    },
+)
 
 
 @dataclass(frozen=True)
@@ -79,7 +227,7 @@ class ParityConfig:
     @classmethod
     def from_env(cls) -> "ParityConfig":
         """The config the environment alone selects (no overrides)."""
-        values = {}
+        values: Dict[str, str] = {}
         for field, (env, allowed) in PARITY_FIELDS.items():
             raw = os.environ.get(env, allowed[0]).strip().lower()
             values[field] = raw if raw in allowed else allowed[0]
@@ -159,3 +307,40 @@ def parity(**overrides: str) -> Iterator[ParityConfig]:
     finally:
         with _OVERRIDE_LOCK:
             _OVERRIDES.update(previous)
+
+
+# ----------------------------------------------------------------------
+# sanctioned environment access
+# ----------------------------------------------------------------------
+# Tuning knobs that are not two-valued parity switches (timeouts, start
+# methods, calibrated cost rates) still read ``REPRO_*`` variables —
+# but only through these helpers, so every environment dependency in
+# the tree routes through this module.  The ``env-discipline`` checker
+# in ``tools/reprolint`` enforces that no other ``repro`` module
+# touches ``os.environ`` directly.
+
+
+def env_text(name: str, default: str = "") -> str:
+    """A raw ``REPRO_*`` string setting, stripped, from the environment."""
+    return os.environ.get(name, default).strip()
+
+
+def env_float(name: str, default: float) -> float:
+    """A numeric ``REPRO_*`` setting; ``default`` on unset or malformed."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def env_mapping() -> Mapping[str, str]:
+    """The live environment as a read-only mapping.
+
+    For call sites that take an ``environ``-shaped mapping parameter
+    (e.g. :meth:`repro.cluster.costs.CostParameters.from_env`) and
+    default to the real environment.
+    """
+    return os.environ

@@ -76,6 +76,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import config as parity_config
+from repro import lockdep
 from repro.arrays.chunk import ChunkData, ChunkKey, ChunkRef
 from repro.arrays.coords import Box, pack_rows_void
 from repro.errors import ClusterError
@@ -900,7 +901,7 @@ class ChunkCatalog:
         as read-only.
         """
         key = (array, tuple(sorted(set(attrs))), int(ndim))
-        with self._payload_lock:
+        with self._payload_lock, lockdep.held("payload-lru"):
             epoch = self.payload_epoch_of(array)
             cached = self._payload_cache.get(key)
             if cached is not None and cached[0] == epoch:
@@ -940,7 +941,7 @@ class ChunkCatalog:
             array, tuple(sorted(set(attrs))), int(ndim),
             region.lo, region.hi,
         )
-        with self._payload_lock:
+        with self._payload_lock, lockdep.held("payload-lru"):
             epoch = self.payload_epoch_of(array)
             cached = self._payload_cache.get(key)
             if cached is not None and cached[0] == epoch:
@@ -979,7 +980,7 @@ class ChunkCatalog:
         because a snapshot pinned at the new epoch could otherwise be
         served bytes from the old one.
         """
-        with self._payload_lock:
+        with self._payload_lock, lockdep.held("payload-lru"):
             if self.payload_epoch_of(key[0]) != epoch:
                 return
             self._payload_cache[key] = (epoch, coords, values)
@@ -1171,7 +1172,7 @@ class ChunkCatalog:
                 if len(snap):
                     self._snapshot_cache[array] = snap
                 return snap
-        with self._write_lock:
+        with self._write_lock, lockdep.held("catalog-seqlock"):
             snap = self._capture_array(array)
             if len(snap):
                 self._snapshot_cache[array] = snap
@@ -1186,7 +1187,7 @@ class ChunkCatalog:
         optimistic snapshot capture that observes the same even value
         before and after its gather is guaranteed consistent.
         """
-        with self._write_lock:
+        with self._write_lock, lockdep.held("catalog-seqlock"):
             self._write_seq += 1
             try:
                 yield
@@ -1214,7 +1215,7 @@ class ChunkCatalog:
                 if contents:
                     view.payload_epoch = self._epoch
         if contents:
-            with self._payload_lock:
+            with self._payload_lock, lockdep.held("payload-lru"):
                 for key in [
                     k for k in self._payload_cache if k[0] in touched
                 ]:

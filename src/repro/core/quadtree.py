@@ -68,7 +68,7 @@ class IncrementalQuadtreePartitioner(ElasticPartitioner):
         self.allow_pairs = bool(allow_pairs)
         if split_dims is None:
             split_dims = tuple(range(grid.ndim))
-        dims = sorted(set(int(d) for d in split_dims))
+        dims = sorted({int(d) for d in split_dims})
         if not dims or any(not 0 <= d < grid.ndim for d in dims):
             raise PartitioningError(
                 f"split_dims {split_dims} invalid for a {grid.ndim}-d grid"

@@ -49,7 +49,7 @@ def build_leaves(
     """
     dims = (
         tuple(range(grid.ndim)) if split_dims is None
-        else tuple(sorted(set(int(d) for d in split_dims)))
+        else tuple(sorted({int(d) for d in split_dims}))
     )
     leaves: List[Box] = []
 
@@ -101,7 +101,7 @@ class UniformRangePartitioner(ElasticPartitioner):
         self.height = int(height)
         self.split_dims = (
             tuple(range(grid.ndim)) if split_dims is None
-            else tuple(sorted(set(int(d) for d in split_dims)))
+            else tuple(sorted({int(d) for d in split_dims}))
         )
         if any(not 0 <= d < grid.ndim for d in self.split_dims):
             raise PartitioningError(

@@ -36,7 +36,6 @@ never corrupts a later result.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import sys
 import threading
 import time
@@ -44,6 +43,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import lockdep
+from repro.config import env_float, env_text
 from repro.errors import ClusterError, WorkerFailedError
 from repro.parallel import kernels
 from repro.parallel.transport import (
@@ -68,7 +69,7 @@ def pick_start_method() -> str:
     ``PYTHONWARNINGS=error`` in CI would fail); ``spawn`` is the safe
     fallback there.
     """
-    forced = os.environ.get("REPRO_EXEC_START", "").strip()
+    forced = env_text("REPRO_EXEC_START")
     if forced:
         return forced
     methods = multiprocessing.get_all_start_methods()
@@ -103,10 +104,8 @@ class ProcessEngine:
 
     def __init__(self, request_timeout: Optional[float] = None) -> None:
         if request_timeout is None:
-            request_timeout = float(
-                os.environ.get(
-                    "REPRO_EXEC_TIMEOUT", DEFAULT_REQUEST_TIMEOUT
-                )
+            request_timeout = env_float(
+                "REPRO_EXEC_TIMEOUT", DEFAULT_REQUEST_TIMEOUT
             )
         self.request_timeout = request_timeout
         self._ctx = multiprocessing.get_context(pick_start_method())
@@ -131,7 +130,7 @@ class ProcessEngine:
 
     def ensure_workers(self, node_ids: Sequence[int]) -> None:
         """Spawn a worker for every listed node that lacks a live one."""
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             for node_id in node_ids:
                 handle = self._workers.get(node_id)
                 if handle is not None and handle.proc.is_alive():
@@ -154,7 +153,7 @@ class ProcessEngine:
 
     def worker_pids(self) -> Dict[int, int]:
         """Live worker process ids by node (failure-test hook)."""
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             return {
                 node_id: handle.proc.pid
                 for node_id, handle in sorted(self._workers.items())
@@ -162,7 +161,7 @@ class ProcessEngine:
 
     def shutdown(self) -> None:
         """Stop every worker with timeout-bounded joins (idempotent)."""
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             for handle in self._workers.values():
                 try:
                     handle.conn.send({"op": "shutdown"})
@@ -288,7 +287,7 @@ class ProcessEngine:
 
     def drain_request_log(self) -> List[dict]:
         """Return and clear the per-request timing records."""
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             log, self.request_log = self.request_log, []
             return log
 
@@ -303,7 +302,7 @@ class ProcessEngine:
         chunks scattered.  Chunk payloads ship as one shared-memory
         frame per destination node.
         """
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             catalog = cluster.catalog
             node_ids = tuple(cluster.node_ids)
             epoch = catalog.epoch
@@ -384,7 +383,7 @@ class ProcessEngine:
             When an owning worker is dead, hung, or unreachable.
         """
         attrs = list(attrs)
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             if not pairs:
                 return (
                     np.empty((0, ndim), dtype=np.int64),
@@ -441,7 +440,7 @@ class ProcessEngine:
     def store_blob(self, node_id: int, name: str, array) -> int:
         """Ship one array into a worker's blob namespace; bytes sent."""
         arr = np.ascontiguousarray(array)
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             self._request(
                 node_id,
                 {
@@ -454,7 +453,7 @@ class ProcessEngine:
 
     def fetch_blob(self, node_id: int, name: str) -> np.ndarray:
         """Pull one blob back from a worker."""
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             reply = self._request(
                 node_id, {"op": "fetch_blob", "name": name}
             )
@@ -472,13 +471,13 @@ class ProcessEngine:
         One fetch + one store — the wire pattern of a shuffle leg; the
         calibration harness times it against two network charges.
         """
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             arr = self.fetch_blob(src_node, name)
             self.store_blob(dst_node, dst_name, arr)
             return int(arr.nbytes)
 
     def drop_blobs(self, node_id: int, names: Sequence[str]) -> None:
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             if node_id in self._workers:
                 self._request(
                     node_id, {"op": "drop_blob", "names": list(names)}
@@ -498,7 +497,7 @@ class ProcessEngine:
         sweep, and reduces per-partition sums/counts in partition order
         — bit-identical to :func:`serial_kmeans` over the same parts.
         """
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             self.ensure_workers(sorted({n for n, _ in parts}))
             names = []
             for i, (node, pts) in enumerate(parts):
@@ -546,7 +545,7 @@ class ProcessEngine:
     ) -> np.ndarray:
         """kNN mean distance via a k-smallest-candidates exchange."""
         queries = np.asarray(queries)
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             self.ensure_workers(sorted({n for n, _ in parts}))
             names = []
             for i, (node, pts) in enumerate(parts):
@@ -593,7 +592,7 @@ class ProcessEngine:
         if not nodes:
             return np.empty(0, dtype=np.int64)
         buckets = len(nodes)
-        with self._lock:
+        with self._lock, lockdep.held("transport"):
             self.ensure_workers(nodes)
             scratch: Dict[int, List[str]] = {n: [] for n in nodes}
             try:

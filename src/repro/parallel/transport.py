@@ -34,20 +34,23 @@ from __future__ import annotations
 
 import pickle
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Mapping
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 #: Frames at or below this many raw payload bytes ride the pipe inline.
 INLINE_MAX_BYTES = 16 * 1024
 
 
-def frame_nbytes(arrays: Mapping[str, np.ndarray]) -> int:
+def frame_nbytes(arrays: Mapping[str, npt.NDArray[Any]]) -> int:
     """Total payload bytes a frame for ``arrays`` would carry."""
     return int(sum(np.asarray(a).nbytes for a in arrays.values()))
 
 
-def pack_frame(arrays: Mapping[str, np.ndarray]) -> dict:
+def pack_frame(
+    arrays: Mapping[str, npt.NDArray[Any]]
+) -> Dict[str, Any]:
     """Pack named arrays into a picklable frame descriptor.
 
     Fixed-dtype arrays share one segment (or go inline when small);
@@ -55,8 +58,8 @@ def pack_frame(arrays: Mapping[str, np.ndarray]) -> dict:
     descriptor over a pipe; ownership of any created segment passes to
     the receiver (see module docstring).
     """
-    metas = []
-    raw = []
+    metas: List[Dict[str, Any]] = []
+    raw: List[Tuple[str, npt.NDArray[Any]]] = []
     total = 0
     for name, arr in arrays.items():
         a = np.ascontiguousarray(arr)
@@ -103,19 +106,20 @@ def pack_frame(arrays: Mapping[str, np.ndarray]) -> dict:
         # sender-side tracker registration so neither tracker reports a
         # phantom leak (``shm._name`` is the registered spelling — the
         # ``name`` property strips the leading slash).
-        resource_tracker.unregister(shm._name, "shared_memory")
+        registered_name: str = getattr(shm, "_name")
+        resource_tracker.unregister(registered_name, "shared_memory")
     return {"shm": shm.name, "metas": metas, "nbytes": total}
 
 
-def unpack_frame(frame: dict) -> Dict[str, np.ndarray]:
+def unpack_frame(frame: Mapping[str, Any]) -> Dict[str, npt.NDArray[Any]]:
     """Materialize a frame's arrays, consuming (unlinking) its segment.
 
     Every returned array owns its bytes — copies are taken before the
     shared segment is closed, so callers never hold a view into memory
     another process may reclaim.
     """
-    out: Dict[str, np.ndarray] = {}
-    shm = None
+    out: Dict[str, npt.NDArray[Any]] = {}
+    shm: Optional[shared_memory.SharedMemory] = None
     if frame["shm"] is not None:
         shm = shared_memory.SharedMemory(name=frame["shm"])
     try:
@@ -129,6 +133,7 @@ def unpack_frame(frame: dict) -> Dict[str, np.ndarray]:
                 )
                 out[meta["name"]] = arr.reshape(meta["shape"]).copy()
             else:
+                assert shm is not None  # raw metas imply a segment
                 view = np.ndarray(
                     meta["shape"],
                     dtype=np.dtype(meta["dtype"]),

@@ -917,24 +917,40 @@ def _count_close_pairs_buckets(
 
 
 def count_close_pairs_scalar(
-    lon: np.ndarray, lat: np.ndarray, radius: float
+    lon: np.ndarray,
+    lat: np.ndarray,
+    radius: float,
+    segments: Optional[np.ndarray] = None,
 ) -> int:
-    """Parity oracle: Python bucket walk with per-pair distance tests."""
+    """Parity oracle: Python bucket walk with per-pair distance tests.
+
+    Accepts the same optional ``segments`` column as the batch kernel
+    (pairs must share a segment to count), so the two signatures stay
+    interchangeable under the parity registry.
+    """
     n = lon.shape[0]
     if n < 2:
         return 0
     gx = np.floor(lon / radius).astype(np.int64)
     gy = np.floor(lat / radius).astype(np.int64)
-    buckets: Dict[Tuple[int, int], List[int]] = {}
+    if segments is None:
+        seg = np.zeros(n, dtype=np.int64)
+    else:
+        seg = np.asarray(segments, dtype=np.int64)
+    buckets: Dict[Tuple[int, int, int], List[int]] = {}
     for i in range(n):
-        buckets.setdefault((int(gx[i]), int(gy[i])), []).append(i)
+        buckets.setdefault(
+            (int(seg[i]), int(gx[i]), int(gy[i])), []
+        ).append(i)
     count = 0
     r2 = radius * radius
-    for (bx, by), members in buckets.items():
+    for (s, bx, by), members in buckets.items():
         neighbors: List[int] = []
         for dx in (-1, 0, 1):
             for dy in (-1, 0, 1):
-                neighbors.extend(buckets.get((bx + dx, by + dy), ()))
+                neighbors.extend(
+                    buckets.get((s, bx + dx, by + dy), ())
+                )
         for i in members:
             for j in neighbors:
                 if j <= i:

@@ -26,7 +26,7 @@ from repro.arrays.sfc import (
     hilbert_index_batch,
 )
 from repro.core import ALL_PARTITIONERS, make_partitioner
-from repro.errors import ChunkError
+from repro.errors import ChunkError, PartitioningError
 
 GRID = Box((0, 0, 0), (40, 29, 23))
 
@@ -219,7 +219,7 @@ class TestPlaceBatchParity:
             p = make_partitioner(
                 name, [0, 1], grid=GRID, node_capacity_bytes=1e12
             )
-            with pytest.raises(Exception):
+            with pytest.raises(PartitioningError):
                 p.place_batch([(ChunkRef("a", (0, 0, 0)), -1.0)])
 
 
@@ -253,7 +253,7 @@ class TestRunningTotalAndRemove:
         p = make_partitioner(
             "round_robin", [0, 1], grid=GRID, node_capacity_bytes=1e12
         )
-        with pytest.raises(Exception):
+        with pytest.raises(PartitioningError):
             p.remove(ChunkRef("a", (0, 0, 0)))
 
     def test_extendible_bucket_bytes_track_ledger(self):

@@ -307,7 +307,7 @@ class TestClusterChurn:
         good = [c.ref() for c in chunks[:3]]
         total_before = cluster.total_bytes
         with pytest.raises(PartitioningError):
-            cluster.remove_chunks(good + [ChunkRef("A", (9, 9, 9))])
+            cluster.remove_chunks([*good, ChunkRef("A", (9, 9, 9))])
         with pytest.raises(ClusterError):
             cluster.remove_chunks([good[0], good[1], good[0]])  # dup
         assert cluster.total_bytes == pytest.approx(total_before)

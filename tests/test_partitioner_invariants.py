@@ -92,7 +92,7 @@ def test_lookup_agrees_with_assignment_after_growth(name):
     p = build(name)
     rng = np.random.default_rng(7)
     refs = []
-    for i in range(150):
+    for _ in range(150):
         key = (
             int(rng.integers(0, 8)),
             int(rng.integers(0, 12)),
@@ -108,7 +108,7 @@ def test_lookup_agrees_with_assignment_after_growth(name):
         assert p.locate(ref) == assignment[ref]
 
     # new placements after growth land where lookups say
-    for i in range(30):
+    for _ in range(30):
         key = (
             int(rng.integers(0, 8)),
             int(rng.integers(0, 12)),
@@ -128,7 +128,7 @@ def test_skew_aware_split_targets_heaviest(name):
     heavily burdened node (paper §4.1)."""
     p = build(name)
     rng = np.random.default_rng(11)
-    for i in range(200):
+    for _ in range(200):
         # heavy corner hotspot
         if rng.random() < 0.8:
             key = (int(rng.integers(0, 8)), 0, 0)

@@ -17,7 +17,7 @@ GRID3 = Box((0, 0, 0), (8, 16, 12))
 def fill(p, n=120, grid=GRID, seed=3, skew=False):
     rng = np.random.default_rng(seed)
     placed = []
-    for i in range(n):
+    for _ in range(n):
         key = tuple(
             int(rng.integers(lo, hi)) for lo, hi in zip(grid.lo, grid.hi)
         )
@@ -37,7 +37,7 @@ class TestHilbertPartitioner:
         ranges = p.ranges()
         assert ranges[0][0] == 0
         assert ranges[-1][1] is None
-        for (s0, e0, _), (s1, _, _) in zip(ranges, ranges[1:]):
+        for (_, e0, _), (s1, _, _) in zip(ranges, ranges[1:]):
             assert e0 == s1
 
     def test_prepare_batch_fits_initial_bounds(self):

@@ -118,7 +118,7 @@ class TestExperimentEntryPoints:
         result = figure8_staircase(
             ModisWorkload(**TINY_MODIS), p_values=(1, 3), samples=2
         )
-        for p, nodes in result.steps.items():
+        for nodes in result.steps.values():
             for n, demand in zip(nodes, result.demand_nodes):
                 assert n >= demand - 1e-9
         # lazier configs reorganize at least as often

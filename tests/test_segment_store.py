@@ -425,7 +425,7 @@ class TestInterleavingParity:
             rng_t = np.random.default_rng(seed)
             rng_o = np.random.default_rng(seed)
             live_t, live_o = {}, {}
-            for op in ["ingest"] + list(script):
+            for op in ["ingest", *script]:
                 apply(tiered, rng_t, op, live_t)
                 apply(oracle, rng_o, op, live_o)
                 assert _cluster_fingerprint(tiered) == \

@@ -38,7 +38,7 @@ class TestSpatialModel:
         assert lat.tolist() == [0, 1, 0, 1]
 
     def test_top_share(self):
-        model = SpatialModel(10, 1, tuple([0.91] + [0.01] * 9))
+        model = SpatialModel(10, 1, (0.91, *[0.01] * 9))
         assert model.top_share(0.1) == pytest.approx(0.91)
         with pytest.raises(WorkloadError):
             model.top_share(0.0)

@@ -1,0 +1,96 @@
+"""Command-line entry point: ``python -m tools.reprolint src/``.
+
+Exit status is the contract CI keys off: 0 when the tree is clean,
+1 when any checker found a violation, 2 on usage errors.  ``--format
+json`` emits the findings as a machine-readable array; ``--selftest``
+runs the bundled fixture corpus instead of real sources and verifies
+every case produces exactly its expected finding codes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from tools.reprolint.base import (
+    Project,
+    all_checkers,
+    collect_files,
+    findings_json,
+    iter_cases,
+    run,
+    run_case,
+)
+
+
+def _selftest() -> int:
+    failures: List[str] = []
+    cases = 0
+    for case in iter_cases():
+        cases += 1
+        got = tuple(sorted({f.code for f in run_case(case)}))
+        expected = tuple(sorted(set(case.expected)))
+        if got != expected:
+            failures.append(
+                f"{case.checker}/{case.name}: expected "
+                f"{expected or ('clean',)}, got {got or ('clean',)}"
+            )
+    if failures:
+        print(f"reprolint selftest: {len(failures)} case(s) failed")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"reprolint selftest: {cases} cases ok")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Project-invariant static analysis.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to check"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--checker",
+        action="append",
+        choices=sorted(all_checkers()),
+        help="run only the named checker(s)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the fixture corpus instead of real sources",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return _selftest()
+    if not args.paths:
+        parser.print_usage()
+        return 2
+
+    project = Project(collect_files(args.paths))
+    findings = run(project, only=args.checker)
+    if args.format == "json":
+        print(findings_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"reprolint: {len(findings)} finding(s) in "
+            f"{len(project.files)} file(s)"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,83 @@
+"""Checker 2 — environment-access discipline (``RL20x``).
+
+All ``REPRO_*`` runtime switches resolve through ``repro/config.py``:
+the two-valued parity switches via :class:`ParityConfig`, and free-form
+tuning knobs via the sanctioned ``env_text`` / ``env_float`` /
+``env_mapping`` helpers.  Before PR 7 the tree carried four copy-pasted
+``os.environ`` readers whose semantics drifted (different defaults,
+different normalization); this checker keeps the consolidation from
+eroding by flagging **any** direct ``os.environ`` / ``os.getenv``
+access in ``repro`` modules other than ``repro/config.py`` (RL201).
+
+The rule is deliberately broader than "reads of ``REPRO_*`` keys": a
+raw read of any variable is one refactor away from becoming an
+unregistered switch, and the sanctioned helpers cover every legitimate
+shape (string, float, whole-environment mapping).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from tools.reprolint.base import Finding, Project
+
+CHECKER = "env-discipline"
+
+_ENV_ATTRS = {"environ", "getenv", "getenvb", "putenv"}
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for src in project.files:
+        if (
+            not src.rel.startswith("repro/")
+            or src.rel == "repro/config.py"
+        ):
+            continue
+        os_aliases: Set[str] = set()
+        direct_aliases: Set[str] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "os":
+                        os_aliases.add(alias.asname or "os")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "os":
+                    for alias in node.names:
+                        if alias.name in _ENV_ATTRS:
+                            direct_aliases.add(
+                                alias.asname or alias.name
+                            )
+        for node in ast.walk(src.tree):
+            hit = None
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _ENV_ATTRS
+                and isinstance(node.value, ast.Name)
+                and node.value.id in os_aliases
+            ):
+                hit = f"os.{node.attr}"
+            elif (
+                isinstance(node, ast.Name)
+                and node.id in direct_aliases
+                and isinstance(node.ctx, ast.Load)
+            ):
+                hit = node.id
+            if hit is not None:
+                findings.append(
+                    Finding(
+                        CHECKER,
+                        src.path,
+                        node.lineno,
+                        "RL201",
+                        f"direct {hit} access outside repro/config.py; "
+                        "route REPRO_* switches through ParityConfig "
+                        "and free-form knobs through "
+                        "repro.config.env_text/env_float/env_mapping. "
+                        "PR 7 consolidated four drifting os.environ "
+                        "readers into that module — keep it the single "
+                        "point of environment truth.",
+                    )
+                )
+    return findings

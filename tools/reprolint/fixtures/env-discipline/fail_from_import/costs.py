@@ -1,0 +1,7 @@
+# rel: repro/cluster/costs.py
+from os import getenv
+
+
+def scan_rate():
+    raw = getenv("REPRO_COST_SCAN_S_PER_B")
+    return float(raw) if raw else None

@@ -1,0 +1,9 @@
+# rel: repro/parallel/engine.py
+import os
+
+
+def pick_start_method():
+    forced = os.environ.get("REPRO_EXEC_START", "").strip()
+    if forced:
+        return forced
+    return "spawn"

@@ -1,0 +1,7 @@
+# rel: repro/config.py
+import os
+
+
+def env_text(name, default=""):
+    # config.py is the one sanctioned os.environ reader.
+    return os.environ.get(name, default).strip()

@@ -1,0 +1,13 @@
+# rel: repro/parallel/engine.py
+from repro.config import env_float, env_text
+
+
+def pick_start_method():
+    forced = env_text("REPRO_EXEC_START")
+    if forced:
+        return forced
+    return "spawn"
+
+
+def request_timeout():
+    return env_float("REPRO_EXEC_TIMEOUT", 30.0)

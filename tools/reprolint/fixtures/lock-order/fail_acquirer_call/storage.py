@@ -1,0 +1,9 @@
+# rel: repro/arrays/storage.py
+class MiniStore:
+    def rebalance(self, catalog, array):
+        # spill-tier (rank 3) held while calling catalog.snapshot
+        # (acquires catalog-seqlock, rank 0): the callee's acquisition
+        # inverts the hierarchy out of lexical sight.
+        with self.lock:
+            snap = catalog.snapshot(array)
+            return snap

@@ -1,0 +1,9 @@
+# rel: repro/core/catalog.py
+class MiniCatalog:
+    def evict_cache(self):
+        # payload-lru (rank 1) -> catalog-seqlock (rank 0): climbs the
+        # hierarchy; deadlocks against any mutator holding the seqlock
+        # while dropping cache entries.
+        with self._payload_lock:
+            with self._write_lock:
+                self._payload_cache.clear()

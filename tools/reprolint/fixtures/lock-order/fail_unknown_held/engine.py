@@ -1,0 +1,8 @@
+# rel: repro/parallel/engine.py
+from repro import lockdep
+
+
+class MiniEngine:
+    def sync(self):
+        with self._lock, lockdep.held("request-pipe"):
+            return self._drain()

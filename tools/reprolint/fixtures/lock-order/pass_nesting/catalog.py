@@ -1,0 +1,9 @@
+# rel: repro/core/catalog.py
+class MiniCatalog:
+    def put(self, i, chunk):
+        # seqlock (rank 0) -> payload-lru (rank 1): walks down the
+        # hierarchy, allowed.
+        with self._write():
+            self._chunks[i] = chunk
+            with self._payload_lock:
+                self._payload_cache.clear()

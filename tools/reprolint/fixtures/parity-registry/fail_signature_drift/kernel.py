@@ -1,0 +1,10 @@
+# rel: repro/query/kernel.py
+def total_bytes(sizes, costs, intensity):
+    return sizes.sum() * costs * intensity
+
+
+def total_bytes_scalar(sizes, costs):
+    total = 0.0
+    for size in sizes:
+        total += size * costs
+    return total

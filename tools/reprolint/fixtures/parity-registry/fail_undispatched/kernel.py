@@ -1,0 +1,21 @@
+# rel: repro/query/kernel.py
+USE_SCALAR = False
+
+
+def total_bytes(sizes, costs):
+    return sizes.sum() * costs
+
+
+def total_bytes_scalar(sizes, costs):
+    total = 0.0
+    for size in sizes:
+        total += size * costs
+    return total
+
+
+def charge_bytes(sizes, costs):
+    # Routed by a private flag instead of the ParityConfig mode: a
+    # parity(...) block or REPRO_COST export no longer reaches it.
+    if USE_SCALAR:
+        return total_bytes_scalar(sizes, costs)
+    return total_bytes(sizes, costs)

@@ -1,0 +1,6 @@
+# rel: repro/config.py
+PARITY_FIELDS = {
+    "cost": ("REPRO_COST", ("batch", "scalar")),
+}
+
+PARITY_ORACLES = ()

@@ -1,0 +1,10 @@
+# rel: repro/query/kernel.py
+def total_bytes(sizes):
+    return sizes.sum()
+
+
+def total_bytes_scalar(sizes):
+    total = 0.0
+    for size in sizes:
+        total += size
+    return total

@@ -1,0 +1,15 @@
+# rel: repro/config.py
+PARITY_FIELDS = {
+    "cost": ("REPRO_COST", ("batch", "scalar")),
+}
+
+PARITY_ORACLES = (
+    {
+        "module": "repro/query/kernel.py",
+        "batch": "total_bytes",
+        "scalar": "total_bytes_scalar",
+        "field": "cost",
+        "dispatch": "charge_bytes",
+        "signature": "same",
+    },
+)

@@ -1,0 +1,16 @@
+# rel: repro/query/kernel.py
+def total_bytes(sizes, costs):
+    return sizes.sum() * costs
+
+
+def total_bytes_scalar(sizes, costs):
+    total = 0.0
+    for size in sizes:
+        total += size * costs
+    return total
+
+
+def charge_bytes(sizes, costs):
+    if default_cost_mode() == "scalar":
+        return total_bytes_scalar(sizes, costs)
+    return total_bytes(sizes, costs)

@@ -1,0 +1,27 @@
+# rel: repro/core/catalog.py
+class MiniCatalog:
+    """The PR 8 race shape, reduced to its skeleton.
+
+    The epoch is bumped *before* the payload handle lands in the
+    column.  A pinned snapshot validating a cached payload between the
+    two statements sees the new epoch with the old handle — exactly
+    the merged-page staleness PR 8 fixed by ordering the swap first.
+    """
+
+    def __init__(self):
+        self._write_seq = 0
+        self._chunks = {}
+        self._size = {}
+        self._epoch = 0
+
+    def _write(self):
+        raise NotImplementedError
+
+    def _touch(self, arrays):
+        self._epoch += 1
+
+    def merge(self, i, merged):
+        with self._write():
+            self._touch({merged.ref().array})
+            self._chunks[i] = merged
+            self._size[i] = merged.size_bytes

@@ -1,0 +1,18 @@
+# rel: repro/core/catalog.py
+class MiniCatalog:
+    def __init__(self):
+        self._write_seq = 0
+        self._chunks = {}
+        self._epoch = 0
+
+    def _write(self):
+        raise NotImplementedError
+
+    def _touch(self, arrays):
+        self._epoch += 1
+
+    def put(self, i, chunk):
+        with self._write():
+            # Columns change but no epoch bump: cached snapshots and
+            # payload concatenations keep validating as fresh.
+            self._chunks[i] = chunk

@@ -1,0 +1,18 @@
+# rel: repro/core/catalog.py
+class MiniCatalog:
+    def __init__(self):
+        self._write_seq = 0
+        self._chunks = {}
+        self._epoch = 0
+
+    def _write(self):
+        raise NotImplementedError
+
+    def _touch(self, arrays):
+        self._epoch += 1
+
+    def put(self, i, chunk):
+        # No seqlock window: an optimistic snapshot gather running
+        # concurrently can observe this store half-applied.
+        self._chunks[i] = chunk
+        self._touch({chunk.ref().array})

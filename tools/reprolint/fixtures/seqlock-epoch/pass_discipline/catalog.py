@@ -1,0 +1,19 @@
+# rel: repro/core/catalog.py
+class MiniCatalog:
+    def __init__(self):
+        self._write_seq = 0
+        self._chunks = {}
+        self._node = {}
+        self._epoch = 0
+
+    def _write(self):
+        raise NotImplementedError  # seqlock context manager stand-in
+
+    def _touch(self, arrays):
+        self._epoch += 1
+
+    def put(self, i, chunk, node):
+        with self._write():
+            self._chunks[i] = chunk
+            self._node[i] = node
+            self._touch({chunk.ref().array})

@@ -1,0 +1,21 @@
+# rel: repro/parallel/transport.py
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def unpack(frame):
+    shm = shared_memory.SharedMemory(name=frame["shm"])
+    out = {}
+    try:
+        for name, dtype, shape, offset in frame["metas"]:
+            view = np.ndarray(
+                shape, dtype=dtype, buffer=shm.buf, offset=offset
+            )
+            out[name] = view.copy()
+            del view
+    finally:
+        # close() without unlink(): the segment (and the receiver-side
+        # tracker registration) outlives the round trip.
+        shm.close()
+    return out

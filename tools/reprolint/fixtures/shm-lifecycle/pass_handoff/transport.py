@@ -1,0 +1,41 @@
+# rel: repro/parallel/transport.py
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+
+def pack(arrays):
+    total = sum(a.nbytes for a in arrays.values())
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    metas = []
+    offset = 0
+    try:
+        for name, a in arrays.items():
+            dst = np.ndarray(
+                a.shape, dtype=a.dtype, buffer=shm.buf, offset=offset
+            )
+            dst[...] = a
+            del dst
+            metas.append((name, a.dtype.str, a.shape, offset))
+            offset += a.nbytes
+    finally:
+        shm.close()
+        # Ownership hand-off: the receiver attaches and unlinks.
+        resource_tracker.unregister(shm._name, "shared_memory")
+    return {"shm": shm.name, "metas": metas}
+
+
+def unpack(frame):
+    shm = shared_memory.SharedMemory(name=frame["shm"])
+    out = {}
+    try:
+        for name, dtype, shape, offset in frame["metas"]:
+            view = np.ndarray(
+                shape, dtype=dtype, buffer=shm.buf, offset=offset
+            )
+            out[name] = view.copy()
+            del view
+    finally:
+        shm.close()
+        shm.unlink()
+    return out

@@ -1,0 +1,234 @@
+"""Checker 5 — lock-order discipline (``RL50x``).
+
+``repro/lockdep.py`` declares the repo's lock hierarchy in one table
+(:data:`LOCK_HIERARCHY`), maps each guarded ``with``-site attribute to
+its lock (:data:`LOCK_SITES`), and names the methods known to acquire
+each lock (:data:`KNOWN_ACQUIRERS`).  This checker parses those
+literals straight out of the module — no import — and walks every
+function in a ``LOCK_SITES`` module tracking which ranks are held
+lexically:
+
+* RL501 — a nested ``with`` acquires a lock ranked *above* one already
+  held (e.g. taking the catalog seqlock while holding a spill-tier
+  lock).  Equal ranks are allowed: the guarded locks are re-entrant
+  and the only same-rank nesting in the tree is genuine re-entry.
+* RL502 — a call to a :data:`KNOWN_ACQUIRERS` method while holding a
+  higher-ranked lock: one level of interprocedural reach, enough to
+  catch e.g. a tier method calling back into ``catalog.snapshot``.
+* RL503 — a ``lockdep.held("...")`` annotation naming a lock that is
+  not in the hierarchy (the runtime helper would raise; catch it
+  statically).
+
+The same table drives the runtime side: ``lockdep.held`` pushes lock
+names onto a thread-local stack and (when enabled by tests) raises on
+out-of-order acquisition, so the static and dynamic checks can never
+disagree about the declared order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from tools.reprolint.base import (
+    Finding,
+    Project,
+    module_literal,
+)
+
+CHECKER = "lock-order"
+
+LOCKDEP_REL = "repro/lockdep.py"
+
+
+def _tables(
+    project: Project,
+) -> Tuple[
+    Sequence[str], Dict[str, Dict[str, str]], Dict[str, str]
+]:
+    src = project.table_source(LOCKDEP_REL)
+    if src is None:
+        return (), {}, {}
+    hierarchy = module_literal(src, "LOCK_HIERARCHY")
+    sites = module_literal(src, "LOCK_SITES")
+    acquirers = module_literal(src, "KNOWN_ACQUIRERS")
+    return (
+        tuple(hierarchy) if isinstance(hierarchy, (list, tuple)) else (),
+        dict(sites) if isinstance(sites, dict) else {},
+        dict(acquirers) if isinstance(acquirers, dict) else {},
+    )
+
+
+class _FnScan(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        rank: Dict[str, int],
+        attr_locks: Dict[str, str],
+        acquirers: Dict[str, str],
+        hierarchy: Sequence[str],
+    ) -> None:
+        self.path = path
+        self.rank = rank
+        self.attr_locks = attr_locks
+        self.acquirers = acquirers
+        self.hierarchy = hierarchy
+        self.findings: List[Finding] = []
+        self._held: List[Tuple[str, int]] = []  # (lock name, rank)
+
+    # -- helpers -------------------------------------------------------
+    def _lock_of_item(
+        self, expr: ast.expr
+    ) -> Tuple[Optional[str], Optional[int]]:
+        """(lock name, line) acquired by one ``with`` item, if any."""
+        # with self._write(): / with lockdep.held("name"):
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute):
+                if func.attr == "held":
+                    if expr.args and isinstance(
+                        expr.args[0], ast.Constant
+                    ):
+                        name = str(expr.args[0].value)
+                        if name not in self.rank:
+                            self.findings.append(
+                                Finding(
+                                    CHECKER,
+                                    self.path,
+                                    expr.lineno,
+                                    "RL503",
+                                    f"lockdep.held({name!r}) names a "
+                                    "lock outside LOCK_HIERARCHY "
+                                    f"{tuple(self.hierarchy)}; the "
+                                    "runtime assertion would raise.",
+                                )
+                            )
+                    # The annotation rides alongside the real lock in
+                    # the same with-statement; don't double-count it.
+                    return None, None
+                if func.attr in self.attr_locks:
+                    return self.attr_locks[func.attr], expr.lineno
+        # with self._write_lock: / with tier.lock:
+        if (
+            isinstance(expr, ast.Attribute)
+            and expr.attr in self.attr_locks
+        ):
+            return self.attr_locks[expr.attr], expr.lineno
+        return None, None
+
+    # -- structure -----------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[Tuple[str, int]] = []
+        for item in node.items:
+            name, line = self._lock_of_item(item.context_expr)
+            if name is None:
+                continue
+            rank = self.rank[name]
+            if self._held and rank < self._held[-1][1]:
+                top_name, top_rank = self._held[-1]
+                self.findings.append(
+                    Finding(
+                        CHECKER,
+                        self.path,
+                        line or node.lineno,
+                        "RL501",
+                        f"acquiring {name!r} (rank {rank}) while "
+                        f"holding {top_name!r} (rank {top_rank}) "
+                        "inverts the declared lock order "
+                        f"{' -> '.join(self.hierarchy)} "
+                        "(repro/lockdep.py); a thread holding "
+                        f"{name!r} and waiting on {top_name!r} "
+                        "deadlocks against this path.",
+                    )
+                )
+            self._held.append((name, rank))
+            acquired.append((name, rank))
+        self.generic_visit(node)
+        for _ in acquired:
+            self._held.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._held and isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+            lock = self.acquirers.get(callee)
+            if lock is not None:
+                rank = self.rank[lock]
+                top_name, top_rank = self._held[-1]
+                if rank < top_rank:
+                    self.findings.append(
+                        Finding(
+                            CHECKER,
+                            self.path,
+                            node.lineno,
+                            "RL502",
+                            f"call to {callee}() (acquires {lock!r}, "
+                            f"rank {rank}) while holding "
+                            f"{top_name!r} (rank {top_rank}); the "
+                            "callee's acquisition inverts the "
+                            "declared lock order "
+                            f"{' -> '.join(self.hierarchy)}.",
+                        )
+                    )
+        self.generic_visit(node)
+
+    # Nested defs get their own lexical lock context.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        saved, self._held = self._held, []
+        self.generic_visit(node)
+        self._held = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+def check(project: Project) -> List[Finding]:
+    hierarchy, sites, acquirers = _tables(project)
+    if not hierarchy:
+        return []
+    rank = {name: i for i, name in enumerate(hierarchy)}
+    bad_tables: List[Finding] = []
+    for table_name, table in (
+        ("LOCK_SITES", {k: v for m in sites.values() for k, v in m.items()}),
+        ("KNOWN_ACQUIRERS", acquirers),
+    ):
+        for key, lock in table.items():
+            if lock not in rank:
+                bad_tables.append(
+                    Finding(
+                        CHECKER,
+                        LOCKDEP_REL,
+                        1,
+                        "RL503",
+                        f"{table_name}[{key!r}] = {lock!r} is not in "
+                        f"LOCK_HIERARCHY {tuple(hierarchy)}.",
+                    )
+                )
+    findings = bad_tables
+    for src in project.files:
+        attr_locks = sites.get(src.rel)
+        if not attr_locks:
+            continue
+        # Module-level and class-level defs only: the scanner recurses
+        # into nested defs itself (with a fresh held-stack), so walking
+        # every FunctionDef in the tree would scan them twice.
+        tops: List[ast.AST] = []
+        for node in ast.iter_child_nodes(src.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                tops.append(node)
+            elif isinstance(node, ast.ClassDef):
+                tops.extend(
+                    sub
+                    for sub in ast.iter_child_nodes(node)
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                )
+        for fn in tops:
+            scan = _FnScan(
+                src.path, rank, attr_locks, acquirers, hierarchy
+            )
+            for stmt in fn.body:  # type: ignore[attr-defined]
+                scan.visit(stmt)
+            findings.extend(scan.findings)
+    return findings

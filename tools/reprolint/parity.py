@@ -1,0 +1,267 @@
+"""Checker 1 — the parity-oracle registry (``RL10x``).
+
+Every vectorized kernel in this repo keeps its pre-vectorization
+implementation alive as a ``*_scalar`` parity oracle.  PR 7
+consolidated the four ad-hoc environment switches that selected those
+oracles into one :class:`repro.config.ParityConfig`; this checker keeps
+the two halves of that contract from drifting apart again:
+
+* every ``*_scalar`` definition under ``src/repro`` must be declared in
+  the ``PARITY_ORACLES`` literal in ``repro/config.py`` (RL101), and
+  registry rows may not point at functions that no longer exist
+  (RL102);
+* oracles declared ``signature: "same"`` must keep parameter lists
+  identical to their batch twin — a silently added parameter is
+  exactly how an oracle stops being a drop-in reference (RL103);
+* runtime-dispatched oracles (``field`` set) must be routed by the
+  declared ``dispatch`` function through a ``ParityConfig`` mode
+  comparison on that field, not by a private flag (RL104/RL105).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from tools.reprolint.base import (
+    Finding,
+    Project,
+    SourceFile,
+    arg_names,
+    call_name,
+    functions_of,
+    module_literal,
+)
+
+CHECKER = "parity-registry"
+
+_DEFAULT_MODE_RE = re.compile(r"^default_(\w+)_mode$")
+
+
+def _mode_fields_compared(fn: ast.FunctionDef) -> List[Optional[str]]:
+    """Parity fields this function compares a mode call against.
+
+    Recognizes ``default_<field>_mode() == ...``, and ``mode("<field>")``
+    / ``parity_mode("<field>")`` inside a comparison.  A bare ``mode()``
+    call with a non-literal argument contributes ``None`` (field
+    unknown, but a mode comparison exists).
+    """
+    fields: List[Optional[str]] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Compare):
+            continue
+        for side in [node.left, *node.comparators]:
+            if not isinstance(side, ast.Call):
+                continue
+            name = call_name(side)
+            if name is None:
+                continue
+            m = _DEFAULT_MODE_RE.match(name)
+            if m:
+                fields.append(m.group(1))
+                continue
+            if name in ("mode", "parity_mode"):
+                if side.args and isinstance(
+                    side.args[0], ast.Constant
+                ):
+                    fields.append(str(side.args[0].value))
+                else:
+                    fields.append(None)
+    return fields
+
+
+def _registry(
+    project: Project,
+) -> Tuple[
+    Optional[SourceFile],
+    List[Dict[str, Optional[str]]],
+    Sequence[str],
+]:
+    config = project.table_source("repro/config.py")
+    if config is None:
+        return None, [], ()
+    raw = module_literal(config, "PARITY_ORACLES")
+    entries: List[Dict[str, Optional[str]]] = (
+        [dict(e) for e in raw] if isinstance(raw, (list, tuple)) else []
+    )
+    fields_raw = module_literal(config, "PARITY_FIELDS")
+    fields = (
+        tuple(fields_raw.keys())
+        if isinstance(fields_raw, dict)
+        else ()
+    )
+    return config, entries, fields
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    config, entries, parity_fields = _registry(project)
+    if config is None:
+        return findings
+    if not entries and any(
+        f.rel.startswith("repro/") for f in project.files
+    ):
+        entries = []
+
+    by_module: Dict[str, List[Dict[str, Optional[str]]]] = {}
+    for entry in entries:
+        by_module.setdefault(str(entry.get("module")), []).append(entry)
+
+    for src in project.files:
+        if not src.rel.startswith("repro/") or src.rel == "repro/config.py":
+            continue
+        defs = functions_of(src.tree)
+        registered_scalars = {
+            e.get("scalar") for e in by_module.get(src.rel, ())
+        }
+        # -- RL101: unregistered oracles ------------------------------
+        for qualname, fn in defs.items():
+            short = qualname.rsplit(".", 1)[-1]
+            if not short.endswith("_scalar"):
+                continue
+            if qualname not in registered_scalars:
+                findings.append(
+                    Finding(
+                        CHECKER,
+                        src.path,
+                        fn.lineno,
+                        "RL101",
+                        f"parity oracle {qualname!r} is not declared in "
+                        "PARITY_ORACLES (repro/config.py). Every "
+                        "*_scalar twin must be registered so its "
+                        "dispatch and signature stay checked — PR 7 "
+                        "consolidated exactly these switches after four "
+                        "copies drifted.",
+                    )
+                )
+        # -- registry rows for this module ----------------------------
+        for entry in by_module.get(src.rel, ()):
+            findings.extend(
+                _check_entry(src, entry, defs, parity_fields)
+            )
+    return findings
+
+
+def _check_entry(
+    src: SourceFile,
+    entry: Dict[str, Optional[str]],
+    defs: Dict[str, ast.FunctionDef],
+    parity_fields: Sequence[str],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    batch = str(entry.get("batch"))
+    scalar = str(entry.get("scalar"))
+    field = entry.get("field")
+    dispatch = entry.get("dispatch")
+    signature = entry.get("signature")
+
+    missing = [n for n in (batch, scalar) if n not in defs]
+    if dispatch is not None and dispatch not in defs:
+        missing.append(str(dispatch))
+    for name in missing:
+        findings.append(
+            Finding(
+                CHECKER,
+                src.path,
+                1,
+                "RL102",
+                f"PARITY_ORACLES row ({scalar!r}) references "
+                f"{name!r}, which does not exist in {src.rel}; stale "
+                "registry rows hide real drift — update or remove the "
+                "row.",
+            )
+        )
+    if missing:
+        return findings
+
+    line = defs[scalar].lineno
+    if signature == "same":
+        batch_args = arg_names(defs[batch])
+        scalar_args = arg_names(defs[scalar])
+        if batch_args != scalar_args:
+            findings.append(
+                Finding(
+                    CHECKER,
+                    src.path,
+                    line,
+                    "RL103",
+                    f"oracle {scalar!r} drifted from its batch twin: "
+                    f"{scalar_args} != {batch_args}. Twins declared "
+                    "signature='same' must stay drop-in "
+                    "interchangeable; if the oracle deliberately keeps "
+                    "a lowered calling convention, declare "
+                    "signature='lowered' with the mediating dispatch "
+                    "function.",
+                )
+            )
+    elif signature == "lowered":
+        if dispatch is None:
+            findings.append(
+                Finding(
+                    CHECKER,
+                    src.path,
+                    line,
+                    "RL105",
+                    f"oracle {scalar!r} declares signature='lowered' "
+                    "but names no dispatch adapter; a lowered calling "
+                    "convention is only sanctioned behind a dispatcher "
+                    "that owns the translation.",
+                )
+            )
+    else:
+        findings.append(
+            Finding(
+                CHECKER,
+                src.path,
+                line,
+                "RL105",
+                f"oracle {scalar!r}: unknown signature kind "
+                f"{signature!r} (expected 'same' or 'lowered').",
+            )
+        )
+
+    if (field is None) != (dispatch is None):
+        findings.append(
+            Finding(
+                CHECKER,
+                src.path,
+                line,
+                "RL105",
+                f"oracle {scalar!r}: 'field' and 'dispatch' must be "
+                "set together — a runtime-dispatched oracle needs both "
+                "the ParityConfig switch and the routing function.",
+            )
+        )
+        return findings
+
+    if field is not None:
+        if parity_fields and field not in parity_fields:
+            findings.append(
+                Finding(
+                    CHECKER,
+                    src.path,
+                    line,
+                    "RL105",
+                    f"oracle {scalar!r}: {field!r} is not a "
+                    "PARITY_FIELDS switch.",
+                )
+            )
+        assert dispatch is not None
+        compared = _mode_fields_compared(defs[dispatch])
+        if not any(c is None or c == field for c in compared):
+            findings.append(
+                Finding(
+                    CHECKER,
+                    src.path,
+                    defs[dispatch].lineno,
+                    "RL104",
+                    f"dispatch {dispatch!r} never compares the "
+                    f"{field!r} parity mode; runtime-dispatched "
+                    "oracles must route through ParityConfig "
+                    "(default_*_mode()/mode()) so parity(...) blocks "
+                    "and REPRO_* exports keep selecting them — the "
+                    "contract PR 7 centralized.",
+                )
+            )
+    return findings

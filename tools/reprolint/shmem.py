@@ -1,0 +1,178 @@
+"""Checker 4 — SharedMemory lifecycle (``RL40x``).
+
+The process-parallel transport moves numpy frames through
+``multiprocessing.shared_memory`` with an ownership-transfer protocol
+(PR 9): the sender creates a segment, copies, closes its mapping, and
+*unregisters* it from its resource tracker before sending the name;
+the receiver attaches, copies out, then ``close()`` + ``unlink()``.
+A segment that misses any leg of that dance either leaks ``/dev/shm``
+bytes for the life of the machine or trips the tracker's phantom-leak
+warning at interpreter exit — both were chased repeatedly while
+bringing the transport up.
+
+Rules, applied to every function in ``repro/parallel/``:
+
+* RL403 — a ``SharedMemory(create=True)`` call whose result is not
+  bound to a simple name (nothing to close or unlink).
+* RL401 — a created segment without (a) a ``try/finally`` whose
+  ``finally`` closes it **and** (b) a reachable ``unlink()`` or an
+  ownership hand-off (``resource_tracker.unregister``) in the same
+  function.
+* RL402 — an attach (``SharedMemory(name=...)``) without both
+  ``close()`` and ``unlink()`` on the attached segment — the receiver
+  side of the protocol owns the unlink, which also performs the
+  tracker-balancing unregister.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from tools.reprolint.base import Finding, Project
+
+CHECKER = "shm-lifecycle"
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _kw(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _method_calls_on(
+    scope: ast.AST, var: str, method: str
+) -> List[ast.Call]:
+    out = []
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == var
+        ):
+            out.append(node)
+    return out
+
+
+def _has_unregister(scope: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "unregister"
+        for node in ast.walk(scope)
+    )
+
+
+def _close_in_finally(fn: ast.AST, var: str) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Try):
+            for stmt in node.finalbody:
+                if _method_calls_on(stmt, var, "close"):
+                    return True
+    return False
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for src in project.files:
+        if not src.rel.startswith("repro/parallel/"):
+            continue
+        for node in ast.walk(src.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                findings.extend(_check_function(src.path, node))
+    return findings
+
+
+def _check_function(path: str, fn: ast.AST) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(fn):
+        if not (
+            isinstance(node, ast.Call) and _is_shared_memory_call(node)
+        ):
+            continue
+        create = _kw(node, "create")
+        is_create = (
+            isinstance(create, ast.Constant) and create.value is True
+        )
+        var = _binding_of(fn, node)
+        if is_create:
+            if var is None:
+                findings.append(
+                    Finding(
+                        CHECKER,
+                        path,
+                        node.lineno,
+                        "RL403",
+                        "SharedMemory(create=True) result is not bound "
+                        "to a name; the segment can never be closed or "
+                        "unlinked and leaks /dev/shm bytes.",
+                    )
+                )
+                continue
+            closed = _close_in_finally(fn, var)
+            released = bool(
+                _method_calls_on(fn, var, "unlink")
+            ) or _has_unregister(fn)
+            if not (closed and released):
+                findings.append(
+                    Finding(
+                        CHECKER,
+                        path,
+                        node.lineno,
+                        "RL401",
+                        f"SharedMemory(create=True) segment {var!r} "
+                        "lacks balanced cleanup: need close() in a "
+                        "finally block plus either unlink() or an "
+                        "ownership hand-off "
+                        "(resource_tracker.unregister) reachable on "
+                        "all paths — the PR 9 transport protocol. "
+                        "Without it, an exception mid-copy leaks the "
+                        "segment (or the sender's tracker reports a "
+                        "phantom leak at exit).",
+                    )
+                )
+        elif _kw(node, "name") is not None:
+            if var is None:
+                continue
+            has_close = bool(_method_calls_on(fn, var, "close"))
+            has_unlink = bool(_method_calls_on(fn, var, "unlink"))
+            if not (has_close and has_unlink):
+                findings.append(
+                    Finding(
+                        CHECKER,
+                        path,
+                        node.lineno,
+                        "RL402",
+                        f"attached segment {var!r} must be both "
+                        "close()d and unlink()ed by the receiver — "
+                        "unlink performs the tracker-balancing "
+                        "unregister that mirrors the sender's "
+                        "hand-off (PR 9). Missing either leg leaks "
+                        "the segment or the tracker entry.",
+                    )
+                )
+    return findings
+
+
+def _binding_of(fn: ast.AST, call: ast.Call) -> Optional[str]:
+    """The simple name ``call``'s result is assigned to, if any."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and node.value is call:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                return target.id
+    return None
